@@ -1,0 +1,3 @@
+"""Benchmark suite: one module per paper claim (E1-E13) plus
+micro-benchmarks of the core primitives.  Run with
+``pytest benchmarks/ --benchmark-only``."""

@@ -1,0 +1,11 @@
+"""Benchmark E1: Theorem 4.5 approximation — Algorithm 1 fractional ratio vs t.
+
+Regenerates the E1 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e1(benchmark):
+    run_and_check(benchmark, "e1")

@@ -1,0 +1,11 @@
+"""Benchmark E2: Theorem 4.5 time — Algorithm 1 uses exactly 2t^2 rounds.
+
+Regenerates the E2 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e2(benchmark):
+    run_and_check(benchmark, "e2")

@@ -1,0 +1,11 @@
+"""Benchmark E3: Theorem 4.6 — randomized rounding blow-up and feasibility.
+
+Regenerates the E3 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e3(benchmark):
+    run_and_check(benchmark, "e3")

@@ -1,0 +1,11 @@
+"""Benchmark E4: End-to-end k-MDS vs greedy/degree/exact baselines.
+
+Regenerates the E4 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e4(benchmark):
+    run_and_check(benchmark, "e4")

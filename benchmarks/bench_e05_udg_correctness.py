@@ -1,0 +1,11 @@
+"""Benchmark E5: Lemma 5.1 + Part II — Algorithm 3 correctness.
+
+Regenerates the E5 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e5(benchmark):
+    run_and_check(benchmark, "e5")

@@ -1,0 +1,11 @@
+"""Benchmark E6: Theorem 5.7 — O(1) approximation, O(k) leaders per disk.
+
+Regenerates the E6 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e6(benchmark):
+    run_and_check(benchmark, "e6")

@@ -1,0 +1,11 @@
+"""Benchmark E7: Theorem 5.7 time — O(log log n) rounds.
+
+Regenerates the E7 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e7(benchmark):
+    run_and_check(benchmark, "e7")

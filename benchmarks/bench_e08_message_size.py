@@ -1,0 +1,11 @@
+"""Benchmark E8: Section 3 — O(log n)-bit messages.
+
+Regenerates the E8 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e8(benchmark):
+    run_and_check(benchmark, "e8")

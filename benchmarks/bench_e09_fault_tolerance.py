@@ -1,0 +1,11 @@
+"""Benchmark E9: Section 1 motivation — redundancy survives dominator failures.
+
+Regenerates the E9 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e9(benchmark):
+    run_and_check(benchmark, "e9")

@@ -1,0 +1,11 @@
+"""Benchmark E10: Time/approximation trade-off vs the [13] lower bound.
+
+Regenerates the E10 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e10(benchmark):
+    run_and_check(benchmark, "e10")

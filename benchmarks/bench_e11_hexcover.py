@@ -1,0 +1,11 @@
+"""Benchmark E11: Figure 1 / Lemma 5.3 — hexagonal covering geometry.
+
+Regenerates the E11 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e11(benchmark):
+    run_and_check(benchmark, "e11")

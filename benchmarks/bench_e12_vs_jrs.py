@@ -1,0 +1,11 @@
+"""Benchmark E12: Related work — pipeline vs Jia-Rajaraman-Suel LRG.
+
+Regenerates the E12 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e12(benchmark):
+    run_and_check(benchmark, "e12")

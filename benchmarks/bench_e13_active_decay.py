@@ -1,0 +1,11 @@
+"""Benchmark E13: Lemmas 5.2/5.5 — active-node decay and leader density.
+
+Regenerates the E13 table of EXPERIMENTS.md and asserts the paper's
+claim checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e13(benchmark):
+    run_and_check(benchmark, "e13")

@@ -1,0 +1,11 @@
+"""Benchmark E14: Section 4.1 remark — weighted k-MDS extension.
+
+Regenerates the E14 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e14(benchmark):
+    run_and_check(benchmark, "e14")

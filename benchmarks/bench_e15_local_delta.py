@@ -1,0 +1,11 @@
+"""Benchmark E15: Section 4 remark — unknown-Delta (2-hop local estimates).
+
+Regenerates the E15 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e15(benchmark):
+    run_and_check(benchmark, "e15")

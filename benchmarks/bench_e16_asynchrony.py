@@ -1,0 +1,11 @@
+"""Benchmark E16: Awerbuch [2] — asynchronous execution, alpha synchronizer.
+
+Regenerates the E16 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e16(benchmark):
+    run_and_check(benchmark, "e16")

@@ -1,0 +1,11 @@
+"""Benchmark E17: Section 1 motivation — robustness under message loss.
+
+Regenerates the E17 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e17(benchmark):
+    run_and_check(benchmark, "e17")

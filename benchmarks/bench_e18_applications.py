@@ -1,0 +1,12 @@
+"""Benchmark E18: Section 1 application claims — backbone, routing, data
+collection.
+
+Regenerates the E18 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e18(benchmark):
+    run_and_check(benchmark, "e18")

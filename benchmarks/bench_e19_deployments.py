@@ -1,0 +1,11 @@
+"""Benchmark E19: non-uniform deployments — per-disk guarantee stress test.
+
+Regenerates the E19 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e19(benchmark):
+    run_and_check(benchmark, "e19")

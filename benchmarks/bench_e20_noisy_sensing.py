@@ -1,0 +1,12 @@
+"""Benchmark E20: imperfect distance sensing — the Section 3 assumption
+relaxed.
+
+Regenerates the E20 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e20(benchmark):
+    run_and_check(benchmark, "e20")

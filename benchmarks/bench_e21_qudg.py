@@ -1,0 +1,11 @@
+"""Benchmark E21: quasi unit disk graphs — no clear-cut disks (Section 1).
+
+Regenerates the E21 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e21(benchmark):
+    run_and_check(benchmark, "e21")

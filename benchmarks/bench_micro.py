@@ -1,0 +1,155 @@
+"""Micro-benchmarks of the library's core primitives.
+
+Unlike the E-series modules (which regenerate experiment tables), these
+time the building blocks themselves so performance regressions in the
+substrate show up directly: UDG construction, Algorithm 1 direct mode,
+Algorithm 3 direct mode, the message-passing simulator, greedy, and the
+LP solve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import greedy_kmds
+from repro.baselines.lp_opt import lp_optimum
+from repro.core.fractional import fractional_kmds
+from repro.core.udg import solve_kmds_udg
+from repro.graphs.generators import gnp_graph
+from repro.graphs.properties import feasible_coverage
+from repro.graphs.udg import random_udg
+
+
+@pytest.fixture(scope="module")
+def gnp300():
+    g = gnp_graph(300, 0.03, seed=1)
+    return g, feasible_coverage(g, 2)
+
+
+@pytest.fixture(scope="module")
+def udg1000():
+    return random_udg(1000, density=10.0, seed=1)
+
+
+def test_udg_construction_1000(benchmark):
+    benchmark(random_udg, 1000, density=10.0, seed=2)
+
+
+def test_udg_neighbors_within(benchmark, udg1000):
+    def probe():
+        for v in range(0, 1000, 10):
+            udg1000.neighbors_within(v, 0.3)
+
+    benchmark(probe)
+
+
+def test_algorithm1_direct_t3(benchmark, gnp300):
+    g, cov = gnp300
+    benchmark(fractional_kmds, g, coverage=cov, t=3, compute_duals=False)
+
+
+def test_algorithm1_direct_with_duals(benchmark, gnp300):
+    g, cov = gnp300
+    benchmark(fractional_kmds, g, coverage=cov, t=3, compute_duals=True)
+
+
+def test_algorithm1_message_mode(benchmark):
+    g = gnp_graph(80, 0.08, seed=3)
+    cov = feasible_coverage(g, 2)
+    benchmark(fractional_kmds, g, coverage=cov, t=2, mode="message",
+              compute_duals=False, seed=0)
+
+
+def test_algorithm3_direct_1000(benchmark, udg1000):
+    benchmark(solve_kmds_udg, udg1000, k=3, seed=0)
+
+
+def test_algorithm3_message_200(benchmark):
+    udg = random_udg(200, density=10.0, seed=4)
+    benchmark(solve_kmds_udg, udg, k=2, mode="message", seed=0)
+
+
+def test_greedy_baseline(benchmark, gnp300):
+    g, cov = gnp300
+    benchmark(greedy_kmds, g, cov, convention="closed")
+
+
+def test_lp_optimum_solve(benchmark, gnp300):
+    g, cov = gnp300
+    benchmark(lp_optimum, g, cov, convention="closed")
+
+
+def test_backbone_construction(benchmark, udg1000):
+    from repro.apps.backbone import build_backbone
+
+    heads = solve_kmds_udg(udg1000, k=1, seed=0).members
+    benchmark(build_backbone, udg1000, heads)
+
+
+def test_tdma_scheduling(benchmark, udg1000):
+    from repro.apps.scheduling import assign_slots
+
+    heads = solve_kmds_udg(udg1000, k=2, seed=0).members
+    benchmark(assign_slots, udg1000, heads)
+
+
+def test_alpha_synchronizer(benchmark):
+    from repro.core.fractional import FractionalNode
+    from repro.graphs.properties import max_degree
+    from repro.simulation.asynchrony import run_protocol_async
+    from repro.simulation.network import SynchronousNetwork
+
+    g = gnp_graph(60, 0.1, seed=5)
+    cov = feasible_coverage(g, 1)
+    delta = max_degree(g)
+
+    def run():
+        procs = [FractionalNode(v, cov[v], delta, 2, False) for v in g.nodes]
+        net = SynchronousNetwork(g, procs, seed=0)
+        run_protocol_async(net, delay_seed=0)
+
+    benchmark(run)
+
+
+def test_beta_synchronizer(benchmark):
+    from repro.core.fractional import FractionalNode
+    from repro.graphs.properties import max_degree
+    from repro.simulation.beta import run_protocol_beta
+    from repro.simulation.network import SynchronousNetwork
+
+    g = gnp_graph(60, 0.1, seed=5)
+    cov = feasible_coverage(g, 1)
+    delta = max_degree(g)
+
+    def run():
+        procs = [FractionalNode(v, cov[v], delta, 2, False) for v in g.nodes]
+        net = SynchronousNetwork(g, procs, seed=0)
+        run_protocol_beta(net, delay_seed=0)
+
+    benchmark(run)
+
+
+def test_weighted_pipeline(benchmark, gnp300):
+    import numpy as np
+
+    from repro.weighted import solve_weighted_kmds
+
+    g, cov = gnp300
+    rng = np.random.default_rng(0)
+    weights = {v: float(rng.uniform(1, 10)) for v in g.nodes}
+    benchmark(solve_weighted_kmds, g, weights, coverage=cov, t=2, seed=0)
+
+
+def test_leaders_per_disk_probe(benchmark, udg1000):
+    from repro.graphs.hexcover import leaders_per_disk
+
+    heads = sorted(solve_kmds_udg(udg1000, k=1, seed=0).members)
+    benchmark(leaders_per_disk, udg1000.points, heads,
+              disk_radius=0.5, grid_step=0.5)
+
+
+def test_exact_solver_small(benchmark):
+    from repro.baselines.exact import exact_kmds
+
+    g = gnp_graph(25, 0.2, seed=6)
+    benchmark(exact_kmds, g, 2, convention="open")

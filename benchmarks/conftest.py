@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_eNN_*.py`` module wraps one experiment from
+:mod:`repro.experiments`: pytest-benchmark times the full experiment run
+(single round — these are table-regeneration harnesses, not
+micro-benchmarks), asserts the paper-claim checks, and prints the
+regenerated table so EXPERIMENTS.md rows can be refreshed from the
+benchmark log.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment
+
+#: Scale for benchmark runs; override with REPRO_BENCH_SCALE=full.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def run_and_check(benchmark, experiment_id: str, seed: int = 0):
+    """Benchmark one experiment run and assert its claim checks."""
+    report = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": BENCH_SCALE, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.render())
+    assert report.rows, f"{experiment_id} produced no rows"
+    assert report.passed, (
+        f"{experiment_id} failed claim checks: {report.failed_checks()}"
+    )
+    return report

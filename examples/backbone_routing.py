@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Scenario: a routing backbone with end-to-end data collection.
+
+Exercises the full application stack the paper's introduction promises:
+cluster a deployment (Algorithm 3), connect the cluster heads into a
+virtual backbone, route traffic through it, and run epochs of data
+collection while heads die — comparing k = 1 and k = 3 clusterings.
+
+Run:  python examples/backbone_routing.py
+"""
+
+import repro
+from repro.apps import (
+    build_backbone,
+    is_connected_backbone,
+    routing_stretch,
+    run_data_collection,
+)
+from repro.baselines.greedy import greedy_kmds
+
+SEED = 17
+
+
+def main() -> None:
+    udg = repro.random_udg(300, density=12.0, seed=SEED)
+    print(f"Deployment: {udg.n} nodes, {udg.number_of_edges()} links\n")
+
+    regimes = [
+        ("greedy k=1 (minimal)",
+         lambda: greedy_kmds(udg.nx, 1).members),
+        ("Algorithm 3, k=1",
+         lambda: repro.solve_kmds_udg(udg, k=1, seed=SEED).members),
+        ("Algorithm 3, k=3",
+         lambda: repro.solve_kmds_udg(udg, k=3, seed=SEED).members),
+    ]
+    for label, make in regimes:
+        heads = make()
+        backbone = build_backbone(udg, heads)
+        assert is_connected_backbone(udg, backbone.members)
+        stretch = routing_stretch(udg, backbone.members, pairs=150,
+                                  seed=SEED)
+        collection = run_data_collection(udg, heads, epochs=50,
+                                         head_death_rate=0.03, seed=SEED)
+        print(f"{label}:")
+        print(f"  cluster heads        : {len(heads)}")
+        print(f"  backbone             : {len(backbone)} nodes "
+              f"({len(backbone.connectors)} connectors)")
+        print(f"  routing stretch      : mean "
+              f"{stretch['mean_stretch']:.2f}, max "
+              f"{stretch['max_stretch']:.2f} "
+              f"(delivered {stretch['delivered_fraction']:.0%})")
+        print(f"  50-epoch collection  : "
+              f"{collection.delivered_fraction:.1%} of readings delivered, "
+              f"{collection.live_heads_per_epoch[-1]}/{len(heads)} heads "
+              "alive at the end")
+        print(f"  energy (sensor/head) : "
+              f"{collection.energy_by_role['sensor']:.0f} / "
+              f"{collection.energy_by_role['head']:.0f} units\n")
+
+    print("Takeaway: the backbone confines routing to a connected core "
+          "at small constant stretch, and redundancy pays end-to-end — "
+          "the minimal clustering loses a large share of readings to the "
+          "same head-failure process the k-fold clusterings absorb.")
+
+
+if __name__ == "__main__":
+    main()

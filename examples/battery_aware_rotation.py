@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Scenario: battery-aware cluster-head rotation via weighted k-MDS.
+
+Cluster heads burn energy faster than clients (they receive every
+reading).  A fixed clustering therefore kills its heads first.  The
+weighted extension (Section 4.1 remark) fixes this operationally: every
+few epochs, re-cluster with node costs = 1 / remaining battery, so the
+role of head rotates toward the nodes with the most energy left.
+
+We compare a *static* clustering against *battery-aware rotation* on the
+same deployment and energy model, and report epochs to first battery
+death (bottleneck-bound — rotation cannot relieve a client's only
+gateway), survivors at mission end, and the spread of remaining energy
+(where rotation shines).
+
+Run:  python examples/battery_aware_rotation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps.datacollection import EnergyModel
+from repro.core.verify import coverage_counts
+
+SEED = 23
+EPOCHS = 200
+ROTATE_EVERY = 3
+INITIAL_BATTERY = 12_000.0
+READING_BITS = 200
+MODEL = EnergyModel(tx_per_bit=1.0, rx_per_bit=0.7, idle_per_epoch=5.0)
+
+
+def run(rotate: bool) -> None:
+    udg = repro.random_udg(250, density=12.0, seed=SEED)
+    battery = np.full(udg.n, INITIAL_BATTERY)
+    cov = repro.feasible_coverage(udg.nx, 2)
+
+    def cluster() -> set:
+        weights = {v: 1.0 / max(battery[v], 1.0) for v in range(udg.n)}
+        return set(repro.solve_weighted_kmds(udg.nx, weights, coverage=cov,
+                                             t=3, seed=SEED).members)
+
+    heads = cluster()
+    first_death = None
+    orphan_epoch = None
+    for epoch in range(EPOCHS):
+        if rotate and epoch > 0 and epoch % ROTATE_EVERY == 0:
+            heads = cluster()
+        live = {v for v in range(udg.n) if battery[v] > 0}
+        if first_death is None and len(live) < udg.n:
+            first_death = epoch
+        live_heads = heads & live
+        counts = coverage_counts(udg, live_heads, convention="open")
+        clients = live - live_heads
+        if orphan_epoch is None and any(counts[v] == 0 for v in clients):
+            orphan_epoch = epoch
+        battery[list(live)] -= MODEL.idle_per_epoch
+        for s in sorted(clients):
+            gateways = sorted(w for w in udg.nx.neighbors(s)
+                              if w in live_heads)
+            if not gateways:
+                continue
+            battery[s] -= MODEL.tx_per_bit * READING_BITS
+            battery[gateways[0]] -= MODEL.rx_per_bit * READING_BITS
+        battery = np.maximum(battery, 0.0)
+
+    label = "battery-aware rotation" if rotate else "static clustering"
+    alive = int((battery > 0).sum())
+    fd = first_death if first_death is not None else EPOCHS
+    oe = orphan_epoch if orphan_epoch is not None else EPOCHS
+    print(f"{label:24s} first death @ {fd:3d} | first orphan @ {oe:3d} | "
+          f"alive at end {alive:3d}/{udg.n} | "
+          f"battery spread (std) {battery.std():6.0f}")
+
+
+def main() -> None:
+    print("Battery-aware head rotation (250 sensors, k=2, weighted k-MDS)\n")
+    run(rotate=False)
+    run(rotate=True)
+    print("\nTakeaway: rotation cannot save a client's only possible "
+          "gateway (first deaths are bottleneck-bound), but it spreads "
+          "the head load across the network: a fraction of the deaths "
+          "and a far tighter energy balance over the same mission.")
+
+
+if __name__ == "__main__":
+    main()

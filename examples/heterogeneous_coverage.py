@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: heterogeneous coverage requirements on a general graph.
+
+The LP formulation (PP) supports per-node requirements k_i — exactly what
+a real deployment wants: gateway nodes relaying critical traffic need
+triple-redundant domination, ordinary nodes are fine with one dominator.
+We run the general-graph pipeline (Algorithms 1 + 2) on a power-law
+topology (a typical "some nodes are hubs" ad hoc network), compare against
+the centralized greedy, and verify the heterogeneous guarantee.
+
+Run:  python examples/heterogeneous_coverage.py
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines.greedy import greedy_kmds
+from repro.core.verify import coverage_counts
+
+SEED = 3
+
+
+def main() -> None:
+    g = repro.powerlaw_graph(250, 3, seed=SEED)
+    delta = repro.max_degree(g)
+    print(f"Topology: power-law graph, n={g.number_of_nodes()}, "
+          f"m={g.number_of_edges()}, Delta={delta}\n")
+
+    # 15% of nodes are "critical" (chosen among high-degree relays) and
+    # need 3-fold coverage; everyone else needs 1 — clipped to what each
+    # node's neighborhood can support.
+    rng = np.random.default_rng(SEED)
+    by_degree = sorted(g.nodes, key=lambda v: -g.degree[v])
+    critical = set(by_degree[: int(0.15 * g.number_of_nodes())])
+    want = {v: (3 if v in critical else 1) for v in g.nodes}
+    coverage = {v: min(want[v], g.degree[v] + 1) for v in g.nodes}
+
+    result = repro.solve_kmds_general(g, coverage=coverage, t=4, seed=SEED)
+    assert repro.is_k_dominating_set(g, result.members, coverage,
+                                     convention="closed")
+    counts = coverage_counts(g, result.members, convention="closed")
+    crit_min = min(counts[v] for v in critical)
+
+    print(f"Distributed pipeline (t=4, {result.stats.rounds} rounds):")
+    print(f"  dominators           : {result.size}")
+    print(f"  fractional objective : {result.fractional.objective:.1f}")
+    print(f"  min coverage critical: {crit_min} (required >= 3 where "
+          "feasible)")
+
+    greedy = greedy_kmds(g, coverage, convention="closed")
+    print(f"\nCentralized greedy yardstick: {len(greedy)} dominators")
+    print(f"Distributed/centralized size ratio: "
+          f"{result.size / len(greedy):.2f}")
+
+    print("\nTakeaway: the LP-based pipeline handles per-node requirements "
+          "natively — no need to over-provision the whole network to "
+          "protect the critical 15%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scenario: communication-cost budgeting on the real simulator.
+
+Before flashing firmware, a protocol designer wants the actual
+communication bill: rounds, messages, and — because radios burn energy
+per bit — total bits, per algorithm and network size.  This example runs
+all three algorithms in full message-passing mode and prints the bill,
+demonstrating the paper's O(log n)-bit message guarantee and the
+O(t^2)-vs-O(log log n) round trade-off between the two models.
+
+Run:  python examples/message_cost_analysis.py
+"""
+
+import math
+
+import repro
+from repro.analysis.reporting import format_table
+from repro.core.fractional import fractional_kmds
+from repro.core.rounding import randomized_rounding
+
+SEED = 13
+
+
+def main() -> None:
+    rows = []
+    for n in (50, 100, 200):
+        # General-graph pipeline at matched average degree.
+        g = repro.gnp_graph(n, min(1.0, 8.0 / n), seed=SEED)
+        cov = repro.feasible_coverage(g, 2)
+        frac = fractional_kmds(g, coverage=cov, t=2, mode="message",
+                               compute_duals=False, seed=SEED)
+        rounded = randomized_rounding(g, frac.x, coverage=cov,
+                                      mode="message", seed=SEED)
+        pipeline_rounds = frac.stats.rounds + rounded.stats.rounds
+        pipeline_bits = frac.stats.bits_sent + rounded.stats.bits_sent
+        pipeline_max = max(frac.stats.max_message_bits,
+                           rounded.stats.max_message_bits)
+        rows.append(("Alg 1+2 (t=2)", n, pipeline_rounds,
+                     frac.stats.messages_sent + rounded.stats.messages_sent,
+                     pipeline_bits, pipeline_max,
+                     round(pipeline_max / math.log2(n + 1), 1)))
+
+        # UDG algorithm.
+        udg = repro.random_udg(n, density=10.0, seed=SEED)
+        ds = repro.solve_kmds_udg(udg, k=2, mode="message", seed=SEED)
+        rows.append(("Alg 3 (k=2)", n, ds.stats.rounds,
+                     ds.stats.messages_sent, ds.stats.bits_sent,
+                     ds.stats.max_message_bits,
+                     round(ds.stats.max_message_bits / math.log2(n + 1), 1)))
+
+    print(format_table(
+        ["protocol", "n", "rounds", "messages", "total bits",
+         "max msg bits", "max bits / log2 n"],
+        rows))
+    print("\nTakeaway: message sizes stay a constant multiple of log2(n) "
+          "across sizes (Section 3's model), and Algorithm 3's round count "
+          "barely moves while the network quadruples.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: fault-tolerant clustering of a sensor deployment.
+
+Builds a random unit disk graph (the standard model of a wireless sensor
+network), computes k-fold dominating sets with the paper's Algorithm 3,
+and shows what the redundancy buys when dominators fail.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.analysis.faults import dominator_failure_experiment
+from repro.core.verify import redundancy_profile
+
+SEED = 7
+
+
+def main() -> None:
+    # 1. Deploy 500 sensors uniformly, ~10 nodes per unit-disk area.
+    udg = repro.random_udg(500, density=10.0, seed=SEED)
+    print(f"Deployment: {udg.n} sensors, {udg.number_of_edges()} radio links,"
+          f" max degree {repro.max_degree(udg)}")
+
+    # 2. Cluster with increasing fault-tolerance k.
+    for k in (1, 2, 3):
+        ds = repro.solve_kmds_udg(udg, k=k, seed=SEED)
+        assert repro.is_k_dominating_set(udg, ds.members, k)
+        prof = redundancy_profile(udg, ds.members)
+        print(f"\nk = {k}:")
+        print(f"  cluster heads : {len(ds)} "
+              f"({100 * len(ds) / udg.n:.1f}% of nodes)")
+        print(f"  rounds        : {ds.stats.rounds} "
+              f"(Part I {len(ds.details['theta_per_round'])} doubling rounds, "
+              f"Part II {ds.details['part2_iterations']} adoptions)")
+        print(f"  coverage      : min {prof['min']:.0f}, "
+              f"mean {prof['mean']:.2f} dominators per client node")
+
+        # 3. Kill 30% of the cluster heads at random; who loses coverage?
+        out = dominator_failure_experiment(udg, ds.members, 0.3, trials=30,
+                                           seed=SEED)
+        print(f"  after killing 30% of heads: "
+              f"{100 * out['uncovered_fraction']:.2f}% of clients orphaned, "
+              f"P(nobody orphaned) = {out['all_covered_probability']:.2f}")
+
+    print("\nTakeaway: k=3 costs ~3x the cluster heads of k=1 but keeps "
+          "essentially every sensor attached to a live head.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Experiment harness: ratio measurement, sweeps, fault injection, stats.
+
+These utilities drive the E1-E21 experiments of DESIGN.md and are reused
+by the ``benchmarks/`` modules, the CLI, and the examples.
+"""
+
+from repro.analysis.stats import summarize, mean_confidence_interval
+from repro.analysis.reporting import format_table, format_markdown_table
+from repro.analysis.ratio import best_known_optimum, approximation_ratio
+from repro.analysis.sweep import sweep
+from repro.analysis.faults import (
+    dominator_failure_experiment,
+    coverage_survival_curve,
+)
+
+__all__ = [
+    "summarize",
+    "mean_confidence_interval",
+    "format_table",
+    "format_markdown_table",
+    "best_known_optimum",
+    "approximation_ratio",
+    "sweep",
+    "dominator_failure_experiment",
+    "coverage_survival_curve",
+]

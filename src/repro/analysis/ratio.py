@@ -1,0 +1,68 @@
+"""Approximation-ratio measurement.
+
+Ratios need a denominator.  :func:`best_known_optimum` picks the strongest
+available one: the exact branch-and-bound optimum on small instances, and
+the LP lower bound otherwise.  Against the LP bound, a measured ratio is
+an *upper bound* on the true approximation ratio — the safe direction when
+checking the paper's upper-bound guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.baselines.exact import exact_kmds
+from repro.baselines.lp_opt import lp_optimum
+from repro.errors import BudgetExceededError
+from repro.graphs.properties import as_nx
+from repro.types import CoverageMap
+
+
+@dataclass
+class OptimumEstimate:
+    """The denominator of a measured approximation ratio.
+
+    ``value`` is exact when ``kind == "exact"``, else a valid lower bound
+    on the integral optimum (``kind == "lp"``).
+    """
+
+    value: float
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in ("exact", "lp"):
+            raise ValueError(f"unknown optimum kind {self.kind!r}")
+
+
+def best_known_optimum(graph, k: Union[int, CoverageMap] = 1, *,
+                       convention: str = "open",
+                       exact_node_limit: int = 60,
+                       bnb_budget: int = 3_000) -> OptimumEstimate:
+    """Best available OPT estimate for a k-MDS instance.
+
+    Runs the exact branch-and-bound when the graph has at most
+    ``exact_node_limit`` nodes (falling back to the LP bound if the search
+    budget is exceeded); otherwise solves the LP relaxation.
+    """
+    g = as_nx(graph)
+    if g.number_of_nodes() <= exact_node_limit:
+        try:
+            exact = exact_kmds(g, k, convention=convention,
+                               node_budget=bnb_budget)
+            return OptimumEstimate(value=float(len(exact.members)),
+                                   kind="exact")
+        except BudgetExceededError:
+            pass
+    lp = lp_optimum(g, k, convention=convention)
+    return OptimumEstimate(value=lp.objective, kind="lp")
+
+
+def approximation_ratio(solution_size: float,
+                        optimum: Union[OptimumEstimate, float]) -> float:
+    """``|ALG| / OPT`` with a convention for empty instances: the ratio of
+    an empty solution against a zero optimum is defined as 1."""
+    opt_value = optimum.value if isinstance(optimum, OptimumEstimate) else float(optimum)
+    if opt_value <= 0:
+        return 1.0 if solution_size <= 0 else float("inf")
+    return float(solution_size) / opt_value

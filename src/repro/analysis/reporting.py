@@ -1,0 +1,39 @@
+"""Plain-text and markdown table emitters for experiment reports.
+
+Every benchmark prints its results through these functions so that
+EXPERIMENTS.md rows can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width ASCII table (for terminal output)."""
+    str_rows: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str],
+                          rows: Iterable[Sequence]) -> str:
+    """GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_render_cell(c) for c in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Small statistics helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+import scipy.stats
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / standard deviation / min / max / count of a sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "count": int(arr.size),
+    }
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             confidence: float = 0.95) -> Tuple[float, float, float]:
+    """Sample mean with a two-sided Student-t confidence interval.
+
+    Returns ``(mean, low, high)``.  With fewer than two samples the
+    interval degenerates to the point estimate.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return (0.0, 0.0, 0.0)
+    m = float(arr.mean())
+    if arr.size == 1:
+        return (m, m, m)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    if sem == 0.0:
+        return (m, m, m)
+    half = sem * float(scipy.stats.t.ppf((1 + confidence) / 2.0, arr.size - 1))
+    return (m, m - half, m + half)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (all values must be positive)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

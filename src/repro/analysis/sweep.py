@@ -1,0 +1,66 @@
+"""Generic parameter-sweep driver.
+
+A sweep runs a measurement function over the cartesian product of named
+parameter lists, replicated over seeds, and collects one flat record per
+run — the shape every benchmark table is built from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+def sweep(measure: Callable[..., Mapping[str, Any]],
+          params: Mapping[str, Sequence[Any]],
+          *,
+          seeds: Sequence[int] = (0,),
+          on_record: Callable[[Dict[str, Any]], None] | None = None
+          ) -> List[Dict[str, Any]]:
+    """Run ``measure(seed=..., **point)`` over a parameter grid.
+
+    Parameters
+    ----------
+    measure:
+        Callable returning a mapping of result fields for one run.  It
+        receives every grid coordinate as a keyword argument plus ``seed``.
+    params:
+        Mapping from parameter name to the list of values to sweep.
+    seeds:
+        Replication seeds; each grid point runs once per seed.
+    on_record:
+        Optional callback invoked with each completed record (e.g. for
+        incremental printing).
+
+    Returns
+    -------
+    list of dict
+        One record per (grid point, seed), containing the coordinates, the
+        seed, and every field returned by ``measure``.
+    """
+    names = list(params)
+    records: List[Dict[str, Any]] = []
+    for combo in itertools.product(*(params[name] for name in names)):
+        point = dict(zip(names, combo))
+        for seed in seeds:
+            result = measure(seed=seed, **point)
+            record: Dict[str, Any] = dict(point)
+            record["seed"] = seed
+            record.update(result)
+            records.append(record)
+            if on_record is not None:
+                on_record(record)
+    return records
+
+
+def group_mean(records: Iterable[Mapping[str, Any]],
+               by: Sequence[str],
+               value: str) -> Dict[tuple, float]:
+    """Group records by the ``by`` coordinates and average ``value``."""
+    sums: Dict[tuple, float] = {}
+    counts: Dict[tuple, int] = {}
+    for rec in records:
+        key = tuple(rec[b] for b in by)
+        sums[key] = sums.get(key, 0.0) + float(rec[value])
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}

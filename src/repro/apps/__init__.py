@@ -1,0 +1,49 @@
+"""Application layer: what the paper's introduction builds clustering *for*.
+
+Section 1 motivates dominating-set clustering with three applications:
+"clustering allows the formation of virtual backbones", "clustering is
+an effective way of improving the performance of routing algorithms", and
+"clustering helps realizing spatial multiplexing" / resource efficiency.
+This package implements those applications on top of the k-fold
+dominating sets the core library computes:
+
+- :mod:`repro.apps.backbone` — connect a (k-fold) dominating set into a
+  connected backbone (the CDS construction of Wan-Alzoubi-Frieder [22]
+  style: connectors via 2/3-hop bridging);
+- :mod:`repro.apps.routing` — backbone-constrained routing and its
+  stretch vs shortest paths;
+- :mod:`repro.apps.datacollection` — the sensor-network workload: epochs
+  of readings reported to cluster heads, with an energy model and head
+  failures, quantifying what k-fold redundancy buys end-to-end;
+- :mod:`repro.apps.scheduling` — spatial multiplexing: distance-2 TDMA
+  slot assignment over the cluster heads.
+"""
+
+from repro.apps.backbone import (
+    Backbone,
+    backbone_robustness,
+    build_backbone,
+    is_connected_backbone,
+)
+from repro.apps.scheduling import assign_slots, schedule_report, verify_schedule
+from repro.apps.routing import backbone_route, routing_stretch
+from repro.apps.datacollection import (
+    DataCollectionReport,
+    EnergyModel,
+    run_data_collection,
+)
+
+__all__ = [
+    "Backbone",
+    "backbone_robustness",
+    "build_backbone",
+    "is_connected_backbone",
+    "assign_slots",
+    "schedule_report",
+    "verify_schedule",
+    "backbone_route",
+    "routing_stretch",
+    "DataCollectionReport",
+    "EnergyModel",
+    "run_data_collection",
+]

@@ -1,0 +1,152 @@
+"""The motivating workload: periodic data collection with head failures.
+
+A monitoring network runs in epochs: every sensor reports a reading to a
+cluster head in its radio range; heads aggregate.  Heads die over time
+(battery, Section 1's motivation).  This module simulates the workload
+over a k-fold clustering and accounts for:
+
+- **delivery** — the fraction of readings that reach a live head;
+- **energy** — per-bit transmit/receive costs plus idle drain, using a
+  simple first-order radio model, split by node role.
+
+The punchline the paper's motivation promises (and experiment-level tests
+verify): with k-fold redundancy the delivered fraction degrades slowly as
+heads die, because every sensor holds k independent gateways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.properties import as_nx
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order radio energy model (costs in abstract energy units).
+
+    Attributes
+    ----------
+    tx_per_bit / rx_per_bit:
+        Energy to transmit / receive one bit.
+    idle_per_epoch:
+        Baseline drain per node per epoch (listening, sensing).
+    """
+
+    tx_per_bit: float = 1.0
+    rx_per_bit: float = 0.5
+    idle_per_epoch: float = 2.0
+
+    def __post_init__(self):
+        if min(self.tx_per_bit, self.rx_per_bit, self.idle_per_epoch) < 0:
+            raise GraphError("energy costs must be non-negative")
+
+
+@dataclass
+class DataCollectionReport:
+    """Outcome of a data-collection simulation."""
+
+    epochs: int
+    delivered_per_epoch: List[float] = field(default_factory=list)
+    live_heads_per_epoch: List[int] = field(default_factory=list)
+    energy_by_role: Dict[str, float] = field(default_factory=dict)
+    total_readings: int = 0
+    delivered_readings: int = 0
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Overall fraction of readings that reached a live head."""
+        if self.total_readings == 0:
+            return 1.0
+        return self.delivered_readings / self.total_readings
+
+
+def run_data_collection(graph, heads: Iterable[NodeId], *,
+                        epochs: int = 50,
+                        head_death_rate: float = 0.02,
+                        reading_bits: int = 256,
+                        energy: EnergyModel | None = None,
+                        seed: int | None = None) -> DataCollectionReport:
+    """Simulate epochs of sensor-to-head reporting with head attrition.
+
+    Parameters
+    ----------
+    graph:
+        The network graph (typically a UDG).
+    heads:
+        The cluster-head set (a k-fold dominating set).
+    epochs:
+        Number of reporting rounds.
+    head_death_rate:
+        Per-epoch probability that each live head dies (battery model).
+    reading_bits:
+        Size of one sensor reading.
+    energy:
+        Radio cost model (defaults to :class:`EnergyModel`'s defaults).
+    seed:
+        RNG seed for head deaths.
+
+    Returns
+    -------
+    DataCollectionReport
+        Delivery and energy accounting.  ``energy_by_role`` has keys
+        ``"sensor"`` and ``"head"`` (mean energy per node of that role,
+        measured over the initial role assignment).
+    """
+    if epochs < 0:
+        raise GraphError(f"epochs must be non-negative, got {epochs}")
+    if not 0.0 <= head_death_rate <= 1.0:
+        raise GraphError(
+            f"head_death_rate must be in [0, 1], got {head_death_rate}")
+    if reading_bits < 1:
+        raise GraphError(f"reading_bits must be positive, got {reading_bits}")
+    g = as_nx(graph)
+    head_set = set(heads)
+    unknown = head_set - set(g.nodes)
+    if unknown:
+        raise GraphError(
+            f"heads contain unknown node(s), e.g. {next(iter(unknown))!r}")
+    model = energy if energy is not None else EnergyModel()
+    rng = np.random.default_rng(seed)
+
+    live_heads = set(head_set)
+    sensors = [v for v in g.nodes if v not in head_set]
+    spent: Dict[NodeId, float] = {v: 0.0 for v in g.nodes}
+    report = DataCollectionReport(epochs=epochs)
+
+    for _ in range(epochs):
+        # Battery deaths among live heads.
+        for h in sorted(live_heads, key=repr):
+            if rng.random() < head_death_rate:
+                live_heads.discard(h)
+
+        delivered = 0
+        for v in g.nodes:
+            spent[v] += model.idle_per_epoch
+        for s in sensors:
+            gateways = [w for w in g.neighbors(s) if w in live_heads]
+            report.total_readings += 1
+            if not gateways:
+                continue  # reading lost: no live head in range
+            # Report to the (deterministically chosen) first gateway.
+            target = min(gateways, key=repr)
+            spent[s] += model.tx_per_bit * reading_bits
+            spent[target] += model.rx_per_bit * reading_bits
+            delivered += 1
+            report.delivered_readings += 1
+        report.delivered_per_epoch.append(
+            delivered / len(sensors) if sensors else 1.0)
+        report.live_heads_per_epoch.append(len(live_heads))
+
+    if sensors:
+        report.energy_by_role["sensor"] = float(
+            np.mean([spent[s] for s in sensors]))
+    if head_set:
+        report.energy_by_role["head"] = float(
+            np.mean([spent[h] for h in head_set]))
+    return report

@@ -1,0 +1,98 @@
+"""Backbone-constrained routing and its stretch.
+
+Section 1: "clustering is also an effective way of improving the
+performance of routing algorithms [1, 23]" — intermediate traffic is
+confined to the backbone so ordinary nodes only ever talk to a neighbor
+gateway.  This module routes along the backbone and measures the price:
+the *stretch* of backbone paths over true shortest paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.properties import as_nx
+from repro.types import NodeId
+
+
+def backbone_route(graph, backbone_members: Iterable[NodeId],
+                   source: NodeId, target: NodeId
+                   ) -> Optional[List[NodeId]]:
+    """Shortest route from ``source`` to ``target`` whose interior nodes
+    all lie on the backbone.
+
+    The endpoints may be ordinary nodes; everything in between must be a
+    backbone member (the defining constraint of backbone routing).
+    Returns the node path, or None when no such route exists (e.g. the
+    endpoints are in different components).
+    """
+    g = as_nx(graph)
+    members = set(backbone_members)
+    for endpoint in (source, target):
+        if endpoint not in g:
+            raise GraphError(f"unknown node {endpoint!r}")
+    if source == target:
+        return [source]
+    if g.has_edge(source, target):
+        return [source, target]
+    allowed = members | {source, target}
+    sub = g.subgraph(allowed)
+    try:
+        return nx.shortest_path(sub, source, target)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+
+
+def routing_stretch(graph, backbone_members: Iterable[NodeId], *,
+                    pairs: int = 100,
+                    seed: int | None = None) -> Dict[str, float]:
+    """Measure the stretch of backbone routing over shortest paths.
+
+    Samples random connected node pairs, routes them (a) freely and
+    (b) through the backbone, and reports the hop-count ratio.
+
+    Returns
+    -------
+    dict with keys ``mean_stretch``, ``max_stretch``,
+    ``delivered_fraction`` (pairs the backbone could serve), and
+    ``pairs`` (pairs sampled).
+    """
+    if pairs < 1:
+        raise GraphError(f"pairs must be positive, got {pairs}")
+    g = as_nx(graph)
+    members = set(backbone_members)
+    nodes = list(g.nodes)
+    if len(nodes) < 2:
+        return {"mean_stretch": 1.0, "max_stretch": 1.0,
+                "delivered_fraction": 1.0, "pairs": 0}
+    rng = np.random.default_rng(seed)
+
+    stretches: List[float] = []
+    delivered = 0
+    sampled = 0
+    attempts = 0
+    while sampled < pairs and attempts < 50 * pairs:
+        attempts += 1
+        i, j = rng.choice(len(nodes), size=2, replace=False)
+        s, t = nodes[i], nodes[j]
+        try:
+            direct = nx.shortest_path_length(g, s, t)
+        except nx.NetworkXNoPath:
+            continue  # different components: not a routable pair
+        sampled += 1
+        route = backbone_route(g, members, s, t)
+        if route is None:
+            continue
+        delivered += 1
+        stretches.append((len(route) - 1) / max(1, direct))
+
+    return {
+        "mean_stretch": float(np.mean(stretches)) if stretches else 0.0,
+        "max_stretch": float(np.max(stretches)) if stretches else 0.0,
+        "delivered_fraction": delivered / sampled if sampled else 0.0,
+        "pairs": sampled,
+    }

@@ -1,0 +1,96 @@
+"""Cluster-based spatial multiplexing (TDMA slot assignment).
+
+Section 1's third application claim: "clustering helps realizing spatial
+multiplexing in non-overlapping clusters".  Concretely: cluster heads
+coordinate their clusters' transmissions, and two heads can reuse the
+same time slot iff their clusters cannot interfere — heads within two
+hops of each other (sharing a potential client or within carrier-sense
+range) must use different slots.
+
+This module computes such a schedule by greedy distance-2 coloring of
+the head set and measures the multiplexing gain: the number of slots
+needed is proportional to the local head density (O(k) for the paper's
+clusterings by Lemma 5.6), *not* to the network size — so doubling the
+field doubles the parallelism at constant schedule length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.errors import GraphError
+from repro.graphs.properties import as_nx
+from repro.types import NodeId
+
+
+def _two_hop_conflicts(g, heads: Set[NodeId]) -> Dict[NodeId, Set[NodeId]]:
+    """For each head, the other heads within graph distance <= 2."""
+    conflicts: Dict[NodeId, Set[NodeId]] = {h: set() for h in heads}
+    for h in heads:
+        reach: Set[NodeId] = set(g.neighbors(h))
+        for w in list(reach):
+            reach.update(g.neighbors(w))
+        reach.discard(h)
+        conflicts[h] = reach & heads
+    return conflicts
+
+
+def assign_slots(graph, heads: Iterable[NodeId]) -> Dict[NodeId, int]:
+    """Greedy distance-2 coloring: heads within two hops get distinct
+    slots.
+
+    Heads are colored in descending conflict-degree order (the classic
+    Welsh-Powell heuristic), which keeps the slot count within one of
+    the maximum conflict degree.
+
+    Returns a map head -> slot index (0-based).
+    """
+    g = as_nx(graph)
+    head_set = set(heads)
+    unknown = head_set - set(g.nodes)
+    if unknown:
+        raise GraphError(
+            f"heads contain unknown node(s), e.g. {next(iter(unknown))!r}")
+    conflicts = _two_hop_conflicts(g, head_set)
+    order = sorted(head_set, key=lambda h: (-len(conflicts[h]), repr(h)))
+    slot: Dict[NodeId, int] = {}
+    for h in order:
+        used = {slot[w] for w in conflicts[h] if w in slot}
+        s = 0
+        while s in used:
+            s += 1
+        slot[h] = s
+    return slot
+
+
+def schedule_report(graph, heads: Iterable[NodeId]) -> Dict[str, float]:
+    """Summarize a schedule's multiplexing quality.
+
+    Returns ``slots`` (schedule length), ``heads``, ``reuse`` (mean heads
+    transmitting per slot — the spatial-multiplexing gain), and
+    ``max_conflict_degree`` (the lower-bound driver of the slot count).
+    """
+    g = as_nx(graph)
+    head_set = set(heads)
+    if not head_set:
+        return {"slots": 0, "heads": 0, "reuse": 0.0,
+                "max_conflict_degree": 0}
+    slots = assign_slots(g, head_set)
+    n_slots = max(slots.values()) + 1
+    conflicts = _two_hop_conflicts(g, head_set)
+    return {
+        "slots": n_slots,
+        "heads": len(head_set),
+        "reuse": len(head_set) / n_slots,
+        "max_conflict_degree": max(len(c) for c in conflicts.values()),
+    }
+
+
+def verify_schedule(graph, slots: Dict[NodeId, int]) -> bool:
+    """Check that no two heads within two hops share a slot."""
+    g = as_nx(graph)
+    conflicts = _two_hop_conflicts(g, set(slots))
+    return all(
+        slots[h] != slots[w]
+        for h, cs in conflicts.items() for w in cs
+    )

@@ -1,0 +1,38 @@
+"""Baseline solvers the paper compares against (or that its analysis uses).
+
+- :mod:`repro.baselines.greedy` — the centralized greedy multicover
+  algorithm (Chvatal [5] / Rajagopalan-Vazirani [20]), ``ln Delta + O(1)``
+  approximate: the classical quality yardstick;
+- :mod:`repro.baselines.lp_opt` — exact LP optimum of (PP) via scipy
+  (a lower bound on the integral optimum, used for large instances);
+- :mod:`repro.baselines.exact` — exact k-MDS by branch-and-bound with LP
+  bounds (small instances; the true OPT in approximation ratios);
+- :mod:`repro.baselines.jrs` — a Jia-Rajaraman-Suel-style [9] distributed
+  greedy, the only prior distributed k-MDS algorithm for general graphs;
+- :mod:`repro.baselines.gao` — Part-I-only discrete mobile centers [7]
+  (the k = 1 comparison point in unit disk graphs);
+- :mod:`repro.baselines.heuristics` — degree heuristic / random feasible /
+  all-nodes context baselines.
+"""
+
+from repro.baselines.greedy import greedy_kmds
+from repro.baselines.lp_opt import lp_optimum
+from repro.baselines.exact import exact_kmds
+from repro.baselines.jrs import jrs_kmds
+from repro.baselines.gao import gao_mobile_centers
+from repro.baselines.heuristics import (
+    degree_heuristic_kmds,
+    random_feasible_kmds,
+    all_nodes_kmds,
+)
+
+__all__ = [
+    "greedy_kmds",
+    "lp_optimum",
+    "exact_kmds",
+    "jrs_kmds",
+    "gao_mobile_centers",
+    "degree_heuristic_kmds",
+    "random_feasible_kmds",
+    "all_nodes_kmds",
+]

@@ -1,0 +1,38 @@
+"""Discrete mobile centers (Gao, Guibas, Hershberger, Zhang, Zhu [7]).
+
+The paper's UDG algorithm builds directly on [7]: Part I of Algorithm 3
+*is* the discrete-mobile-centers sparsification ("a first phase — which is
+essentially equivalent to the algorithm proposed in [7]").  This wrapper
+exposes that phase as a standalone baseline: a plain (k = 1) dominating
+set of a unit disk graph, constant-approximate in expectation, in
+``O(log log n)`` rounds.
+
+Used in experiment E6 as the k = 1 comparison point, and in E13 to study
+the per-round decay of active nodes (Lemma 5.2's sqrt-law).
+"""
+
+from __future__ import annotations
+
+from repro.core.udg import part_one_leaders
+from repro.types import DominatingSet
+
+
+def gao_mobile_centers(graph, *, seed: int | None = None) -> DominatingSet:
+    """Compute a plain dominating set of a UDG via discrete mobile centers.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graphs.udg.UnitDiskGraph`.
+    seed:
+        Root seed for the per-node random identifiers.
+
+    Returns
+    -------
+    DominatingSet
+        The leaders of the sparsification; ``details["active_per_round"]``
+        holds the per-round active-node counts.
+    """
+    result = part_one_leaders(graph, seed=seed)
+    result.details["algorithm"] = "gao-dmc"
+    return result

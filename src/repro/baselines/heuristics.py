@@ -1,0 +1,104 @@
+"""Context-setting heuristic baselines.
+
+Most practical clustering schemes the paper cites ([3, 8, 23]) are
+degree-based heuristics without worst-case guarantees.  These three
+baselines bracket the solution-quality spectrum in the experiment tables:
+
+- :func:`degree_heuristic_kmds` — admit nodes in static highest-degree
+  order until the coverage constraint holds (a typical "cluster-head by
+  degree" scheme);
+- :func:`random_feasible_kmds` — admit uniformly random nodes until
+  feasible (the "no algorithm" floor);
+- :func:`all_nodes_kmds` — every node a dominator (the trivial upper
+  bound; also what a k-fold dominating set degenerates to when k exceeds
+  the neighborhood sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Union
+
+import numpy as np
+
+from repro.core.verify import coverage_deficit
+from repro.errors import GraphError, InfeasibleInstanceError
+from repro.graphs.properties import as_nx
+from repro.types import CoverageMap, DominatingSet, NodeId
+
+
+def _check_convention(convention: str) -> None:
+    if convention not in ("open", "closed"):
+        raise GraphError(
+            f"unknown convention {convention!r}; expected 'open' or 'closed'"
+        )
+
+
+def _feasibility_guard(g, req: Dict[NodeId, int], convention: str) -> None:
+    if convention == "closed":
+        for v in g.nodes:
+            if req[v] > g.degree[v] + 1:
+                raise InfeasibleInstanceError(
+                    f"node {v!r} requires {req[v]} covers but |N[v]| = "
+                    f"{g.degree[v] + 1}",
+                    witness=v,
+                )
+
+
+def _admit_until_feasible(g, order: List[NodeId],
+                          k: Union[int, CoverageMap],
+                          convention: str,
+                          algorithm: str) -> DominatingSet:
+    """Admit nodes in the given order, skipping ones that reduce no
+    deficit, until the k-domination constraint holds."""
+    members: Set[NodeId] = set()
+    deficit = coverage_deficit(g, members, k, convention=convention)
+    outstanding = sum(deficit.values())
+    for v in order:
+        if outstanding == 0:
+            break
+        helps = deficit.get(v, 0) > 0 or any(
+            deficit.get(w, 0) > 0 for w in g.neighbors(v))
+        if not helps:
+            continue
+        members.add(v)
+        deficit = coverage_deficit(g, members, k, convention=convention)
+        outstanding = sum(deficit.values())
+    if outstanding > 0:
+        raise InfeasibleInstanceError(
+            "no feasible k-fold dominating set exists for this instance"
+        )
+    return DominatingSet(members=members,
+                         details={"algorithm": algorithm,
+                                  "convention": convention})
+
+
+def degree_heuristic_kmds(graph, k: Union[int, CoverageMap] = 1, *,
+                          convention: str = "open") -> DominatingSet:
+    """Highest-degree-first cluster-head heuristic."""
+    _check_convention(convention)
+    g = as_nx(graph)
+    req = {v: k for v in g.nodes} if isinstance(k, int) else dict(k)
+    _feasibility_guard(g, req, convention)
+    order = sorted(g.nodes, key=lambda v: (-g.degree[v], repr(v)))
+    return _admit_until_feasible(g, order, k, convention, "degree-heuristic")
+
+
+def random_feasible_kmds(graph, k: Union[int, CoverageMap] = 1, *,
+                         convention: str = "open",
+                         seed: int | None = None) -> DominatingSet:
+    """Admit uniformly random nodes until feasible."""
+    _check_convention(convention)
+    g = as_nx(graph)
+    req = {v: k for v in g.nodes} if isinstance(k, int) else dict(k)
+    _feasibility_guard(g, req, convention)
+    rng = np.random.default_rng(seed)
+    order = list(g.nodes)
+    rng.shuffle(order)
+    return _admit_until_feasible(g, order, k, convention, "random-feasible")
+
+
+def all_nodes_kmds(graph) -> DominatingSet:
+    """The trivial solution: every node is a dominator."""
+    g = as_nx(graph)
+    return DominatingSet(members=set(g.nodes),
+                         details={"algorithm": "all-nodes"})

@@ -1,0 +1,272 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``repro demo``
+    End-to-end walkthrough on a random sensor deployment.
+``repro solve-udg --n 500 --k 3``
+    Cluster a random unit-disk deployment with Algorithm 3.
+``repro solve-general --n 200 --p 0.05 --k 2 --t 3``
+    Cluster a random general graph with Algorithms 1+2.
+``repro solve-weighted --n 150 --k 2 --spread 10``
+    Weighted k-MDS (random node costs) with the weighted pipeline.
+``repro visualize --n 250 --k 3 --out ./svg``
+    Render a clustered deployment and the Part I dynamics to SVG.
+``repro experiment e1 [--scale full] [--seed 0]``
+    Run one of the E1-E21 experiments and print its report.
+``repro report --out EXPERIMENTS.md --scale full``
+    Regenerate the whole EXPERIMENTS.md.
+``repro experiment all``
+    Run the whole suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.core.general import solve_kmds_general
+from repro.core.udg import solve_kmds_udg
+from repro.core.verify import is_k_dominating_set, redundancy_profile
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.graphs.generators import gnp_graph
+from repro.graphs.properties import feasible_coverage, graph_summary
+from repro.graphs.udg import random_udg
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Fault-tolerant clustering in ad hoc and sensor "
+                     "networks (Kuhn, Moscibroda, Wattenhofer; ICDCS 2006)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end walkthrough")
+    demo.add_argument("--seed", type=int, default=0)
+
+    udg = sub.add_parser("solve-udg", help="Algorithm 3 on a random UDG")
+    udg.add_argument("--n", type=int, default=500)
+    udg.add_argument("--density", type=float, default=10.0)
+    udg.add_argument("--k", type=int, default=3)
+    udg.add_argument("--mode", choices=("direct", "message"),
+                     default="direct")
+    udg.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("solve-general",
+                         help="Algorithms 1+2 on a random graph")
+    gen.add_argument("--n", type=int, default=200)
+    gen.add_argument("--p", type=float, default=0.05)
+    gen.add_argument("--k", type=int, default=2)
+    gen.add_argument("--t", type=int, default=3)
+    gen.add_argument("--mode", choices=("direct", "message"),
+                     default="direct")
+    gen.add_argument("--seed", type=int, default=0)
+
+    wgt = sub.add_parser("solve-weighted",
+                         help="weighted k-MDS on a random graph")
+    wgt.add_argument("--n", type=int, default=150)
+    wgt.add_argument("--p", type=float, default=0.06)
+    wgt.add_argument("--k", type=int, default=2)
+    wgt.add_argument("--t", type=int, default=3)
+    wgt.add_argument("--spread", type=float, default=10.0,
+                     help="weights drawn from U(1, spread)")
+    wgt.add_argument("--seed", type=int, default=0)
+
+    viz = sub.add_parser("visualize",
+                         help="render a clustered deployment to SVG")
+    viz.add_argument("--n", type=int, default=250)
+    viz.add_argument("--density", type=float, default=10.0)
+    viz.add_argument("--k", type=int, default=3)
+    viz.add_argument("--out", default=".")
+    viz.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("report",
+                         help="regenerate EXPERIMENTS.md from scratch")
+    rep.add_argument("--out", default="EXPERIMENTS.md")
+    rep.add_argument("--scale", choices=("quick", "full"), default="full")
+    rep.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run E1-E21 experiments")
+    exp.add_argument("experiment_id",
+                     help=f"one of {sorted(EXPERIMENTS)} or 'all'")
+    exp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--markdown", action="store_true",
+                     help="emit EXPERIMENTS.md-style markdown")
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    print("Fault-tolerant clustering demo")
+    print("==============================")
+    udg = random_udg(400, density=10.0, seed=args.seed)
+    print(f"Deployment: {udg} — {graph_summary(udg)}")
+    for k in (1, 3):
+        ds = solve_kmds_udg(udg, k=k, seed=args.seed)
+        prof = redundancy_profile(udg, ds.members)
+        print(f"  k={k}: |DS|={len(ds)}  rounds={ds.stats.rounds}  "
+              f"coverage min/mean={prof['min']:.0f}/{prof['mean']:.2f}  "
+              f"valid={is_k_dominating_set(udg, ds.members, k)}")
+    g = gnp_graph(150, 0.06, seed=args.seed)
+    cov = feasible_coverage(g, 2)
+    res = solve_kmds_general(g, coverage=cov, t=3, seed=args.seed)
+    print(f"General graph G(150, 0.06): |DS|={res.size} "
+          f"(fractional {res.fractional.objective:.1f}), "
+          f"rounds={res.stats.rounds}, "
+          f"valid={is_k_dominating_set(g, res.members, cov, convention='closed')}")
+    return 0
+
+
+def _cmd_solve_udg(args) -> int:
+    udg = random_udg(args.n, density=args.density, seed=args.seed)
+    ds = solve_kmds_udg(udg, k=args.k, mode=args.mode, seed=args.seed)
+    valid = is_k_dominating_set(udg, ds.members, args.k)
+    rows = [
+        ("nodes", udg.n),
+        ("edges", udg.number_of_edges()),
+        ("k", args.k),
+        ("dominators", len(ds)),
+        ("rounds", ds.stats.rounds),
+        ("messages", ds.stats.messages_sent),
+        ("max message bits", ds.stats.max_message_bits),
+        ("valid", valid),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0 if valid else 1
+
+
+def _cmd_solve_general(args) -> int:
+    g = gnp_graph(args.n, args.p, seed=args.seed)
+    cov = feasible_coverage(g, args.k)
+    res = solve_kmds_general(g, coverage=cov, t=args.t, mode=args.mode,
+                             seed=args.seed)
+    valid = is_k_dominating_set(g, res.members, cov, convention="closed")
+    rows = [
+        ("nodes", g.number_of_nodes()),
+        ("edges", g.number_of_edges()),
+        ("k", args.k),
+        ("t", args.t),
+        ("fractional objective", round(res.fractional.objective, 2)),
+        ("dominators", res.size),
+        ("rounds", res.stats.rounds),
+        ("messages", res.stats.messages_sent),
+        ("valid", valid),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0 if valid else 1
+
+
+def _cmd_solve_weighted(args) -> int:
+    import numpy as np
+
+    from repro.weighted import (
+        solve_weighted_kmds,
+        weighted_greedy_kmds,
+        weighted_lp_optimum,
+    )
+
+    g = gnp_graph(args.n, args.p, seed=args.seed)
+    cov = feasible_coverage(g, args.k)
+    rng = np.random.default_rng(args.seed)
+    weights = {v: float(rng.uniform(1.0, args.spread)) for v in g.nodes}
+    ds = solve_weighted_kmds(g, weights, coverage=cov, t=args.t,
+                             seed=args.seed)
+    greedy = weighted_greedy_kmds(g, weights, cov, convention="closed")
+    lp = weighted_lp_optimum(g, weights, cov, convention="closed")
+    valid = is_k_dominating_set(g, ds.members, cov, convention="closed")
+    rows = [
+        ("nodes", g.number_of_nodes()),
+        ("k / t", f"{args.k} / {args.t}"),
+        ("pipeline cost", round(ds.details["cost"], 2)),
+        ("fractional cost", round(ds.details["fractional_cost"], 2)),
+        ("greedy cost", round(greedy.details["cost"], 2)),
+        ("LP lower bound", round(lp.objective, 2)),
+        ("valid", valid),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0 if valid else 1
+
+
+def _cmd_visualize(args) -> int:
+    import pathlib
+
+    from repro.core.udg import part_one_leaders
+    from repro.viz import render_deployment_svg, render_series_svg
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    udg = random_udg(args.n, density=args.density, seed=args.seed)
+    ds = solve_kmds_udg(udg, k=args.k, seed=args.seed)
+    path = out_dir / f"deployment_k{args.k}.svg"
+    path.write_text(render_deployment_svg(
+        udg, dominators=ds.members, show_coverage=args.k > 1,
+        title=f"{udg.n} sensors, k={args.k}: {len(ds)} cluster heads"))
+    print(f"wrote {path} ({len(ds)} dominators)")
+    p1 = part_one_leaders(udg, seed=args.seed)
+    decay_path = out_dir / "active_decay.svg"
+    decay_path.write_text(render_series_svg(
+        {f"n={args.n}": p1.details["active_per_round"]},
+        x_label="Part I round", y_label="active nodes",
+        title="Active-node decay"))
+    print(f"wrote {decay_path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import pathlib
+
+    sections = []
+    failures = []
+    for eid in sorted(EXPERIMENTS, key=lambda e: int(e[1:])):
+        print(f"running {eid} at scale {args.scale}...", flush=True)
+        report = run_experiment(eid, scale=args.scale, seed=args.seed)
+        sections.append(report.render_markdown())
+        if not report.passed:
+            failures.append((eid, report.failed_checks()))
+    header = (
+        "# EXPERIMENTS — paper claims vs measured\n\n"
+        f"Generated by `repro report --scale {args.scale} "
+        f"--seed {args.seed}`.  Each section validates one paper claim; "
+        "checkmarks are machine-verified assertions.\n\n---\n\n"
+    )
+    pathlib.Path(args.out).write_text(header + "\n\n".join(sections) + "\n")
+    print(f"wrote {args.out}")
+    for eid, checks in failures:
+        print(f"!! {eid} failed: {checks}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_experiment(args) -> int:
+    ids = sorted(EXPERIMENTS) if args.experiment_id == "all" \
+        else [args.experiment_id]
+    failures = 0
+    for eid in ids:
+        report = run_experiment(eid, scale=args.scale, seed=args.seed)
+        print(report.render_markdown() if args.markdown else report.render())
+        print()
+        if not report.passed:
+            failures += 1
+            print(f"!! {eid} failed checks: {report.failed_checks()}",
+                  file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "solve-udg": _cmd_solve_udg,
+        "solve-general": _cmd_solve_general,
+        "solve-weighted": _cmd_solve_weighted,
+        "visualize": _cmd_visualize,
+        "report": _cmd_report,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

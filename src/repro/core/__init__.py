@@ -1,0 +1,35 @@
+"""The paper's primary contribution: distributed k-fold dominating sets.
+
+- :mod:`repro.core.lp` — the LP pair (PP)/(DP) of Section 4.1;
+- :mod:`repro.core.fractional` — Algorithm 1 (distributed LP approximation);
+- :mod:`repro.core.rounding` — Algorithm 2 (distributed randomized rounding);
+- :mod:`repro.core.general` — the end-to-end general-graph pipeline;
+- :mod:`repro.core.udg` — Algorithm 3 (unit disk graphs, O(log log n) time);
+- :mod:`repro.core.verify` — k-fold domination verification oracle.
+"""
+
+from repro.core.lp import CoveringLP
+from repro.core.fractional import fractional_kmds, theorem_45_ratio_bound
+from repro.core.rounding import randomized_rounding
+from repro.core.general import solve_kmds_general
+from repro.core.udg import solve_kmds_udg, part_one_leaders
+from repro.core.verify import (
+    is_k_dominating_set,
+    coverage_counts,
+    coverage_deficit,
+    uncovered_nodes,
+)
+
+__all__ = [
+    "CoveringLP",
+    "fractional_kmds",
+    "theorem_45_ratio_bound",
+    "randomized_rounding",
+    "solve_kmds_general",
+    "solve_kmds_udg",
+    "part_one_leaders",
+    "is_k_dominating_set",
+    "coverage_counts",
+    "coverage_deficit",
+    "uncovered_nodes",
+]

@@ -1,0 +1,157 @@
+"""The covering LP pair (PP)/(DP) of Section 4.1.
+
+The primal ``(PP)`` is the LP relaxation of k-MDS under the
+closed-neighborhood convention::
+
+    min   sum_i x_i
+    s.t.  sum_{j in N_i} x_j >= k_i     for every node i
+          0 <= x_i <= 1
+
+and its dual ``(DP)``::
+
+    max   sum_i (k_i * y_i - z_i)
+    s.t.  sum_{j in N_i} y_j - z_i <= 1  for every node i
+          y_i, z_i >= 0
+
+:class:`CoveringLP` materializes the instance (closed neighborhoods and
+requirements) and provides feasibility/objective oracles used by
+Algorithm 1's tests, by the LP-optimum baseline, and by the experiment
+harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.properties import as_nx, max_degree
+from repro.types import CoverageMap, NodeId
+
+
+class CoveringLP:
+    """A concrete (PP)/(DP) instance over a graph.
+
+    Parameters
+    ----------
+    graph:
+        ``networkx.Graph`` (or wrapper with ``.nx``).
+    coverage:
+        Per-node requirements ``k_i``.  Use
+        :func:`repro.graphs.properties.feasible_coverage` or
+        :func:`repro.types.uniform_coverage` to build one.
+    """
+
+    def __init__(self, graph, coverage: CoverageMap):
+        self.graph: nx.Graph = as_nx(graph)
+        self.nodes: List[NodeId] = list(self.graph.nodes)
+        self.index: Dict[NodeId, int] = {v: i for i, v in enumerate(self.nodes)}
+        missing = [v for v in self.nodes if v not in coverage]
+        if missing:
+            raise GraphError(
+                f"coverage map missing {len(missing)} node(s), e.g. {missing[0]!r}"
+            )
+        self.coverage: Dict[NodeId, int] = {v: int(coverage[v]) for v in self.nodes}
+        if any(k < 0 for k in self.coverage.values()):
+            raise GraphError("coverage requirements must be non-negative")
+        #: Closed neighborhoods as index lists (the paper's N_i, with i).
+        self.closed_nbrs: List[np.ndarray] = []
+        for v in self.nodes:
+            idx = [self.index[v]] + [self.index[w] for w in self.graph.neighbors(v)]
+            self.closed_nbrs.append(np.asarray(sorted(idx), dtype=np.int64))
+        self.n = len(self.nodes)
+        self.delta = max_degree(self.graph)
+
+    # ------------------------------------------------------------------
+    def k_vector(self) -> np.ndarray:
+        """Requirements as an array aligned with ``self.nodes``."""
+        return np.asarray([self.coverage[v] for v in self.nodes], dtype=float)
+
+    def x_vector(self, x: Mapping[NodeId, float]) -> np.ndarray:
+        """Convert a node-keyed solution to an index-aligned array."""
+        return np.asarray([x[v] for v in self.nodes], dtype=float)
+
+    def neighborhood_sums(self, values: np.ndarray) -> np.ndarray:
+        """For each node i, ``sum_{j in N_i} values[j]``."""
+        return np.asarray(
+            [values[nbrs].sum() for nbrs in self.closed_nbrs], dtype=float
+        )
+
+    def is_feasible(self) -> bool:
+        """Whether (PP) has any feasible point: ``k_i <= |N_i|`` for all i
+        (then x = 1 is feasible)."""
+        return all(
+            self.coverage[v] <= len(self.closed_nbrs[self.index[v]])
+            for v in self.nodes
+        )
+
+    def infeasible_witness(self) -> Optional[NodeId]:
+        """A node whose requirement exceeds its closed neighborhood, if any."""
+        for v in self.nodes:
+            if self.coverage[v] > len(self.closed_nbrs[self.index[v]]):
+                return v
+        return None
+
+    # ------------------------------------------------------------------
+    # Primal oracles
+    # ------------------------------------------------------------------
+    def primal_objective(self, x: Mapping[NodeId, float]) -> float:
+        """``sum_i x_i``."""
+        return float(sum(x[v] for v in self.nodes))
+
+    def primal_violations(self, x: Mapping[NodeId, float],
+                          tol: float = 1e-9) -> List[Tuple[NodeId, float]]:
+        """Constraint violations of (PP): nodes whose neighborhood x-sum
+        falls short of ``k_i`` (beyond ``tol``), with their shortfall.
+        Also flags box violations ``x_i < 0`` or ``x_i > 1``."""
+        xv = self.x_vector(x)
+        out: List[Tuple[NodeId, float]] = []
+        sums = self.neighborhood_sums(xv)
+        for i, v in enumerate(self.nodes):
+            short = self.coverage[v] - sums[i]
+            if short > tol:
+                out.append((v, float(short)))
+            elif xv[i] < -tol or xv[i] > 1 + tol:
+                out.append((v, float(max(-xv[i], xv[i] - 1))))
+        return out
+
+    def primal_feasible(self, x: Mapping[NodeId, float], tol: float = 1e-9) -> bool:
+        """Whether ``x`` satisfies every (PP) constraint within ``tol``."""
+        return not self.primal_violations(x, tol=tol)
+
+    # ------------------------------------------------------------------
+    # Dual oracles
+    # ------------------------------------------------------------------
+    def dual_objective(self, y: Mapping[NodeId, float],
+                       z: Mapping[NodeId, float]) -> float:
+        """``sum_i (k_i * y_i - z_i)``."""
+        return float(
+            sum(self.coverage[v] * y[v] - z[v] for v in self.nodes)
+        )
+
+    def dual_slacks(self, y: Mapping[NodeId, float],
+                    z: Mapping[NodeId, float]) -> np.ndarray:
+        """Left-hand sides ``sum_{j in N_i} y_j - z_i`` of every (DP)
+        constraint (feasible iff all entries <= 1)."""
+        yv = self.x_vector(y)
+        zv = self.x_vector(z)
+        return self.neighborhood_sums(yv) - zv
+
+    def dual_infeasibility_factor(self, y: Mapping[NodeId, float],
+                                  z: Mapping[NodeId, float]) -> float:
+        """Largest (DP) left-hand side — the factor by which ``(y, z)``
+        violates (DP).  Lemma 4.4 bounds this by ``t (Delta+1)^{1/t}`` for
+        Algorithm 1's dual; dividing the duals by it restores feasibility."""
+        slacks = self.dual_slacks(y, z)
+        return float(slacks.max()) if len(slacks) else 0.0
+
+    def dual_feasible(self, y: Mapping[NodeId, float],
+                      z: Mapping[NodeId, float], tol: float = 1e-9) -> bool:
+        """Whether ``(y, z)`` is (DP)-feasible within ``tol``."""
+        yv = self.x_vector(y)
+        zv = self.x_vector(z)
+        if (yv < -tol).any() or (zv < -tol).any():
+            return False
+        return bool((self.dual_slacks(y, z) <= 1 + tol).all())

@@ -1,0 +1,275 @@
+"""Algorithm 2 — Distributed Randomized Rounding (Section 4.2).
+
+Converts a fractional (PP) solution into an integral k-fold dominating set:
+
+1. every node joins with probability ``p_i = min(1, x_i * ln(Delta+1))``;
+2. every node still deficient sends REQ messages to enough non-member
+   closed neighbors, which then join unconditionally.
+
+Theorem 4.6: starting from a ρ-approximate fractional solution the expected
+integral size is ``ρ ln(Delta+1) + O(1)`` times the LP optimum; the
+protocol takes a constant number of rounds (two message exchanges).
+
+The paper leaves the choice of REQ targets open ("send REQ to ... neighbors
+v_l with x'_l = 0"); three policies are provided (an E3 ablation):
+
+- ``"random"`` (default) — uniform among non-member closed neighbors;
+- ``"highest-x"`` — prefer neighbors with the largest fractional value
+  (they were "almost chosen" and tend to be useful elsewhere too);
+- ``"self-first"`` — a deficient node recruits itself first, then randoms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Mapping
+
+import numpy as np
+
+from repro.core.lp import CoveringLP
+from repro.errors import GraphError
+from repro.graphs.properties import as_nx
+from repro.simulation.messages import Message
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.node import NodeProcess
+from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.runner import run_protocol
+from repro.types import CoverageMap, DominatingSet, NodeId, RunStats
+
+REQUEST_POLICIES = ("random", "highest-x", "self-first")
+
+
+def _stable_sorted(nodes) -> List[NodeId]:
+    """Sort node ids, falling back to repr for mixed types (matches the
+    simulator's neighbor ordering)."""
+    nodes = list(nodes)
+    try:
+        return sorted(nodes)
+    except TypeError:
+        return sorted(nodes, key=repr)
+
+
+def rounding_probability(x_i: float, delta: int) -> float:
+    """Line 1 of Algorithm 2: ``p_i = min(1, x_i * ln(Delta+1))``."""
+    return min(1.0, x_i * math.log(delta + 1.0)) if delta > 0 else min(1.0, x_i)
+
+
+def _choose_requests(rng: np.random.Generator, me: NodeId,
+                     candidates: List[NodeId], x: Mapping[NodeId, float],
+                     need: int, policy: str) -> List[NodeId]:
+    """Pick ``need`` REQ targets from non-member closed neighbors."""
+    if need >= len(candidates):
+        return list(candidates)
+    if policy == "random":
+        picks = rng.choice(len(candidates), size=need, replace=False)
+        return [candidates[i] for i in sorted(picks.tolist())]
+    if policy == "highest-x":
+        ranked = sorted(candidates, key=lambda v: (-x.get(v, 0.0), repr(v)))
+        return ranked[:need]
+    if policy == "self-first":
+        picked: List[NodeId] = []
+        rest = list(candidates)
+        if me in rest:
+            picked.append(me)
+            rest.remove(me)
+        remaining = need - len(picked)
+        if remaining > 0:
+            idx = rng.choice(len(rest), size=remaining, replace=False)
+            picked.extend(rest[i] for i in sorted(idx.tolist()))
+        return picked
+    raise GraphError(
+        f"unknown request policy {policy!r}; expected one of {REQUEST_POLICIES}"
+    )
+
+
+# ======================================================================
+# Direct mode
+# ======================================================================
+
+def _rounding_direct(lp: CoveringLP, x: Mapping[NodeId, float],
+                     policy: str, seed: int | None) -> DominatingSet:
+    rngs = spawn_node_rngs(lp.nodes, seed)
+    delta = lp.delta
+
+    # Line 1-2: independent randomized rounding.
+    members = {
+        v for v in lp.nodes
+        if rngs[v].random() < rounding_probability(x[v], delta)
+    }
+    sampled = len(members)
+
+    # Lines 4-7: deficient nodes recruit non-members from N_i.  Neighbor
+    # order matches the simulator's stable order so that direct and message
+    # modes consume node randomness identically.
+    requested: set = set()
+    req_messages = 0  # actual REQ sends (self-picks are local, not sent)
+    for v in lp.nodes:
+        closed = [v] + _stable_sorted(lp.graph.neighbors(v))
+        have = sum(1 for w in closed if w in members)
+        need = lp.coverage[v] - have
+        if need <= 0:
+            continue
+        candidates = [w for w in closed if w not in members]
+        for w in _choose_requests(rngs[v], v, candidates, x, need, policy):
+            requested.add(w)
+            if w != v:
+                req_messages += 1
+    members |= requested
+
+    stats = _analytic_rounding_stats(lp, req_messages)
+    return DominatingSet(
+        members=members,
+        stats=stats,
+        details={"sampled": sampled, "requested": len(requested),
+                 "policy": policy},
+    )
+
+
+def _analytic_rounding_stats(lp: CoveringLP, n_requests: int) -> RunStats:
+    from repro.simulation.messages import MessageSizeModel
+
+    model = MessageSizeModel(max(1, lp.n))
+    m2 = 2 * lp.graph.number_of_edges()
+    memb_bits = model.message_bits(MembershipMsg(member=False))
+    req_bits = model.message_bits(ReqMsg())
+    stats = RunStats()
+    stats.rounds = 2
+    stats.messages_sent = m2 + n_requests
+    stats.bits_sent = m2 * memb_bits + n_requests * req_bits
+    stats.max_message_bits = max(memb_bits, req_bits) if (m2 or n_requests) else 0
+    return stats
+
+
+# ======================================================================
+# Message-passing mode
+# ======================================================================
+
+@dataclass(frozen=True)
+class MembershipMsg(Message):
+    """Line 3: announce the rounding outcome ``x'_i`` to all neighbors."""
+    member: bool = False
+    SCHEMA = (("member", "flag"),)
+
+
+@dataclass(frozen=True)
+class ReqMsg(Message):
+    """Line 5: REQ — ask the receiver to join the dominating set."""
+    SCHEMA = ()
+
+
+class RoundingNode(NodeProcess):
+    """Per-node process implementing Algorithm 2 verbatim."""
+
+    def __init__(self, node_id: NodeId, k_i: int, delta: int,
+                 x: Mapping[NodeId, float], policy: str):
+        super().__init__(node_id)
+        self.k_i = int(k_i)
+        self.delta = delta
+        self.x = x
+        self.policy = policy
+        self.member = False
+
+    def run(self, ctx) -> Iterator[None]:
+        me = self.node_id
+        # Lines 1-2.
+        self.member = ctx.rng.random() < rounding_probability(
+            self.x[me], self.delta)
+        # Line 3.
+        ctx.broadcast(MembershipMsg(member=self.member))
+        inbox = yield
+
+        member_of = {src: msg.member for src, msg in inbox}
+        member_of[me] = self.member
+        closed = [me] + list(ctx.neighbors)
+        have = sum(1 for w in closed if member_of.get(w, False))
+        need = self.k_i - have
+        # Lines 4-6.
+        if need > 0:
+            candidates = [w for w in closed if not member_of.get(w, False)]
+            for w in _choose_requests(ctx.rng, me, candidates, self.x,
+                                      need, self.policy):
+                if w == me:
+                    self.member = True
+                else:
+                    ctx.send(w, ReqMsg())
+        inbox = yield
+        # Line 7.
+        if any(isinstance(msg, ReqMsg) for _, msg in inbox):
+            self.member = True
+
+
+def _rounding_message(lp: CoveringLP, x: Mapping[NodeId, float],
+                      policy: str, seed: int | None) -> DominatingSet:
+    processes = [
+        RoundingNode(v, lp.coverage[v], lp.delta, x, policy)
+        for v in lp.nodes
+    ]
+    net = SynchronousNetwork(lp.graph, processes, seed=seed)
+    stats = run_protocol(net, max_rounds=8)
+    members = {p.node_id for p in processes if p.member}
+    return DominatingSet(members=members, stats=stats, details={"policy": policy})
+
+
+# ======================================================================
+# Public entry point
+# ======================================================================
+
+def randomized_rounding(graph, x: Mapping[NodeId, float],
+                        k: int | None = 1, *,
+                        coverage: CoverageMap | None = None,
+                        policy: str = "random",
+                        mode: str = "direct",
+                        seed: int | None = None) -> DominatingSet:
+    """Run Algorithm 2: round a fractional (PP) solution to an integral
+    k-fold dominating set (closed-neighborhood convention).
+
+    Parameters
+    ----------
+    graph:
+        The network graph.
+    x:
+        Fractional solution (typically from
+        :func:`repro.core.fractional.fractional_kmds`).
+    k / coverage:
+        Uniform or per-node requirements, as in the fractional solver.
+    policy:
+        REQ target selection policy (see module docstring).
+    mode:
+        ``"direct"`` or ``"message"``.
+    seed:
+        Root seed for all node randomness.  Both modes consume per-node
+        streams identically, so the same seed yields the same set.
+    """
+    if policy not in REQUEST_POLICIES:
+        raise GraphError(
+            f"unknown request policy {policy!r}; expected one of {REQUEST_POLICIES}"
+        )
+    g = as_nx(graph)
+    if coverage is None:
+        if k is None:
+            raise GraphError("give either k (uniform) or a coverage map")
+        coverage = {v: k for v in g.nodes}
+    lp = CoveringLP(g, coverage)
+    missing = [v for v in lp.nodes if v not in x]
+    if missing:
+        raise GraphError(
+            f"fractional solution missing {len(missing)} node(s), "
+            f"e.g. {missing[0]!r}"
+        )
+    witness = lp.infeasible_witness()
+    if witness is not None:
+        from repro.errors import InfeasibleInstanceError
+        raise InfeasibleInstanceError(
+            f"no k-fold dominating set exists: node {witness!r} requires "
+            f"{lp.coverage[witness]} covers but |N_i| = "
+            f"{lp.graph.degree[witness] + 1}",
+            witness=witness,
+        )
+    if lp.n == 0:
+        return DominatingSet(members=set())
+    if mode == "direct":
+        return _rounding_direct(lp, x, policy, seed)
+    if mode == "message":
+        return _rounding_message(lp, x, policy, seed)
+    raise GraphError(f"unknown mode {mode!r}; expected 'direct' or 'message'")

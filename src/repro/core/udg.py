@@ -1,0 +1,432 @@
+"""Algorithm 3 — fault-tolerant clustering in unit disk graphs (Section 5).
+
+Part I (the Gao-et-al.-style sparsification): ``log_xi(log n)`` rounds
+(``xi = 3/2``) of local leader election.  Every active node draws a fresh
+random identifier from ``[1, n^4]`` each round, elects the highest
+identifier among active nodes within the current sensing radius ``theta``
+(possibly itself), and stays active iff somebody elected it.  ``theta``
+doubles every round, ending at 1/2, so the surviving "leaders" form a
+plain dominating set of expected O(1) density per unit disk (Lemma 5.5).
+
+Part II: leaders repeatedly *adopt* deficient neighbors — non-leader nodes
+with fewer than ``k`` leaders in their closed neighborhood — promoting up
+to ``k`` of them per iteration, until nobody is deficient.  The result is a
+k-fold dominating set (Section 1's open-neighborhood convention: members of
+the set are exempt) of expected size O(OPT) (Theorem 5.7).
+
+Interpretive notes (documented in DESIGN.md):
+
+- The paper's analysis uses ``theta_i = 2^{i-1} / (log n)^{1/log xi}``
+  (which makes the final radius exactly 1/2); Algorithm 3's line 3 carries
+  an extra factor 1/2 that would end at radius 1/4.  We follow the
+  analysis.
+- Line 18's ``U(v) := {u in N_v | c(v) < k}`` is read as
+  ``{u in N_v | c(u) < k}`` with already-promoted nodes excluded, the only
+  reading consistent with the proofs of Lemmas 5.6 / Theorem 5.7 (selected
+  nodes must be deficient, and promotion of a deficient node must make
+  progress).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set
+
+import numpy as np
+
+from repro.errors import GeometryError, GraphError
+from repro.graphs.udg import UnitDiskGraph
+from repro.simulation.messages import Message
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.node import NodeProcess
+from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.runner import run_protocol
+from repro.types import DominatingSet, NodeId, RunStats
+
+#: The paper's base xi = 3/2 for the doubling schedule.
+XI = 1.5
+
+SELECTION_POLICIES = ("random", "by-id")
+
+
+def part_one_round_count(n: int) -> int:
+    """Number of Part I rounds, ``ceil(log_xi(log2 n))`` (at least 1)."""
+    if n <= 2:
+        return 1
+    return max(1, math.ceil(math.log(math.log2(n), XI)))
+
+
+def theta_schedule(n: int) -> List[float]:
+    """The sensing radii for Part I's ``R = part_one_round_count(n)``
+    rounds: a doubling schedule anchored to end at exactly 1/2,
+    ``theta_i = 0.5 * 2^{i-R}``.
+
+    The paper's analysis uses ``theta_i = 2^{i-1} / (log2 n)^{1/log2 xi}``
+    with a *real-valued* round count ``log_xi log n``, which ends at
+    exactly 1/2.  With the integer ceiling the raw formula can end
+    anywhere in [1/2, 1), which breaks the coverage argument of Lemma 5.1
+    (a passive node is covered within ``2 * theta_R``, which must not
+    exceed the communication radius 1).  Anchoring the doubling at
+    ``theta_R = 1/2`` preserves both the doubling structure the induction
+    needs and the final radius the coverage proof needs; ``theta_1``
+    matches the paper's value up to the rounding of R.
+    """
+    rounds = part_one_round_count(n)
+    return [0.5 * 2.0 ** (i - rounds) for i in range(1, rounds + 1)]
+
+
+def _id_space(n: int) -> int:
+    """Size of the random-identifier space, the paper's ``n^4``."""
+    return max(2, n) ** 4
+
+
+#: numpy's integer sampler is bounded by int64; cap the *sampled* space
+#: there (collisions stay astronomically unlikely — the cap exceeds n^2
+#: for any n below two billion) while message-size accounting still
+#: charges the paper's full n^4 space.
+_MAX_SAMPLED_ID = 2 ** 62
+
+
+def _draw_id(rng, space: int) -> int:
+    """Draw one random identifier from [1, space] (int64-safe)."""
+    return int(rng.integers(1, min(space, _MAX_SAMPLED_ID) + 1))
+
+
+def _pick(rng: np.random.Generator, candidates: List[NodeId], need: int,
+          policy: str) -> List[NodeId]:
+    """Select ``need`` adoption targets from ``candidates`` (sorted)."""
+    if need >= len(candidates):
+        return list(candidates)
+    if policy == "random":
+        idx = rng.choice(len(candidates), size=need, replace=False)
+        return [candidates[i] for i in sorted(idx.tolist())]
+    if policy == "by-id":
+        return candidates[:need]
+    raise GraphError(
+        f"unknown selection policy {policy!r}; expected one of {SELECTION_POLICIES}"
+    )
+
+
+def _as_udg(graph) -> UnitDiskGraph:
+    if isinstance(graph, UnitDiskGraph):
+        return graph
+    raise GeometryError(
+        "the UDG algorithm requires a UnitDiskGraph (node coordinates and "
+        "distance sensing); build one with repro.graphs.random_udg or "
+        "udg_from_points"
+    )
+
+
+# ======================================================================
+# Direct mode
+# ======================================================================
+
+def _part_one_direct(udg: UnitDiskGraph, rngs, details: dict) -> Set[int]:
+    n = udg.n
+    active: Set[int] = set(range(n))
+    schedule = theta_schedule(n)
+    id_hi = _id_space(n)
+    details["theta_per_round"] = list(schedule)
+    details["active_per_round"] = [n]
+
+    for theta in schedule:
+        ids = {v: _draw_id(rngs[v], id_hi) for v in sorted(active)}
+        elected: Set[int] = set()
+        for v in active:
+            best = v
+            best_key = (ids[v], v)
+            for w in udg.neighbors_within(v, theta):
+                if w in active:
+                    key = (ids[w], w)
+                    if key > best_key:
+                        best_key = key
+                        best = w
+            elected.add(best)
+        active &= elected
+        details["active_per_round"].append(len(active))
+    return active
+
+
+def _part_two_direct(udg: UnitDiskGraph, leaders: Set[int], k: int,
+                     rngs, policy: str, details: dict) -> Set[int]:
+    n = udg.n
+    adj = [sorted(udg.nx.neighbors(v)) for v in range(n)]
+    coverage = [0] * n
+    leader_flag = [False] * n
+    for v in leaders:
+        leader_flag[v] = True
+    for v in leaders:
+        coverage[v] += 1
+        for w in adj[v]:
+            coverage[w] += 1
+
+    def deficient(u: int) -> bool:
+        return not leader_flag[u] and coverage[u] < k
+
+    iterations = 0
+    adopted_total = 0
+    while True:
+        any_deficient = any(deficient(u) for u in range(n))
+        if not any_deficient:
+            break
+        iterations += 1
+        picks: Set[int] = set()
+        for v in sorted(lv for lv in range(n) if leader_flag[lv]):
+            candidates = [u for u in [v] + adj[v] if deficient(u)]
+            if not candidates:
+                continue
+            picks.update(_pick(rngs[v], candidates, k, policy))
+        if not picks:
+            # No deficient node has a leader neighbor -- impossible after
+            # Part I (Lemma 5.1) on a true UDG, but guard against livelock
+            # on degenerate inputs by promoting the deficient nodes
+            # themselves.
+            picks = {u for u in range(n) if deficient(u)}
+        for u in picks:
+            if not leader_flag[u]:
+                leader_flag[u] = True
+                adopted_total += 1
+                coverage[u] += 1
+                for w in adj[u]:
+                    coverage[w] += 1
+
+    details["part2_iterations"] = iterations
+    details["part2_adopted"] = adopted_total
+    return {v for v in range(n) if leader_flag[v]}
+
+
+def _solve_udg_direct(udg: UnitDiskGraph, k: int, policy: str,
+                      seed: int | None) -> DominatingSet:
+    n = udg.n
+    details: dict = {"mode": "direct", "k": k}
+    if n == 0:
+        return DominatingSet(members=set(), details=details)
+    rngs = spawn_node_rngs(range(n), seed)
+
+    leaders = _part_one_direct(udg, rngs, details)
+    details["part1_leaders"] = len(leaders)
+    members = _part_two_direct(udg, set(leaders), k, rngs, policy, details)
+
+    stats = RunStats()
+    stats.rounds = 2 * len(details["theta_per_round"]) \
+        + 2 + 3 * details["part2_iterations"]
+    return DominatingSet(members=members, stats=stats, details=details)
+
+
+# ======================================================================
+# Message-passing mode
+# ======================================================================
+
+@dataclass(frozen=True)
+class ElectionMsg(Message):
+    """Part I line 6: ``send (a(v), ID_i(v))`` within the sensing radius."""
+    ident: int = 0
+    SCHEMA = (("ident", "id"),)
+
+
+@dataclass(frozen=True)
+class ElectMsg(Message):
+    """Part I line 9: the election token M."""
+    SCHEMA = ()
+
+
+@dataclass(frozen=True)
+class LeaderStatusMsg(Message):
+    """Part II: broadcast of the sender's leader flag."""
+    leader: bool = False
+    SCHEMA = (("leader", "flag"),)
+
+
+@dataclass(frozen=True)
+class DeficitMsg(Message):
+    """Part II: broadcast of the sender's deficiency flag."""
+    deficient: bool = False
+    SCHEMA = (("deficient", "flag"),)
+
+
+@dataclass(frozen=True)
+class AdoptMsg(Message):
+    """Part II line 21: ``inform u_i to set leader(u_i) := true``."""
+    SCHEMA = ()
+
+
+class UDGNode(NodeProcess):
+    """Per-node process implementing Algorithm 3 (Parts I and II)."""
+
+    def __init__(self, node_id: int, k: int, n: int, policy: str,
+                 part2_sync_iterations: int):
+        super().__init__(node_id)
+        self.k = k
+        self.n = n
+        self.policy = policy
+        self.part2_sync_iterations = part2_sync_iterations
+        self.leader = False
+
+    def run(self, ctx) -> Iterator[None]:
+        me = self.node_id
+        schedule = theta_schedule(self.n)
+        id_hi = _id_space(self.n)
+        active = True
+
+        # ----- Part I: doubling-radius leader election ------------------
+        # Every round costs exactly two yields for every node (active or
+        # passive) so the whole network stays in lockstep.
+        for theta in schedule:
+            if active:
+                my_id = _draw_id(ctx.rng, id_hi)
+                ctx.send_within(theta, ElectionMsg(ident=my_id))
+            inbox = yield
+            elected_self = False
+            if active:
+                best, best_key = me, (my_id, me)
+                for src, msg in inbox:
+                    if isinstance(msg, ElectionMsg):
+                        key = (msg.ident, src)
+                        if key > best_key:
+                            best_key = key
+                            best = src
+                elected_self = best == me
+                if not elected_self:
+                    ctx.send(best, ElectMsg())
+            inbox = yield
+            if active:
+                got_token = any(isinstance(m, ElectMsg) for _, m in inbox)
+                if not (got_token or elected_self):
+                    active = False
+        self.leader = active
+
+        # ----- Part II: leaders adopt deficient neighbors ----------------
+        leader_of: Dict[int, bool] = {}
+        deficient_of: Dict[int, bool] = {}
+
+        ctx.broadcast(LeaderStatusMsg(leader=self.leader))
+        inbox = yield
+        for src, msg in inbox:
+            if isinstance(msg, LeaderStatusMsg):
+                leader_of[src] = msg.leader
+        coverage = (1 if self.leader else 0) + sum(
+            1 for w in ctx.neighbors if leader_of.get(w, False))
+        my_deficient = (not self.leader) and coverage < self.k
+        ctx.broadcast(DeficitMsg(deficient=my_deficient))
+        inbox = yield
+        for src, msg in inbox:
+            if isinstance(msg, DeficitMsg):
+                deficient_of[src] = msg.deficient
+
+        for _ in range(self.part2_sync_iterations):
+            done = ((self.leader and not my_deficient
+                     and not any(deficient_of.get(w, False)
+                                 for w in ctx.neighbors))
+                    or (not self.leader and not my_deficient))
+            if done:
+                return
+            # (a) adoption round — only leaders select.
+            if self.leader:
+                candidates = sorted(
+                    ([me] if my_deficient else [])
+                    + [w for w in ctx.neighbors if deficient_of.get(w, False)]
+                )
+                for u in _pick(ctx.rng, candidates, self.k, self.policy):
+                    if u == me:
+                        my_deficient = False
+                    else:
+                        ctx.send(u, AdoptMsg())
+            inbox = yield
+            if not self.leader and any(isinstance(m, AdoptMsg)
+                                       for _, m in inbox):
+                self.leader = True
+                my_deficient = False
+            # (b) leader-status refresh.
+            ctx.broadcast(LeaderStatusMsg(leader=self.leader))
+            inbox = yield
+            for src, msg in inbox:
+                if isinstance(msg, LeaderStatusMsg):
+                    leader_of[src] = msg.leader
+            coverage = (1 if self.leader else 0) + sum(
+                1 for w in ctx.neighbors if leader_of.get(w, False))
+            my_deficient = (not self.leader) and coverage < self.k
+            # (c) deficiency refresh.
+            ctx.broadcast(DeficitMsg(deficient=my_deficient))
+            inbox = yield
+            for src, msg in inbox:
+                if isinstance(msg, DeficitMsg):
+                    deficient_of[src] = msg.deficient
+
+
+def _solve_udg_message(udg: UnitDiskGraph, k: int, policy: str,
+                       seed: int | None) -> DominatingSet:
+    n = udg.n
+    details: dict = {"mode": "message", "k": k}
+    if n == 0:
+        return DominatingSet(members=set(), details=details)
+    # Upper bound on Part II iterations: each iteration removes at least k
+    # deficient nodes from any nonempty U(v), so deg+1 over k suffices;
+    # use n as a safe global bound.
+    sync_iters = n + 1
+    processes = [UDGNode(v, k, n, policy, sync_iters) for v in range(n)]
+    net = SynchronousNetwork(udg, processes, seed=seed)
+    stats = run_protocol(net, max_rounds=2 * len(theta_schedule(n)) + 3 * sync_iters + 8)
+    members = {p.node_id for p in processes if p.leader}
+    return DominatingSet(members=members, stats=stats, details=details)
+
+
+# ======================================================================
+# Public entry points
+# ======================================================================
+
+def part_one_leaders(graph, *, seed: int | None = None) -> DominatingSet:
+    """Run only Part I of Algorithm 3 — the O(1)-approximate plain
+    dominating set (the Gao-Guibas-Hershberger-Zhang-Zhu "discrete mobile
+    centers" step).  Exposed for the E13 dynamics experiment and as the
+    k = 1 comparison baseline."""
+    udg = _as_udg(graph)
+    details: dict = {"mode": "direct"}
+    if udg.n == 0:
+        return DominatingSet(members=set(), details=details)
+    rngs = spawn_node_rngs(range(udg.n), seed)
+    leaders = _part_one_direct(udg, rngs, details)
+    stats = RunStats()
+    stats.rounds = 2 * len(details["theta_per_round"])
+    return DominatingSet(members=set(leaders), stats=stats, details=details)
+
+
+def solve_kmds_udg(graph, k: int = 1, *,
+                   mode: str = "direct",
+                   selection_policy: str = "random",
+                   seed: int | None = None) -> DominatingSet:
+    """Run Algorithm 3: a k-fold dominating set of a unit disk graph in
+    ``O(log log n)`` rounds with ``O(log n)``-bit messages, O(1)-approximate
+    in expectation (Theorem 5.7).
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graphs.udg.UnitDiskGraph`.
+    k:
+        Fault-tolerance parameter (open-neighborhood convention: every node
+        outside the returned set has at least ``k`` neighbors inside it;
+        always satisfiable since deficient nodes are promoted into the set).
+    mode:
+        ``"direct"`` (fast central simulation) or ``"message"`` (full
+        message-passing simulation with accounting).
+    selection_policy:
+        How leaders pick adoption targets in Part II: ``"random"`` or
+        ``"by-id"``.
+    seed:
+        Root seed for all node randomness; the two modes consume per-node
+        streams identically, so results match for equal seeds.
+    """
+    if k < 1:
+        raise GraphError(f"k must be at least 1, got {k}")
+    if selection_policy not in SELECTION_POLICIES:
+        raise GraphError(
+            f"unknown selection policy {selection_policy!r}; "
+            f"expected one of {SELECTION_POLICIES}"
+        )
+    udg = _as_udg(graph)
+    if mode == "direct":
+        return _solve_udg_direct(udg, k, selection_policy, seed)
+    if mode == "message":
+        return _solve_udg_message(udg, k, selection_policy, seed)
+    raise GraphError(f"unknown mode {mode!r}; expected 'direct' or 'message'")

@@ -1,0 +1,133 @@
+"""Verification oracle for k-fold dominating sets.
+
+Two conventions appear in the paper and both are supported here:
+
+- ``convention="open"`` — the Section 1 definition: every node
+  **outside** S needs at least ``k`` neighbors in S (members of S are
+  exempt; a node's own membership does not count toward its neighbors).
+- ``convention="closed"`` — the LP ``(PP)`` of Section 4.1: **every** node
+  needs at least ``k_i`` members of its closed neighborhood
+  :math:`N_i \\ni i` in S (a node in S counts itself once).
+
+A set valid under the closed convention with uniform ``k`` is always valid
+under the open convention with the same ``k``; the converse is false.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from repro.errors import GraphError
+from repro.graphs.properties import as_nx
+from repro.types import CoverageMap, NodeId
+
+CONVENTIONS = ("open", "closed")
+
+
+def _coverage_map(graph, k: Union[int, CoverageMap]) -> Dict[NodeId, int]:
+    g = as_nx(graph)
+    if isinstance(k, int):
+        if k < 0:
+            raise GraphError(f"k must be non-negative, got {k}")
+        return {v: k for v in g.nodes}
+    cov = {v: int(k[v]) for v in g.nodes}
+    if any(val < 0 for val in cov.values()):
+        raise GraphError("coverage requirements must be non-negative")
+    return cov
+
+
+def coverage_counts(graph, members: Iterable[NodeId], *,
+                    convention: str = "open") -> Dict[NodeId, int]:
+    """Per-node count of dominators, under the chosen convention.
+
+    ``open``: for every node, the number of its (open-neighborhood)
+    neighbors in ``members``.  ``closed``: the number of closed-neighborhood
+    members (so a dominator counts itself once).
+    """
+    if convention not in CONVENTIONS:
+        raise GraphError(
+            f"unknown convention {convention!r}; expected one of {CONVENTIONS}"
+        )
+    g = as_nx(graph)
+    member_set = set(members)
+    unknown = member_set - set(g.nodes)
+    if unknown:
+        raise GraphError(
+            f"dominating set contains {len(unknown)} unknown node(s), "
+            f"e.g. {next(iter(unknown))!r}"
+        )
+    counts: Dict[NodeId, int] = {}
+    for v in g.nodes:
+        c = sum(1 for w in g.neighbors(v) if w in member_set)
+        if convention == "closed" and v in member_set:
+            c += 1
+        counts[v] = c
+    return counts
+
+
+def coverage_deficit(graph, members: Iterable[NodeId],
+                     k: Union[int, CoverageMap], *,
+                     convention: str = "open") -> Dict[NodeId, int]:
+    """Per-node shortfall ``max(0, required - actual)``.
+
+    Under ``open``, members of the set are exempt (their deficit is 0
+    regardless of their neighborhood).
+    """
+    member_set = set(members)
+    counts = coverage_counts(graph, member_set, convention=convention)
+    cov = _coverage_map(graph, k)
+    deficit: Dict[NodeId, int] = {}
+    for v, c in counts.items():
+        if convention == "open" and v in member_set:
+            deficit[v] = 0
+        else:
+            deficit[v] = max(0, cov[v] - c)
+    return deficit
+
+
+def uncovered_nodes(graph, members: Iterable[NodeId],
+                    k: Union[int, CoverageMap], *,
+                    convention: str = "open") -> List[NodeId]:
+    """Nodes whose coverage requirement is not met."""
+    deficit = coverage_deficit(graph, members, k, convention=convention)
+    return [v for v, d in deficit.items() if d > 0]
+
+
+def is_k_dominating_set(graph, members: Iterable[NodeId],
+                        k: Union[int, CoverageMap], *,
+                        convention: str = "open") -> bool:
+    """Whether ``members`` is a valid k-fold dominating set of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The network graph.
+    members:
+        Candidate dominator set (any iterable of node ids).
+    k:
+        Uniform requirement (int) or per-node map.
+    convention:
+        ``"open"`` (Section 1 definition, default) or ``"closed"``
+        (the LP's closed-neighborhood convention).
+    """
+    return not uncovered_nodes(graph, members, k, convention=convention)
+
+
+def redundancy_profile(graph, members: Iterable[NodeId], *,
+                       convention: str = "open") -> Dict[str, float]:
+    """Summary of how redundantly the set covers the graph: min / mean /
+    max coverage over non-member nodes (all nodes under ``closed``).  Used
+    by the fault-tolerance experiments to compare k values."""
+    member_set = set(members)
+    counts = coverage_counts(graph, member_set, convention=convention)
+    if convention == "open":
+        relevant = [c for v, c in counts.items() if v not in member_set]
+    else:
+        relevant = list(counts.values())
+    if not relevant:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(min(relevant)),
+        "mean": float(sum(relevant)) / len(relevant),
+        "max": float(max(relevant)),
+    }

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch one base class.  More specific subclasses communicate the
+layer that failed: graph construction, simulation, algorithm input
+validation, or solver failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or unsuitable for the requested operation."""
+
+
+class GeometryError(GraphError):
+    """A geometric graph operation was requested on a non-geometric graph.
+
+    Raised, for example, when a unit-disk-graph algorithm that needs node
+    coordinates or distance sensing is run on a graph without positions.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """The requested covering problem has no feasible solution.
+
+    A node ``v`` with coverage requirement ``k_v`` larger than
+    ``deg(v) + 1`` can never be covered ``k_v`` times under the closed
+    neighborhood convention, so no k-fold dominating set exists.
+    """
+
+    def __init__(self, message: str, witness=None):
+        super().__init__(message)
+        #: A node id demonstrating infeasibility, if known.
+        self.witness = witness
+
+
+class SimulationError(ReproError):
+    """The message-passing simulation entered an invalid state."""
+
+
+class ProtocolViolationError(SimulationError):
+    """A node process violated the synchronous messaging protocol.
+
+    Examples: sending a message to a non-neighbor, sending after crashing,
+    or emitting a message exceeding the declared bit budget when strict
+    message-size checking is enabled.
+    """
+
+
+class SolverError(ReproError):
+    """A baseline solver (LP / branch-and-bound) failed to produce a result."""
+
+
+class BudgetExceededError(SolverError):
+    """An exact solver exceeded its node/time budget before proving optimality."""
+
+    def __init__(self, message: str, incumbent=None, lower_bound=None):
+        super().__init__(message)
+        #: Best feasible solution found before the budget ran out, if any.
+        self.incumbent = incumbent
+        #: Best proven lower bound on the optimum before the budget ran out.
+        self.lower_bound = lower_bound

@@ -1,0 +1,82 @@
+"""Experiment implementations E1-E21 (see DESIGN.md section 3).
+
+The paper is a theory paper — its "results" are theorems.  Each experiment
+module empirically validates one claim and regenerates one table of
+EXPERIMENTS.md.  E1-E13 cover the paper's theorems and figure; E14-E21
+cover the extensions the paper sketches (weighted version, unknown
+Delta, asynchronous execution), the Section 1 application claims, and
+robustness studies the motivation calls for (message loss, non-uniform
+deployments, ranging error, quasi-UDG radios).  The same functions back the ``benchmarks/`` suite and the
+``repro`` CLI, so every reported number is reproducible from either.
+
+Usage::
+
+    from repro.experiments import run_experiment, EXPERIMENTS
+
+    report = run_experiment("e1", scale="quick", seed=0)
+    print(report.render())
+"""
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments import (
+    e01_fractional_ratio,
+    e02_round_complexity,
+    e03_rounding,
+    e04_end_to_end,
+    e05_udg_correctness,
+    e06_udg_ratio,
+    e07_udg_rounds,
+    e08_message_size,
+    e09_fault_tolerance,
+    e10_tradeoff,
+    e11_hexcover,
+    e12_vs_jrs,
+    e13_active_decay,
+    e14_weighted,
+    e15_local_delta,
+    e16_asynchrony,
+    e17_message_loss,
+    e18_applications,
+    e19_deployments,
+    e20_noisy_sensing,
+    e21_qudg,
+)
+
+#: Registry: experiment id -> (title, run callable).
+EXPERIMENTS = {
+    "e1": e01_fractional_ratio.run,
+    "e2": e02_round_complexity.run,
+    "e3": e03_rounding.run,
+    "e4": e04_end_to_end.run,
+    "e5": e05_udg_correctness.run,
+    "e6": e06_udg_ratio.run,
+    "e7": e07_udg_rounds.run,
+    "e8": e08_message_size.run,
+    "e9": e09_fault_tolerance.run,
+    "e10": e10_tradeoff.run,
+    "e11": e11_hexcover.run,
+    "e12": e12_vs_jrs.run,
+    "e13": e13_active_decay.run,
+    "e14": e14_weighted.run,
+    "e15": e15_local_delta.run,
+    "e16": e16_asynchrony.run,
+    "e17": e17_message_loss.run,
+    "e18": e18_applications.run,
+    "e19": e19_deployments.run,
+    "e20": e20_noisy_sensing.run,
+    "e21": e21_qudg.run,
+}
+
+
+def run_experiment(experiment_id: str, *, scale: str = "quick",
+                   seed: int = 0) -> ExperimentReport:
+    """Run one registered experiment by id (``"e1"`` .. ``"e21"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](scale=scale, seed=seed)
+
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,87 @@
+"""Shared experiment-report structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.reporting import format_markdown_table, format_table
+from repro.errors import ReproError
+
+SCALES = ("quick", "full")
+
+
+class ScaleError(ReproError):
+    """An experiment was asked to run at an unknown scale."""
+
+
+def check_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ScaleError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+@dataclass
+class ExperimentReport:
+    """The outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id / title / claim:
+        Identification and the paper claim being validated.
+    headers / rows:
+        The regenerated table.
+    checks:
+        Named boolean assertions on the paper's claims (all should be
+        True on a successful reproduction).
+    notes:
+        Free-form commentary (e.g. which OPT estimate was used).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    headers: List[str]
+    rows: List[Sequence[Any]]
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """Whether every claim check succeeded."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """Human-readable report (ASCII table + check list)."""
+        lines = [
+            f"== {self.experiment_id.upper()}: {self.title} ==",
+            f"Claim: {self.claim}",
+            "",
+            format_table(self.headers, self.rows),
+            "",
+        ]
+        for name, ok in self.checks.items():
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        if self.notes:
+            lines.append("")
+            lines.append(f"Notes: {self.notes}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown fragment for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.experiment_id.upper()} — {self.title}",
+            "",
+            f"*Claim:* {self.claim}",
+            "",
+            format_markdown_table(self.headers, self.rows),
+            "",
+        ]
+        for name, ok in self.checks.items():
+            lines.append(f"- {'✅' if ok else '❌'} {name}")
+        if self.notes:
+            lines.append("")
+            lines.append(f"*Notes:* {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""E1 — Theorem 4.5 (approximation): Algorithm 1's fractional solution is
+within ``t((Delta+1)^{2/t} + (Delta+1)^{1/t})`` of the LP optimum.
+
+For every graph in the suite and every t, solves the fractional k-MDS with
+Algorithm 1, computes the exact LP optimum of (PP) with HiGHS, and checks
+the measured ratio against the theorem's bound.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lp_opt import lp_optimum
+from repro.core.fractional import fractional_kmds, theorem_45_ratio_bound
+from repro.experiments.base import ExperimentReport, check_scale
+from repro.graphs.generators import graph_suite
+from repro.graphs.properties import feasible_coverage, max_degree
+
+
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    suite_scale = "small" if scale == "quick" else "medium"
+    t_values = (1, 2, 3, 4) if scale == "quick" else (1, 2, 3, 4, 5, 6)
+    k_values = (1, 3) if scale == "quick" else (1, 2, 3, 5)
+
+    rows = []
+    checks = {}
+    all_within = True
+    for name, g in graph_suite(suite_scale, seed=seed):
+        delta = max_degree(g)
+        for k in k_values:
+            coverage = feasible_coverage(g, k)
+            opt = lp_optimum(g, coverage, convention="closed").objective
+            for t in t_values:
+                sol = fractional_kmds(g, coverage=coverage, t=t,
+                                      compute_duals=False)
+                ratio = sol.objective / opt if opt > 0 else 1.0
+                bound = theorem_45_ratio_bound(t, delta)
+                within = ratio <= bound + 1e-9
+                all_within &= within
+                rows.append((name, k, t, round(sol.objective, 2),
+                             round(opt, 2), round(ratio, 3), round(bound, 1),
+                             "yes" if within else "NO"))
+
+    checks["every measured ratio within the Theorem 4.5 bound"] = all_within
+
+    # The trade-off direction: averaged over instances, the largest t
+    # should yield a (weakly) better ratio than t = 1.
+    by_instance = {}
+    for name, k, t, _, _, ratio, _, _ in rows:
+        by_instance.setdefault((name, k), {})[t] = ratio
+    t_lo, t_hi = min(t_values), max(t_values)
+    mean_lo = sum(r[t_lo] for r in by_instance.values()) / len(by_instance)
+    mean_hi = sum(r[t_hi] for r in by_instance.values()) / len(by_instance)
+    checks["mean ratio at largest t beats mean ratio at t=1"] = \
+        mean_hi <= mean_lo + 1e-9
+
+    return ExperimentReport(
+        experiment_id="e1",
+        title="Fractional approximation ratio vs t (Theorem 4.5)",
+        claim=("Algorithm 1 computes a (PP)-feasible fractional solution "
+               "within t((Delta+1)^{2/t} + (Delta+1)^{1/t}) of the LP "
+               "optimum, in O(t^2) rounds."),
+        headers=["graph", "k", "t", "frac obj", "LP opt", "ratio",
+                 "thm 4.5 bound", "within"],
+        rows=rows,
+        checks=checks,
+        notes="Ratios are measured against the exact LP optimum (HiGHS).",
+    )

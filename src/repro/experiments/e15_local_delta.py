@@ -1,0 +1,74 @@
+"""E15 — removing the known-Delta assumption (Section 4 remark).
+
+Each node replaces the global maximum degree with its 2-hop local
+estimate (computed by a 2-round protocol).  This experiment measures the
+price: the fractional objective with local estimates vs with global
+Delta, across graphs whose degree distributions range from flat (regular)
+to extreme (power-law, caterpillar), plus the distributed estimation
+protocol's correctness and cost.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lp_opt import lp_optimum
+from repro.core.fractional import fractional_kmds
+from repro.core.local_delta import (
+    estimate_two_hop_max_message,
+    two_hop_max_degree,
+)
+from repro.core.lp import CoveringLP
+from repro.experiments.base import ExperimentReport, check_scale
+from repro.graphs.generators import graph_suite
+from repro.graphs.properties import feasible_coverage
+
+
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    suite_scale = "small" if scale == "quick" else "medium"
+    t = 3
+
+    rows = []
+    protocol_correct = True
+    always_feasible = True
+    degradations = []
+    for name, g in graph_suite(suite_scale, seed=seed):
+        central = two_hop_max_degree(g)
+        distributed, stats = estimate_two_hop_max_message(g, seed=seed)
+        protocol_correct &= (central == distributed and stats.rounds == 2)
+
+        cov = feasible_coverage(g, 2)
+        lp = CoveringLP(g, cov)
+        opt = lp_optimum(g, cov, convention="closed").objective
+        global_sol = fractional_kmds(g, coverage=cov, t=t,
+                                     compute_duals=False)
+        local_sol = fractional_kmds(g, coverage=cov, t=t,
+                                    compute_duals=False, local_delta=central)
+        always_feasible &= lp.primal_feasible(local_sol.x, tol=1e-7)
+        degradation = local_sol.objective / max(global_sol.objective, 1e-9)
+        degradations.append(degradation)
+        rows.append((name,
+                     max(central.values()), min(central.values()),
+                     round(global_sol.objective / opt, 2),
+                     round(local_sol.objective / opt, 2),
+                     round(degradation, 3)))
+
+    mean_degradation = sum(degradations) / len(degradations)
+
+    return ExperimentReport(
+        experiment_id="e15",
+        title="Unknown-Delta variant: 2-hop local estimates (Section 4 remark)",
+        claim=("Replacing global Delta with 2-hop local estimates keeps "
+               "Algorithm 1 feasible at a small quality cost, and the "
+               "estimates are computable in 2 distributed rounds."),
+        headers=["graph", "max est.", "min est.", "global ratio",
+                 "local ratio", "local/global obj"],
+        rows=rows,
+        checks={
+            "2-round estimation protocol matches central computation":
+                protocol_correct,
+            "local-delta solutions always (PP)-feasible": always_feasible,
+            "mean objective degradation below 50%": mean_degradation <= 1.5,
+        },
+        notes=(f"t={t}, k=2; mean local/global objective ratio "
+               f"{mean_degradation:.3f} (1.0 = no cost)."),
+    )

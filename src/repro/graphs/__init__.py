@@ -1,0 +1,92 @@
+"""Graph substrates: unit disk graphs, general-graph generators, geometry.
+
+The paper studies two network models (Section 1): arbitrary general graphs
+("the pessimistic counterpart") and unit disk graphs ("a quasi-standard for
+the analysis of algorithms designed for wireless networks").  This package
+provides generators for both, plus the hexagonal-lattice covering geometry
+of Figure 1 used in the Section 5 analysis.
+"""
+
+from repro.graphs.udg import (
+    NoisySensingUDG,
+    QuasiUnitDiskGraph,
+    UnitDiskGraph,
+    random_udg,
+    udg_from_points,
+)
+from repro.graphs.generators import (
+    gnp_graph,
+    random_regular_graph,
+    powerlaw_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    complete_graph,
+    caterpillar_graph,
+    graph_suite,
+)
+from repro.graphs.properties import (
+    as_nx,
+    max_degree,
+    min_degree,
+    closed_neighborhood,
+    degree_histogram,
+    graph_summary,
+    max_feasible_k,
+    feasible_coverage,
+)
+from repro.graphs.deployments import (
+    clustered_udg,
+    corridor_udg,
+    perforated_udg,
+)
+from repro.graphs.mobility import (
+    GaussianDrift,
+    MobilityModel,
+    RandomWaypoint,
+    mobility_trace,
+)
+from repro.graphs.hexcover import (
+    hex_cover_centers,
+    covering_disk_count,
+    alpha_bound,
+    disks_touching,
+    leaders_per_disk,
+)
+
+__all__ = [
+    "NoisySensingUDG",
+    "QuasiUnitDiskGraph",
+    "UnitDiskGraph",
+    "as_nx",
+    "random_udg",
+    "udg_from_points",
+    "gnp_graph",
+    "random_regular_graph",
+    "powerlaw_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "caterpillar_graph",
+    "graph_suite",
+    "max_degree",
+    "min_degree",
+    "closed_neighborhood",
+    "degree_histogram",
+    "graph_summary",
+    "max_feasible_k",
+    "feasible_coverage",
+    "clustered_udg",
+    "corridor_udg",
+    "perforated_udg",
+    "GaussianDrift",
+    "MobilityModel",
+    "RandomWaypoint",
+    "mobility_trace",
+    "hex_cover_centers",
+    "covering_disk_count",
+    "alpha_bound",
+    "disks_touching",
+    "leaders_per_disk",
+]

@@ -1,0 +1,135 @@
+"""Non-uniform deployment models for unit-disk experiments.
+
+Uniform random placement (``random_udg``) is the friendliest case for
+Algorithm 3's density arguments.  Real sensor fields are not uniform:
+nodes are dropped in clumps, installed along corridors, and kept out of
+obstacles.  These generators produce such fields so experiments (E19) can
+check that the algorithm's guarantees are *per-disk* — independent of
+global density uniformity:
+
+- :func:`clustered_udg` — a Thomas-process-style field: cluster parents
+  uniform, members Gaussian around their parent (dense hot spots,
+  near-empty space between);
+- :func:`corridor_udg` — a long thin strip (tunnel / pipeline / road
+  monitoring; maximal boundary effects);
+- :func:`perforated_udg` — uniform placement with circular forbidden
+  zones (obstacles, lakes, buildings).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph
+
+__all__ = ["clustered_udg", "corridor_udg", "perforated_udg"]
+
+
+def clustered_udg(n: int, *, clusters: int = 8, spread: float = 1.0,
+                  side: float | None = None, radius: float = 1.0,
+                  seed: int | None = None) -> UnitDiskGraph:
+    """Thomas-process-style clustered deployment.
+
+    ``clusters`` parent locations are drawn uniformly in the square;
+    every node picks a uniform parent and lands Gaussian(``spread``)
+    around it (clipped to the square).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    clusters:
+        Number of cluster centers.
+    spread:
+        Standard deviation of the member offset, in radio-range units.
+    side:
+        Deployment square side; default sizes the square for an *average*
+        density of 10 per unit disk (the hot spots are far denser).
+    radius / seed:
+        As in :func:`repro.graphs.udg.random_udg`.
+    """
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if clusters < 1:
+        raise GraphError(f"clusters must be positive, got {clusters}")
+    if spread < 0:
+        raise GraphError(f"spread must be non-negative, got {spread}")
+    rng = np.random.default_rng(seed)
+    if side is None:
+        side = math.sqrt(max(n, 1) * math.pi * radius * radius / 10.0)
+    parents = rng.uniform(0.0, side, size=(clusters, 2))
+    assignment = rng.integers(0, clusters, size=n)
+    pts = parents[assignment] + rng.normal(scale=spread, size=(n, 2))
+    pts = np.clip(pts, 0.0, side)
+    return UnitDiskGraph(pts, radius=radius)
+
+
+def corridor_udg(n: int, *, length: float | None = None,
+                 width: float = 2.0, radius: float = 1.0,
+                 seed: int | None = None) -> UnitDiskGraph:
+    """A long thin strip of uniform nodes (corridor monitoring).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    length:
+        Corridor length; default sizes it for linear density ~5 nodes per
+        radio range.
+    width:
+        Corridor width (2 radio ranges by default — nodes on opposite
+        walls may not hear each other).
+    """
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if width <= 0:
+        raise GraphError(f"width must be positive, got {width}")
+    if length is None:
+        length = max(1.0, n * radius / 5.0)
+    if length <= 0:
+        raise GraphError(f"length must be positive, got {length}")
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, length, size=n)
+    ys = rng.uniform(0.0, width, size=n)
+    return UnitDiskGraph(np.stack([xs, ys], axis=1), radius=radius)
+
+
+def perforated_udg(n: int, *, side: float | None = None,
+                   holes: int = 4, hole_radius: float = 1.5,
+                   radius: float = 1.0,
+                   seed: int | None = None) -> UnitDiskGraph:
+    """Uniform deployment with circular forbidden zones.
+
+    Nodes falling inside any of the ``holes`` randomly-placed circular
+    obstacles are re-sampled (up to a cap, after which the remaining
+    points are accepted wherever they land so the function always
+    terminates).
+    """
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if holes < 0:
+        raise GraphError(f"holes must be non-negative, got {holes}")
+    if hole_radius < 0:
+        raise GraphError(f"hole_radius must be non-negative, got {hole_radius}")
+    rng = np.random.default_rng(seed)
+    if side is None:
+        side = math.sqrt(max(n, 1) * math.pi * radius * radius / 8.0)
+    centers = rng.uniform(0.0, side, size=(holes, 2)) if holes else \
+        np.zeros((0, 2))
+
+    def blocked(pts: np.ndarray) -> np.ndarray:
+        if not len(centers):
+            return np.zeros(len(pts), dtype=bool)
+        d2 = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        return (d2 < hole_radius ** 2).any(axis=1)
+
+    pts = rng.uniform(0.0, side, size=(n, 2))
+    for _ in range(200):
+        bad = blocked(pts)
+        if not bad.any():
+            break
+        pts[bad] = rng.uniform(0.0, side, size=(int(bad.sum()), 2))
+    return UnitDiskGraph(pts, radius=radius)

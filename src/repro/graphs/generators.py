@@ -1,0 +1,115 @@
+"""General-graph generators for the Section 4 experiments.
+
+All generators return ``networkx.Graph`` instances with integer node labels
+``0..n-1`` and no self-loops, ready for the distributed algorithms.  The
+suite covers the regimes the paper's general-graph analysis cares about:
+bounded-degree graphs (grids, regular graphs), heavy-tailed degree
+distributions (power-law), dense random graphs, and adversarial shapes
+(stars, caterpillars) where greedy-style algorithms are stressed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+
+def _normalize(g: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 ints and strip self-loops."""
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    g.remove_edges_from(nx.selfloop_edges(g))
+    return g
+
+
+def gnp_graph(n: int, p: float, seed: int | None = None) -> nx.Graph:
+    """Erdos-Renyi ``G(n, p)``."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    return _normalize(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def random_regular_graph(n: int, d: int, seed: int | None = None) -> nx.Graph:
+    """Random ``d``-regular graph (``n * d`` must be even, ``d < n``)."""
+    if d >= n or (n * d) % 2 != 0:
+        raise GraphError(
+            f"random regular graph needs d < n and n*d even, got n={n}, d={d}"
+        )
+    return _normalize(nx.random_regular_graph(d, n, seed=seed))
+
+
+def powerlaw_graph(n: int, m: int = 2, seed: int | None = None) -> nx.Graph:
+    """Barabasi-Albert preferential attachment (heavy-tailed degrees)."""
+    if n <= m:
+        raise GraphError(f"powerlaw graph needs n > m, got n={n}, m={m}")
+    return _normalize(nx.barabasi_albert_graph(n, m, seed=seed))
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """2D grid — the canonical bounded-degree, large-diameter topology."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid dimensions must be positive, got {rows}x{cols}")
+    return _normalize(nx.grid_2d_graph(rows, cols))
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Simple path on ``n`` nodes."""
+    return _normalize(nx.path_graph(n))
+
+
+def star_graph(n_leaves: int) -> nx.Graph:
+    """Star with one hub and ``n_leaves`` leaves — maximal degree skew."""
+    if n_leaves < 0:
+        raise GraphError(f"n_leaves must be non-negative, got {n_leaves}")
+    return _normalize(nx.star_graph(n_leaves))
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """Clique on ``n`` nodes — the densest instance."""
+    return _normalize(nx.complete_graph(n))
+
+
+def caterpillar_graph(spine: int, legs_per_node: int = 2) -> nx.Graph:
+    """A path ("spine") where every spine node carries pendant leaves.
+
+    Dominating-set instances on caterpillars force any good algorithm to
+    pick (nearly) every spine node, making approximation slack visible.
+    """
+    if spine < 1:
+        raise GraphError(f"spine length must be positive, got {spine}")
+    if legs_per_node < 0:
+        raise GraphError(f"legs_per_node must be non-negative, got {legs_per_node}")
+    g = nx.path_graph(spine)
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(v, next_id)
+            next_id += 1
+    return _normalize(g)
+
+
+def graph_suite(scale: str = "small", seed: int = 0) -> Iterator[Tuple[str, nx.Graph]]:
+    """Yield ``(name, graph)`` pairs forming the standard experiment suite.
+
+    ``scale`` is one of ``"tiny"`` (exact-solver friendly), ``"small"``
+    (LP-bound friendly), or ``"medium"`` (sweep scale).
+    """
+    sizes: Dict[str, Dict[str, int]] = {
+        "tiny": dict(n=24, grid=5, spine=6),
+        "small": dict(n=80, grid=9, spine=20),
+        "medium": dict(n=250, grid=16, spine=60),
+    }
+    if scale not in sizes:
+        raise GraphError(
+            f"unknown scale {scale!r}; expected one of {sorted(sizes)}"
+        )
+    s = sizes[scale]
+    n = s["n"]
+    yield "gnp-sparse", gnp_graph(n, min(1.0, 4.0 / n), seed=seed)
+    yield "gnp-dense", gnp_graph(n, min(1.0, 12.0 / n), seed=seed + 1)
+    yield "regular", random_regular_graph(n - (n % 2), 6 if n > 6 else 3, seed=seed + 2)
+    yield "powerlaw", powerlaw_graph(n, 3 if n > 3 else 1, seed=seed + 3)
+    yield "grid", grid_graph(s["grid"], s["grid"])
+    yield "caterpillar", caterpillar_graph(s["spine"], 2)

@@ -1,0 +1,184 @@
+"""Hexagonal-lattice disk coverings — the geometry of Figure 1 / Lemma 5.3.
+
+The Section 5 analysis covers the plane with disks :math:`C_i` of radius
+:math:`\\theta_i/2` arranged in a hexagonal lattice, and uses two facts:
+
+- (Lemma 5.3) the number :math:`\\alpha(i)` of lattice disks needed to
+  cover a disk of radius 1/2 satisfies
+  :math:`\\alpha(i) < \\eta / (4\\theta_i^2)` with
+  :math:`\\eta = 16\\pi/(3\\sqrt{3})`;
+- (Figure 1) the disk :math:`D_i` of radius :math:`3\\theta_i/2` around a
+  lattice center touches exactly 19 lattice disks.
+
+This module reproduces both computationally, and provides the
+"leaders per unit disk" measurement used to validate Lemmas 5.5/5.6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+#: The paper's lattice constant eta = 16*pi / (3*sqrt(3)).
+ETA = 16.0 * math.pi / (3.0 * math.sqrt(3.0))
+
+
+def hex_lattice_points(spacing: float, within: float,
+                       center: Tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
+    """All points of a hexagonal lattice with nearest-neighbor distance
+    ``spacing`` lying within Euclidean distance ``within`` of ``center``.
+
+    The lattice contains ``center`` itself.  Row pitch is
+    ``spacing * sqrt(3)/2`` with alternate rows offset by ``spacing / 2``.
+    """
+    if spacing <= 0:
+        raise GeometryError(f"lattice spacing must be positive, got {spacing}")
+    if within < 0:
+        raise GeometryError(f"search radius must be non-negative, got {within}")
+    cx, cy = center
+    row_pitch = spacing * math.sqrt(3.0) / 2.0
+    max_row = int(math.ceil(within / row_pitch)) + 1
+    max_col = int(math.ceil(within / spacing)) + 1
+    pts: List[Tuple[float, float]] = []
+    r2 = within * within
+    for row in range(-max_row, max_row + 1):
+        y = cy + row * row_pitch
+        offset = (spacing / 2.0) if (row % 2) else 0.0
+        for col in range(-max_col, max_col + 1):
+            x = cx + offset + col * spacing
+            dx, dy = x - cx, y - cy
+            if dx * dx + dy * dy <= r2 + 1e-12:
+                pts.append((x, y))
+    return np.asarray(pts, dtype=float)
+
+
+def hex_cover_centers(target_radius: float, disk_radius: float) -> np.ndarray:
+    """Centers of lattice disks of radius ``disk_radius`` that intersect the
+    target disk of radius ``target_radius`` centered at the origin.
+
+    The lattice spacing is ``disk_radius * sqrt(3)`` — the densest spacing
+    at which disks of that radius still cover the whole plane (each disk
+    covers its inscribed hexagon of circumradius ``disk_radius``).
+    """
+    if disk_radius <= 0:
+        raise GeometryError(f"disk radius must be positive, got {disk_radius}")
+    if target_radius < 0:
+        raise GeometryError(f"target radius must be non-negative, got {target_radius}")
+    spacing = disk_radius * math.sqrt(3.0)
+    # A lattice disk intersects the target iff its center is within
+    # target_radius + disk_radius of the origin.
+    return hex_lattice_points(spacing, target_radius + disk_radius)
+
+
+def covering_disk_count(target_radius: float, disk_radius: float) -> int:
+    """Number of hexagonal-lattice disks of radius ``disk_radius`` that
+    intersect (and jointly cover) a disk of radius ``target_radius`` — the
+    paper's :math:`\\alpha(i)` with ``disk_radius`` = :math:`\\theta_i/2`
+    and ``target_radius`` = 1/2."""
+    return len(hex_cover_centers(target_radius, disk_radius))
+
+
+def alpha_bound(theta: float) -> float:
+    """Lemma 5.3's upper bound :math:`\\eta / (4 (\\theta/2)^2 \\cdot 4)`...
+    stated in the paper as :math:`\\alpha(i) < \\eta / (4\\theta_i^2)` for
+    lattice disks of radius :math:`\\theta_i / 2` covering a disk of radius
+    1/2."""
+    if theta <= 0:
+        raise GeometryError(f"theta must be positive, got {theta}")
+    return ETA / (4.0 * theta * theta)
+
+
+def verify_cover(target_radius: float, disk_radius: float,
+                 centers: np.ndarray, resolution: int = 80) -> bool:
+    """Check (by dense sampling) that the given disks cover the target disk
+    of radius ``target_radius`` centered at the origin."""
+    if len(centers) == 0:
+        return target_radius == 0
+    xs = np.linspace(-target_radius, target_radius, resolution)
+    grid_x, grid_y = np.meshgrid(xs, xs)
+    inside = grid_x ** 2 + grid_y ** 2 <= target_radius ** 2
+    samples = np.stack([grid_x[inside], grid_y[inside]], axis=1)
+    if len(samples) == 0:
+        return True
+    d2 = ((samples[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    return bool((d2.min(axis=1) <= disk_radius ** 2 + 1e-9).all())
+
+
+def disks_touching(theta: float) -> int:
+    """Number of lattice disks :math:`C_i` (radius :math:`\\theta/2`) fully
+    or partially covered by the disk :math:`D_i` of radius
+    :math:`3\\theta/2` centered at a lattice point — Figure 1 shows 19."""
+    if theta <= 0:
+        raise GeometryError(f"theta must be positive, got {theta}")
+    r = theta / 2.0
+    spacing = r * math.sqrt(3.0)
+    # C_j touches D_i iff center distance < 3*theta/2 + theta/2 = 2*theta.
+    # Use a strict inequality with a tiny tolerance: tangent disks (distance
+    # exactly 2*theta) share no interior area.
+    pts = hex_lattice_points(spacing, 2.0 * theta)
+    d = np.sqrt((pts ** 2).sum(axis=1))
+    return int((d < 2.0 * theta - 1e-12).sum())
+
+
+def leaders_per_disk(points: Sequence[Tuple[float, float]],
+                     leaders: Sequence[int],
+                     disk_radius: float = 0.5,
+                     grid_step: float | None = None) -> dict:
+    """Measure the leader density statistic of Lemmas 5.5/5.6.
+
+    Slides disks of radius ``disk_radius`` over the deployment area (on a
+    grid of candidate centers with pitch ``grid_step``, default
+    ``disk_radius / 2``) and counts leaders inside each disk.
+
+    Returns a dict with ``max``, ``mean`` (over occupied disks — disks
+    containing at least one point), and ``disks`` (number of occupied
+    candidate disks).  The lemmas claim ``max``/``mean`` stay O(1) (Part I)
+    and O(k) (after Part II) as n grows.
+    """
+    pts = np.asarray(points, dtype=float)
+    if len(pts) == 0:
+        return {"max": 0, "mean": 0.0, "disks": 0}
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise GeometryError(f"points must be (n, 2), got shape {pts.shape}")
+    leader_pts = pts[np.fromiter(leaders, dtype=int)] if len(leaders) else pts[:0]
+    step = grid_step if grid_step is not None else disk_radius / 2.0
+    if step <= 0:
+        raise GeometryError(f"grid step must be positive, got {step}")
+
+    lo = pts.min(axis=0) - disk_radius
+    hi = pts.max(axis=0) + disk_radius
+    xs = np.arange(lo[0], hi[0] + step, step)
+    ys = np.arange(lo[1], hi[1] + step, step)
+    r2 = disk_radius * disk_radius
+
+    max_count = 0
+    total = 0
+    occupied = 0
+    for cx in xs:
+        # Vectorize over candidate centers in one column strip.
+        near_any = np.abs(pts[:, 0] - cx) <= disk_radius
+        if not near_any.any():
+            continue
+        col_pts = pts[near_any]
+        near_lead = (np.abs(leader_pts[:, 0] - cx) <= disk_radius
+                     if len(leader_pts) else np.zeros(0, dtype=bool))
+        col_lead = leader_pts[near_lead] if len(leader_pts) else leader_pts
+        for cy in ys:
+            d2p = (col_pts[:, 0] - cx) ** 2 + (col_pts[:, 1] - cy) ** 2
+            if not (d2p <= r2).any():
+                continue
+            occupied += 1
+            if len(col_lead):
+                d2l = (col_lead[:, 0] - cx) ** 2 + (col_lead[:, 1] - cy) ** 2
+                count = int((d2l <= r2).sum())
+            else:
+                count = 0
+            total += count
+            if count > max_count:
+                max_count = count
+    mean = (total / occupied) if occupied else 0.0
+    return {"max": max_count, "mean": mean, "disks": occupied}

@@ -1,0 +1,156 @@
+"""Mobility models for ad hoc network experiments.
+
+Section 1 names mobility as the third driver of fault-tolerance ("a key
+issue in ad hoc networks").  This module provides the standard synthetic
+mobility models used to stress clustering structures:
+
+- :class:`GaussianDrift` — per-step Gaussian jitter with reflecting
+  borders (Brownian-style local motion);
+- :class:`RandomWaypoint` — the classic MANET model: each node picks a
+  uniform destination, travels toward it at its speed, pauses, repeats;
+- :func:`mobility_trace` — generator of :class:`UnitDiskGraph` snapshots
+  driven by any model.
+
+Models are deterministic per seed and hold their own RNG, so mobility
+never perturbs protocol randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph
+
+__all__ = ["MobilityModel", "GaussianDrift", "RandomWaypoint",
+           "mobility_trace"]
+
+
+class MobilityModel:
+    """Base class: mutates an (n, 2) position array one step at a time."""
+
+    def step(self, points: np.ndarray, side: float) -> np.ndarray:
+        """Return the next positions (must stay inside ``[0, side]^2``)."""
+        raise NotImplementedError
+
+
+def _reflect(points: np.ndarray, side: float) -> np.ndarray:
+    """Reflect coordinates into [0, side] (handles multi-bounce)."""
+    if side <= 0:
+        raise GraphError(f"area side must be positive, got {side}")
+    period = 2.0 * side
+    pts = np.mod(points, period)
+    return np.where(pts > side, period - pts, pts)
+
+
+class GaussianDrift(MobilityModel):
+    """Gaussian jitter: each coordinate moves by N(0, speed^2) per step.
+
+    Parameters
+    ----------
+    speed:
+        Standard deviation of the per-step displacement, in radio-range
+        units.
+    seed:
+        RNG seed (model-private stream).
+    """
+
+    def __init__(self, speed: float, seed: int | None = None):
+        if speed < 0:
+            raise GraphError(f"speed must be non-negative, got {speed}")
+        self.speed = float(speed)
+        self.rng = np.random.default_rng(seed)
+
+    def step(self, points: np.ndarray, side: float) -> np.ndarray:
+        moved = points + self.rng.normal(scale=self.speed,
+                                         size=points.shape)
+        return _reflect(moved, side)
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint: travel to a uniform destination, pause, repeat.
+
+    Parameters
+    ----------
+    speed:
+        Distance traveled per step.
+    pause_steps:
+        Steps to wait at each reached waypoint before choosing the next.
+    seed:
+        RNG seed (model-private stream).
+    """
+
+    def __init__(self, speed: float, pause_steps: int = 0,
+                 seed: int | None = None):
+        if speed < 0:
+            raise GraphError(f"speed must be non-negative, got {speed}")
+        if pause_steps < 0:
+            raise GraphError(
+                f"pause_steps must be non-negative, got {pause_steps}")
+        self.speed = float(speed)
+        self.pause_steps = int(pause_steps)
+        self.rng = np.random.default_rng(seed)
+        self._targets: Optional[np.ndarray] = None
+        self._pause_left: Optional[np.ndarray] = None
+
+    def _init_state(self, n: int, side: float) -> None:
+        self._targets = self.rng.uniform(0.0, side, size=(n, 2))
+        self._pause_left = np.zeros(n, dtype=int)
+
+    def step(self, points: np.ndarray, side: float) -> np.ndarray:
+        n = len(points)
+        if self._targets is None or len(self._targets) != n:
+            self._init_state(n, side)
+        pts = points.copy()
+        vec = self._targets - pts
+        dist = np.hypot(vec[:, 0], vec[:, 1])
+
+        paused = self._pause_left > 0
+        self._pause_left[paused] -= 1
+        # Nodes whose pause just ended (or that never paused) and sit at
+        # their waypoint draw a new destination.
+        arrived = (~paused) & (dist <= self.speed)
+        moving = (~paused) & ~arrived
+
+        # Move toward the waypoint.
+        if moving.any():
+            scale = self.speed / np.maximum(dist[moving], 1e-12)
+            pts[moving] += vec[moving] * scale[:, None]
+        # Snap arrivals onto the waypoint, start their pause, pick the
+        # next destination for when the pause ends.
+        if arrived.any():
+            pts[arrived] = self._targets[arrived]
+            self._pause_left[arrived] = self.pause_steps
+            self._targets[arrived] = self.rng.uniform(
+                0.0, side, size=(int(arrived.sum()), 2))
+        return _reflect(pts, side)
+
+
+def mobility_trace(initial: UnitDiskGraph, model: MobilityModel,
+                   steps: int, *,
+                   side: float | None = None
+                   ) -> Iterator[UnitDiskGraph]:
+    """Yield ``steps`` successive UDG snapshots under the mobility model.
+
+    Parameters
+    ----------
+    initial:
+        Starting deployment (its radius carries over to every snapshot).
+    model:
+        Any :class:`MobilityModel`.
+    steps:
+        Number of snapshots to produce (the initial graph is not yielded).
+    side:
+        Deployment-area side; defaults to the bounding square of the
+        initial points.
+    """
+    if steps < 0:
+        raise GraphError(f"steps must be non-negative, got {steps}")
+    points = initial.points.copy()
+    if side is None:
+        side = float(points.max()) if len(points) else 1.0
+    for _ in range(steps):
+        points = model.step(points, side)
+        yield UnitDiskGraph(points, radius=initial.radius)

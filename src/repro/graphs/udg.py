@@ -1,0 +1,270 @@
+"""Unit disk graphs with spatial indexing and distance sensing.
+
+A unit disk graph (UDG) has nodes at points in the Euclidean plane and an
+edge between every pair at distance at most ``radius`` (the paper fixes the
+radius to 1).  :class:`UnitDiskGraph` builds the graph with a uniform-grid
+spatial hash (O(n) expected construction at constant density) and supports
+the distance-restricted neighborhood queries :math:`N_v(\\tau)` that
+Algorithm 3 needs ("nodes can sense the distance between themselves and
+their neighbors", Section 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GraphError
+
+Point = Tuple[float, float]
+
+
+class UnitDiskGraph:
+    """A unit disk graph over explicit points.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(x, y)`` coordinates; node ``i`` sits at
+        ``points[i]``.
+    radius:
+        Communication radius (edge iff distance <= radius).  Default 1.0,
+        matching the paper.
+
+    Attributes
+    ----------
+    nx:
+        The underlying ``networkx.Graph`` with integer nodes ``0..n-1``,
+        ``pos`` node attributes, and ``dist`` edge attributes.
+    """
+
+    def __init__(self, points: Sequence[Point], radius: float = 1.0):
+        if radius <= 0:
+            raise GraphError(f"UDG radius must be positive, got {radius}")
+        self.points = np.asarray(points, dtype=float)
+        if len(self.points) == 0:
+            self.points = self.points.reshape(0, 2)
+        if self.points.ndim != 2 or self.points.shape[1] != 2:
+            raise GraphError(
+                f"points must be an (n, 2) array, got shape {self.points.shape}"
+            )
+        self.radius = float(radius)
+        self.n = len(self.points)
+        self.nx = self._build_graph()
+        # Per-node neighbor lists sorted by distance, enabling O(log deg)
+        # N_v(tau) prefix queries.
+        self._sorted_by_dist: Dict[int, Tuple[List[float], List[int]]] = {}
+        for v in range(self.n):
+            pairs = sorted(
+                (self.nx.edges[v, w]["dist"], w) for w in self.nx.neighbors(v)
+            )
+            self._sorted_by_dist[v] = ([d for d, _ in pairs], [w for _, w in pairs])
+
+    # ------------------------------------------------------------------
+    def _build_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        for i, (x, y) in enumerate(self.points):
+            g.add_node(i, pos=(float(x), float(y)))
+        if self.n == 0:
+            return g
+
+        # Uniform grid spatial hash with cell size = radius: all neighbors
+        # of a point lie in its 3x3 cell block.
+        cell = self.radius
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for i, (x, y) in enumerate(self.points):
+            key = (int(math.floor(x / cell)), int(math.floor(y / cell)))
+            buckets.setdefault(key, []).append(i)
+
+        r2 = self.radius * self.radius
+        for (cx, cy), members in buckets.items():
+            neighbor_cells = [
+                buckets.get((cx + dx, cy + dy), [])
+                for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+            ]
+            for i in members:
+                xi, yi = self.points[i]
+                for other_members in neighbor_cells:
+                    for j in other_members:
+                        if j <= i:
+                            continue
+                        dx = xi - self.points[j][0]
+                        dy = yi - self.points[j][1]
+                        d2 = dx * dx + dy * dy
+                        if d2 <= r2:
+                            g.add_edge(i, j, dist=math.sqrt(d2))
+        return g
+
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Euclidean distance between two nodes (not just neighbors)."""
+        du = self.points[u] - self.points[v]
+        return float(math.hypot(du[0], du[1]))
+
+    def neighbors_within(self, v: int, tau: float) -> List[int]:
+        """The paper's :math:`N_v(\\tau)` minus ``v`` itself: graph
+        neighbors at distance at most ``tau`` (``tau`` is capped by the
+        communication radius since farther nodes are not neighbors)."""
+        dists, nbrs = self._sorted_by_dist[v]
+        cut = bisect.bisect_right(dists, tau)
+        return nbrs[:cut]
+
+    def closed_neighbors_within(self, v: int, tau: float) -> List[int]:
+        """:math:`N_v(\\tau)` including ``v`` itself."""
+        return [v] + self.neighbors_within(v, tau)
+
+    # Convenience pass-throughs ----------------------------------------
+    def degree(self, v: int) -> int:
+        return self.nx.degree[v]
+
+    def number_of_nodes(self) -> int:
+        return self.n
+
+    def number_of_edges(self) -> int:
+        return self.nx.number_of_edges()
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"UnitDiskGraph(n={self.n}, m={self.number_of_edges()}, "
+                f"radius={self.radius})")
+
+
+class QuasiUnitDiskGraph(UnitDiskGraph):
+    """A quasi unit disk graph — the standard "no clear-cut disks" model.
+
+    Section 1 concedes that "in reality, signal propagation does often
+    not form clear-cut disks".  The QUDG formalizes that: pairs at
+    distance <= ``alpha`` are always connected, pairs beyond ``radius``
+    never, and pairs in the gray zone ``(alpha, radius]`` are connected
+    independently with probability ``p_gray`` (fading, obstacles,
+    antenna anisotropy).
+
+    Distance sensing stays exact; only the edge set is degraded.  Note
+    that Lemma 5.1's coverage argument is specific to the clean-disk
+    model: it delivers a covering leader within *distance* 1 of every
+    node, which is only guaranteed to be a *neighbor* when every
+    distance-<=1 pair has an edge (alpha = 1).  On a QUDG, Part I alone
+    can therefore leave nodes uncovered, and Part II's adoption loop is
+    what restores end-to-end correctness — experiment E21 quantifies the
+    degradation across alpha.
+    """
+
+    def __init__(self, points: Sequence[Point], *, alpha: float = 0.75,
+                 p_gray: float = 0.5, radius: float = 1.0,
+                 seed: int | None = None):
+        if not 0.0 < alpha <= radius:
+            raise GraphError(
+                f"alpha must be in (0, radius], got alpha={alpha}, "
+                f"radius={radius}")
+        if not 0.0 <= p_gray <= 1.0:
+            raise GraphError(f"p_gray must be in [0, 1], got {p_gray}")
+        super().__init__(points, radius=radius)
+        self.alpha = float(alpha)
+        self.p_gray = float(p_gray)
+        rng = np.random.default_rng(seed)
+        # Remove each gray-zone edge independently with prob 1 - p_gray.
+        doomed = []
+        for u, v in sorted(self.nx.edges):
+            if self.nx.edges[u, v]["dist"] > self.alpha \
+                    and rng.random() >= self.p_gray:
+                doomed.append((u, v))
+        self.nx.remove_edges_from(doomed)
+        # Rebuild the distance-sorted neighbor lists over the new edges.
+        self._sorted_by_dist = {}
+        for v in range(self.n):
+            pairs = sorted(
+                (self.nx.edges[v, w]["dist"], w)
+                for w in self.nx.neighbors(v)
+            )
+            self._sorted_by_dist[v] = ([d for d, _ in pairs],
+                                       [w for _, w in pairs])
+
+
+class NoisySensingUDG(UnitDiskGraph):
+    """A unit disk graph whose *distance sensing* is imperfect.
+
+    The paper (following [7]) assumes "nodes can sense the distance
+    between themselves and their neighbors" exactly.  Real ranging (RSSI,
+    time-of-flight) is noisy.  This subclass keeps the communication
+    graph exact (edges are still true-distance <= radius) but perturbs
+    every *sensed* distance by a symmetric multiplicative factor
+    ``1 + eps_uv`` with ``eps_uv ~ U(-sigma, +sigma)``, fixed per node
+    pair (both endpoints sense the same wrong value, as with RSSI).
+
+    Distance-restricted queries (:meth:`neighbors_within`, hence
+    Algorithm 3's ``N_v(theta)``) use the noisy values; experiment E20
+    measures the effect on Part I's guarantees.
+    """
+
+    def __init__(self, points: Sequence[Point], *, sigma: float,
+                 radius: float = 1.0, noise_seed: int | None = None):
+        if not 0.0 <= sigma < 1.0:
+            raise GraphError(
+                f"sensing noise sigma must be in [0, 1), got {sigma}")
+        super().__init__(points, radius=radius)
+        self.sigma = float(sigma)
+        rng = np.random.default_rng(noise_seed)
+        # One symmetric factor per edge, in a deterministic edge order.
+        self._noise: Dict[Tuple[int, int], float] = {}
+        for u, v in sorted(self.nx.edges):
+            key = (u, v) if u <= v else (v, u)
+            self._noise[key] = 1.0 + float(rng.uniform(-sigma, sigma))
+
+    def sensed_distance(self, u: int, v: int) -> float:
+        """The (noisy) distance the radios report for a linked pair."""
+        key = (u, v) if u <= v else (v, u)
+        factor = self._noise.get(key, 1.0)
+        return self.distance(u, v) * factor
+
+    def neighbors_within(self, v: int, tau: float) -> List[int]:
+        """Graph neighbors whose *sensed* distance is at most ``tau``."""
+        # Superset by true distance (noise can only inflate by 1+sigma),
+        # then filter by the sensed value.
+        superset = super().neighbors_within(
+            v, min(self.radius, tau / max(1e-12, 1.0 - self.sigma)))
+        return [w for w in superset if self.sensed_distance(v, w) <= tau]
+
+
+def udg_from_points(points: Sequence[Point], radius: float = 1.0) -> UnitDiskGraph:
+    """Build a :class:`UnitDiskGraph` from explicit coordinates."""
+    return UnitDiskGraph(points, radius=radius)
+
+
+def random_udg(n: int, *, area_side: float | None = None,
+               density: float | None = None, radius: float = 1.0,
+               seed: int | None = None) -> UnitDiskGraph:
+    """Sample ``n`` points uniformly in a square and build the UDG.
+
+    Exactly one of ``area_side`` and ``density`` may be given:
+
+    - ``area_side``: side length ``L`` of the deployment square ``[0, L]^2``;
+    - ``density``: expected number of nodes per unit-disk area
+      (``pi * radius^2``); the side length is derived as
+      ``sqrt(n * pi * radius^2 / density)``.
+
+    The default (neither given) targets density 10 — a well-connected
+    sensor-network regime.
+    """
+    if n < 0:
+        raise GraphError(f"n must be non-negative, got {n}")
+    if area_side is not None and density is not None:
+        raise GraphError("give at most one of area_side and density")
+    if density is not None and density <= 0:
+        raise GraphError(f"density must be positive, got {density}")
+    if area_side is not None and area_side <= 0:
+        raise GraphError(f"area_side must be positive, got {area_side}")
+
+    if area_side is None:
+        target_density = density if density is not None else 10.0
+        disk_area = math.pi * radius * radius
+        area_side = math.sqrt(max(n, 1) * disk_area / target_density)
+
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, area_side, size=(n, 2))
+    return UnitDiskGraph(pts, radius=radius)

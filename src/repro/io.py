@@ -1,0 +1,120 @@
+"""Persistence: save and load deployments, clusterings, and results.
+
+Long-running experiments want reproducible artifacts: the exact
+deployment a clustering was computed for, the dominating set itself, and
+the accounting that came with it.  Everything serializes to plain JSON —
+human-diffable, dependency-free, stable across library versions (a
+``format`` tag is checked on load).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph
+from repro.types import DominatingSet, RunStats
+
+FORMAT_UDG = "repro/udg/v1"
+FORMAT_DS = "repro/dominating-set/v1"
+
+PathLike = Union[str, pathlib.Path]
+
+
+def udg_to_dict(udg: UnitDiskGraph) -> Dict:
+    """JSON-ready representation of a unit disk graph (points + radius —
+    the edges are recomputed on load, which also re-validates them)."""
+    return {
+        "format": FORMAT_UDG,
+        "radius": udg.radius,
+        "points": [[float(x), float(y)] for x, y in udg.points],
+    }
+
+
+def udg_from_dict(data: Dict) -> UnitDiskGraph:
+    """Inverse of :func:`udg_to_dict`."""
+    if data.get("format") != FORMAT_UDG:
+        raise GraphError(
+            f"not a serialized UnitDiskGraph (format={data.get('format')!r})"
+        )
+    return UnitDiskGraph(data["points"], radius=float(data["radius"]))
+
+
+def save_udg(udg: UnitDiskGraph, path: PathLike) -> None:
+    """Write a deployment to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(udg_to_dict(udg)))
+
+
+def load_udg(path: PathLike) -> UnitDiskGraph:
+    """Read a deployment from a JSON file."""
+    return udg_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def _stats_to_dict(stats: RunStats) -> Dict:
+    return {
+        "rounds": stats.rounds,
+        "messages_sent": stats.messages_sent,
+        "bits_sent": stats.bits_sent,
+        "max_message_bits": stats.max_message_bits,
+    }
+
+
+def _stats_from_dict(data: Dict) -> RunStats:
+    return RunStats(
+        rounds=int(data.get("rounds", 0)),
+        messages_sent=int(data.get("messages_sent", 0)),
+        bits_sent=int(data.get("bits_sent", 0)),
+        max_message_bits=int(data.get("max_message_bits", 0)),
+    )
+
+
+def dominating_set_to_dict(ds: DominatingSet) -> Dict:
+    """JSON-ready representation of a dominating set and its accounting.
+
+    Node ids must be JSON-serializable (ints/strings — true for every
+    graph this library generates); ``details`` entries that do not
+    serialize are dropped with their keys preserved under
+    ``"details_skipped"``.
+    """
+    details = {}
+    skipped = []
+    for key, value in ds.details.items():
+        try:
+            json.dumps(value)
+            details[key] = value
+        except (TypeError, ValueError):
+            skipped.append(key)
+    out = {
+        "format": FORMAT_DS,
+        "members": sorted(ds.members, key=repr),
+        "stats": _stats_to_dict(ds.stats),
+        "details": details,
+    }
+    if skipped:
+        out["details_skipped"] = skipped
+    return out
+
+
+def dominating_set_from_dict(data: Dict) -> DominatingSet:
+    """Inverse of :func:`dominating_set_to_dict`."""
+    if data.get("format") != FORMAT_DS:
+        raise GraphError(
+            f"not a serialized DominatingSet (format={data.get('format')!r})"
+        )
+    return DominatingSet(
+        members=set(data["members"]),
+        stats=_stats_from_dict(data.get("stats", {})),
+        details=dict(data.get("details", {})),
+    )
+
+
+def save_dominating_set(ds: DominatingSet, path: PathLike) -> None:
+    """Write a dominating set to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(dominating_set_to_dict(ds)))
+
+
+def load_dominating_set(path: PathLike) -> DominatingSet:
+    """Read a dominating set from a JSON file."""
+    return dominating_set_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,52 @@
+"""Synchronous message-passing simulation substrate.
+
+This package implements the computation model of Section 3 of the paper:
+an undirected graph ``G = (V, E)`` where time is divided into synchronous
+rounds and, in each round, every node may send one message to each of its
+neighbors.  Message sizes are accounted in bits so that the paper's
+``O(log n)``-bit message claims can be checked empirically.
+
+Protocols are written as Python generators: a node process implements
+``run(ctx)`` and receives one inbox of messages per ``yield`` (one yield ==
+one communication round).  See :class:`repro.simulation.node.NodeProcess`.
+
+The substrate also supports fault injection (crash-stop failures and
+probabilistic message loss) used by the fault-tolerance experiments.
+"""
+
+from repro.simulation.messages import Message, MessageSizeModel, field_bits
+from repro.simulation.node import NodeContext, NodeProcess
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.runner import run_protocol
+from repro.simulation.faults import CrashFaultInjector, MessageLossInjector
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.asynchrony import (
+    AlphaSynchronizer,
+    AsyncStats,
+    exponential_delays,
+    run_protocol_async,
+    uniform_delays,
+)
+from repro.simulation.beta import BetaSynchronizer, run_protocol_beta
+
+__all__ = [
+    "AlphaSynchronizer",
+    "BetaSynchronizer",
+    "run_protocol_beta",
+    "AsyncStats",
+    "exponential_delays",
+    "run_protocol_async",
+    "uniform_delays",
+    "Message",
+    "MessageSizeModel",
+    "field_bits",
+    "NodeContext",
+    "NodeProcess",
+    "SynchronousNetwork",
+    "run_protocol",
+    "CrashFaultInjector",
+    "MessageLossInjector",
+    "TraceRecorder",
+    "spawn_node_rngs",
+]

@@ -1,0 +1,270 @@
+"""Asynchronous execution of synchronous protocols (alpha-synchronizer).
+
+Section 3 of the paper notes: "at the cost of higher message complexity,
+every synchronous message passing algorithm can be turned into an
+asynchronous algorithm with the same time complexity" (Awerbuch [2]).
+This module realizes that transformation so the repository's protocols —
+written for the synchronous model — can run over an event-driven network
+with arbitrary per-message delays:
+
+- a discrete-event transport: each message is delivered after a random
+  delay drawn from a configurable distribution (:func:`exponential_delays`
+  / :func:`uniform_delays`); a global event queue orders deliveries by
+  timestamp;
+- :class:`AlphaSynchronizer` — Awerbuch's alpha synchronizer: every node
+  acknowledges each received payload message; a node whose round-r
+  messages are all acknowledged is *safe* and announces safety to its
+  neighbors; a node enters round r+1 once it and all neighbors are safe
+  for round r.  The payload protocol is oblivious to all of this.
+
+The synchronizer preserves the protocol's semantics exactly: the same
+seed produces the same dominating set asynchronously as synchronously
+(tested), while the event-time span reveals the latency dilation caused
+by the delay distribution, and message counts reveal the 3x payload
+overhead (payload + ack + safe).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.messages import Message
+from repro.simulation.network import SynchronousNetwork
+from repro.types import NodeId
+
+
+@dataclass(order=True)
+class _Event:
+    """A timestamped delivery in the event queue."""
+
+    time: float
+    seq: int
+    src: NodeId = field(compare=False)
+    dest: NodeId = field(compare=False)
+    kind: str = field(compare=False)          # "payload" | "ack" | "safe"
+    round_index: int = field(compare=False)
+    payload: Optional[Message] = field(compare=False, default=None)
+    msg_id: int = field(compare=False, default=-1)
+
+
+@dataclass
+class AsyncStats:
+    """Accounting for an asynchronous execution."""
+
+    virtual_time: float = 0.0       # event time of the last delivery
+    payload_messages: int = 0
+    control_messages: int = 0       # acks + safety announcements
+    rounds: int = 0                 # synchronizer rounds completed
+
+    @property
+    def total_messages(self) -> int:
+        return self.payload_messages + self.control_messages
+
+
+def exponential_delays(mean: float = 1.0) -> Callable[[np.random.Generator], float]:
+    """Delay sampler: exponential with the given mean (memoryless links)."""
+    if mean <= 0:
+        raise SimulationError(f"mean delay must be positive, got {mean}")
+    return lambda rng: float(rng.exponential(mean))
+
+
+def uniform_delays(low: float = 0.5, high: float = 1.5
+                   ) -> Callable[[np.random.Generator], float]:
+    """Delay sampler: uniform in [low, high]."""
+    if not 0 <= low <= high:
+        raise SimulationError(f"need 0 <= low <= high, got [{low}, {high}]")
+    return lambda rng: float(rng.uniform(low, high))
+
+
+class AlphaSynchronizer:
+    """Runs a synchronous protocol on an asynchronous network.
+
+    Parameters
+    ----------
+    network:
+        A fully-populated :class:`SynchronousNetwork` (reused for its
+        topology, processes, size model, and per-node RNG streams).
+    delay:
+        Callable drawing one link delay from an RNG; defaults to
+        exponential with mean 1.
+    delay_seed:
+        Seed for the delay randomness (separate stream from node
+        randomness, so delays never perturb protocol coin flips).
+    max_rounds:
+        Safety valve on synchronizer rounds.
+    """
+
+    def __init__(self, network: SynchronousNetwork, *,
+                 delay: Callable[[np.random.Generator], float] | None = None,
+                 delay_seed: int | None = None,
+                 max_rounds: int = 100_000):
+        self.network = network
+        self.delay = delay if delay is not None else exponential_delays(1.0)
+        self.delay_rng = np.random.default_rng(delay_seed)
+        self.max_rounds = max_rounds
+        self.stats = AsyncStats()
+
+    # ------------------------------------------------------------------
+    def run(self) -> AsyncStats:
+        """Execute all node processes to completion; returns accounting."""
+        net = self.network
+        queue: List[_Event] = []
+        seq = itertools.count()
+        now = 0.0
+
+        def push(src, dest, kind, round_index, payload=None, msg_id=-1):
+            heapq.heappush(queue, _Event(
+                time=now + self.delay(self.delay_rng), seq=next(seq),
+                src=src, dest=dest, kind=kind, round_index=round_index,
+                payload=payload, msg_id=msg_id))
+
+        # --- per-node synchronizer state ------------------------------
+        generators: Dict[NodeId, object] = {}
+        round_of: Dict[NodeId, int] = {}
+        # Payloads are buffered per (receiver, consuming round): a
+        # message sent in the sender's round r is consumed by the
+        # receiver's round r+1 generator step.  Neighbors may run one
+        # round apart under the alpha synchronizer, so a single shared
+        # buffer would mix rounds.
+        inbox_buffer: Dict[Tuple[NodeId, int], List[Tuple[NodeId, Message]]] = {}
+        pending_acks: Dict[NodeId, Set[int]] = {}
+        #: neighbors' highest announced safe round
+        safe_round: Dict[NodeId, Dict[NodeId, int]] = {}
+        finished: Set[NodeId] = set()
+        msg_counter = itertools.count()
+
+        def live_neighbors(v: NodeId) -> Tuple[NodeId, ...]:
+            return net.sorted_neighbors(v)
+
+        def advance(v: NodeId) -> None:
+            """Run node v's generator for one synchronous round and ship
+            its outgoing messages with the current round tag."""
+            proc = net.processes[v]
+            proc.ctx.round_index = round_of[v]
+            gen = generators[v]
+            inbox = inbox_buffer.pop((v, round_of[v]), [])
+            try:
+                if round_of[v] == 0:
+                    next(gen)
+                else:
+                    gen.send(inbox)
+            except StopIteration:
+                proc.finished = True
+                finished.add(v)
+            sent = net.drain_outbox()
+            pending_acks[v] = set()
+            for src, dest, msg in sent:
+                if src != v:  # pragma: no cover — defensive
+                    raise SimulationError("outbox contamination")
+                mid = next(msg_counter)
+                pending_acks[v].add(mid)
+                self.stats.payload_messages += 1
+                push(v, dest, "payload", round_of[v], payload=msg,
+                     msg_id=mid)
+            if not pending_acks[v]:
+                announce_safe(v)
+
+        #: Safety round announced by a node that has finished its protocol
+        #: and had its last messages acknowledged: safe for every future
+        #: round, so neighbors never wait on it again.
+        safe_forever = self.max_rounds + 1
+
+        def announce_safe(v: NodeId) -> None:
+            """v is safe for its current round (or forever, once its
+            generator has finished and its last messages are acked)."""
+            r_announce = safe_forever if v in finished else round_of[v]
+            for w in live_neighbors(v):
+                self.stats.control_messages += 1
+                push(v, w, "safe", r_announce)
+            # Record own safety so maybe_advance can treat v uniformly.
+            safe_round.setdefault(v, {})[v] = r_announce
+            maybe_advance(v)
+
+        def maybe_advance(v: NodeId) -> None:
+            """Enter round r+1 once v and all neighbors are safe for r."""
+            if v in finished:
+                return
+            r = round_of[v]
+            known = safe_round.get(v, {})
+            if known.get(v, -1) < r:
+                return
+            for w in live_neighbors(v):
+                if known.get(w, -1) < r:
+                    return
+            round_of[v] = r + 1
+            if round_of[v] > self.max_rounds:
+                raise SimulationError(
+                    f"asynchronous run exceeded {self.max_rounds} rounds"
+                )
+            self.stats.rounds = max(self.stats.rounds, round_of[v])
+            advance(v)
+
+        # --- start every node in round 0 ------------------------------
+        for v, proc in net.processes.items():
+            proc.finished = False
+            proc.crashed = False
+            ctx = net.make_context(v)
+            proc.ctx = ctx
+            gen = proc.run(ctx)
+            if not hasattr(gen, "send"):
+                raise SimulationError(
+                    f"{type(proc).__name__}.run must be a generator"
+                )
+            generators[v] = gen
+            round_of[v] = 0
+        for v in net.processes:
+            advance(v)
+
+        # --- event loop -------------------------------------------------
+        while queue:
+            ev = heapq.heappop(queue)
+            now = ev.time
+            self.stats.virtual_time = now
+            if ev.kind == "payload":
+                # Buffer for the receiver's round r+1; ack immediately.
+                inbox_buffer.setdefault(
+                    (ev.dest, ev.round_index + 1), []
+                ).append((ev.src, ev.payload))
+                self.stats.control_messages += 1
+                push(ev.dest, ev.src, "ack", ev.round_index,
+                     msg_id=ev.msg_id)
+            elif ev.kind == "ack":
+                pending = pending_acks.get(ev.dest)
+                if pending is not None and ev.msg_id in pending:
+                    pending.discard(ev.msg_id)
+                    if not pending and ev.dest not in finished:
+                        announce_safe(ev.dest)
+            elif ev.kind == "safe":
+                safe_round.setdefault(ev.dest, {})[ev.src] = max(
+                    safe_round.get(ev.dest, {}).get(ev.src, -1),
+                    ev.round_index)
+                maybe_advance(ev.dest)
+            else:  # pragma: no cover — exhaustive kinds
+                raise SimulationError(f"unknown event kind {ev.kind!r}")
+
+        if len(finished) != len(net.processes):
+            stuck = set(net.processes) - finished
+            raise SimulationError(
+                f"asynchronous run deadlocked with {len(stuck)} node(s) "
+                f"unfinished, e.g. {next(iter(stuck))!r}"
+            )
+        return self.stats
+
+
+def run_protocol_async(network: SynchronousNetwork, *,
+                       delay: Callable[[np.random.Generator], float] | None = None,
+                       delay_seed: int | None = None,
+                       max_rounds: int = 100_000) -> AsyncStats:
+    """Convenience wrapper: run ``network``'s processes asynchronously
+    under an alpha synchronizer.  Node state afterwards is identical to a
+    synchronous :func:`repro.simulation.runner.run_protocol` run with the
+    same network seed."""
+    sync = AlphaSynchronizer(network, delay=delay, delay_seed=delay_seed,
+                             max_rounds=max_rounds)
+    return sync.run()

@@ -1,0 +1,91 @@
+"""Fault injection for the synchronous simulator.
+
+Two fault classes relevant to the paper's motivation (Section 1):
+
+- :class:`CrashFaultInjector` — crash-stop node failures ("battery driven
+  sensor nodes may stop working"), scheduled per round;
+- :class:`MessageLossInjector` — i.i.d. message drops ("the shared wireless
+  medium is inherently less stable than wired media").
+
+Injectors are composable: the runner applies every injector's
+``filter_messages`` to each round's traffic and asks ``crashes_at`` for the
+set of nodes to kill at each round boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+import numpy as np
+
+from repro.simulation.messages import Message
+from repro.types import NodeId
+
+
+class FaultInjector:
+    """Base class; the default injector is a no-op."""
+
+    def crashes_at(self, round_index: int) -> Set[NodeId]:
+        """Nodes that crash at the *start* of ``round_index`` (0-based)."""
+        return set()
+
+    def filter_messages(
+        self, round_index: int,
+        messages: List[Tuple[NodeId, NodeId, Message]],
+    ) -> List[Tuple[NodeId, NodeId, Message]]:
+        """Return the subset of ``messages`` that survive this injector."""
+        return messages
+
+
+class CrashFaultInjector(FaultInjector):
+    """Crash-stop failures on a fixed schedule.
+
+    Parameters
+    ----------
+    schedule:
+        Maps a 0-based round index to the node ids that crash at the start
+        of that round.  A crashed node stops executing, sends nothing, and
+        silently drops anything addressed to it.
+    """
+
+    def __init__(self, schedule: Mapping[int, Iterable[NodeId]]):
+        self.schedule: Dict[int, Set[NodeId]] = {
+            int(r): set(nodes) for r, nodes in schedule.items()
+        }
+        self.crashed: Set[NodeId] = set()
+
+    def crashes_at(self, round_index: int) -> Set[NodeId]:
+        newly = self.schedule.get(round_index, set())
+        self.crashed |= newly
+        return set(newly)
+
+    def filter_messages(self, round_index, messages):
+        if not self.crashed:
+            return messages
+        return [
+            (src, dest, msg) for src, dest, msg in messages
+            if src not in self.crashed and dest not in self.crashed
+        ]
+
+
+class MessageLossInjector(FaultInjector):
+    """Drop each message independently with probability ``loss_rate``.
+
+    Uses its own RNG stream so enabling loss does not perturb the protocol
+    nodes' random draws.
+    """
+
+    def __init__(self, loss_rate: float, seed: int | None = None):
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        self.loss_rate = float(loss_rate)
+        self.rng = np.random.default_rng(seed)
+        self.dropped = 0
+
+    def filter_messages(self, round_index, messages):
+        if self.loss_rate == 0.0 or not messages:
+            return messages
+        keep_mask = self.rng.random(len(messages)) >= self.loss_rate
+        kept = [m for m, keep in zip(messages, keep_mask) if keep]
+        self.dropped += len(messages) - len(kept)
+        return kept

@@ -1,0 +1,113 @@
+"""Message types with bit-size accounting.
+
+The paper restricts messages to ``O(log n)`` bits, i.e. a constant number of
+node identifiers per message.  To check this claim empirically we charge
+every message field according to a simple information-theoretic model:
+
+- ``id`` fields (node identifiers, or the random identifiers drawn from
+  ``[1, n^4]`` in Algorithm 3) cost ``ceil(log2(id_space))`` bits;
+- ``value`` fields (the fractional x-values, dynamic degrees, and coverage
+  counters) cost a fixed-point budget of ``value_bits`` bits — the paper's
+  algorithms only ever need values of the form ``a / (Delta+1)^{q/t}``
+  truncated to ``O(log n)`` precision, so the default budget is
+  ``4 * ceil(log2(n+1))``;
+- ``count`` fields (small integers bounded by ``n``) cost
+  ``ceil(log2(n+1))`` bits;
+- ``flag`` fields cost one bit.
+
+The model is deliberately coarse — the point is asymptotic bookkeeping, not
+wire-format engineering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ProtocolViolationError
+
+#: Recognized message-field kinds.
+FIELD_KINDS = ("id", "value", "count", "flag")
+
+
+def field_bits(kind: str, n: int, *, id_space: int | None = None,
+               value_bits: int | None = None) -> int:
+    """Bit cost of a single message field of the given ``kind``.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"id"``, ``"value"``, ``"count"``, ``"flag"``.
+    n:
+        Number of nodes in the network (sets the default field widths).
+    id_space:
+        Size of the identifier space for ``id`` fields.  Defaults to
+        ``n**4`` — the space Algorithm 3 draws its random identifiers from,
+        which also upper-bounds plain node ids.
+    value_bits:
+        Width of fixed-point ``value`` fields.  Defaults to
+        ``4 * ceil(log2(n+1))``.
+    """
+    log_n = max(1, math.ceil(math.log2(n + 1)))
+    if kind == "id":
+        space = id_space if id_space is not None else max(2, n) ** 4
+        return max(1, math.ceil(math.log2(space)))
+    if kind == "value":
+        return value_bits if value_bits is not None else 4 * log_n
+    if kind == "count":
+        return log_n
+    if kind == "flag":
+        return 1
+    raise ValueError(f"unknown message field kind {kind!r}; expected one of {FIELD_KINDS}")
+
+
+class MessageSizeModel:
+    """Computes the bit size of :class:`Message` instances for a network of
+    ``n`` nodes.
+
+    A small header of ``ceil(log2(n+1))`` bits (the sender id) is charged on
+    every message in addition to the declared payload fields.
+    """
+
+    def __init__(self, n: int, *, value_bits: int | None = None):
+        if n < 1:
+            raise ValueError(f"network size must be positive, got {n}")
+        self.n = n
+        self.value_bits = value_bits
+        self.header_bits = max(1, math.ceil(math.log2(n + 1)))
+        self._cache: Dict[Tuple[str, ...], int] = {}
+
+    def message_bits(self, message: "Message") -> int:
+        """Total size of ``message`` in bits under this model."""
+        kinds = message.field_kinds()
+        payload = self._cache.get(kinds)
+        if payload is None:
+            payload = sum(
+                field_bits(kind, self.n, value_bits=self.value_bits)
+                for kind in kinds
+            )
+            self._cache[kinds] = payload
+        return self.header_bits + payload
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for protocol messages.
+
+    Subclasses declare ``SCHEMA``, a tuple of ``(field_name, kind)`` pairs,
+    in payload order.  The dataclass fields must match the schema names.
+    """
+
+    SCHEMA: Tuple[Tuple[str, str], ...] = ()
+
+    def field_kinds(self) -> Tuple[str, ...]:
+        return tuple(kind for _, kind in type(self).SCHEMA)
+
+    def validate(self) -> None:
+        """Check that all schema fields are present on the instance."""
+        for name, _ in type(self).SCHEMA:
+            if not hasattr(self, name):
+                raise ProtocolViolationError(
+                    f"{type(self).__name__} is missing schema field {name!r}"
+                )

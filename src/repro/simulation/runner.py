@@ -1,0 +1,157 @@
+"""The synchronous round loop.
+
+:func:`run_protocol` drives every node's generator in lockstep:
+
+1. at each round boundary, crash faults are applied;
+2. every live node's generator is advanced with its inbox (messages
+   delivered from the previous round);
+3. queued outgoing messages are passed through the fault injectors,
+   accounted (count, bits, max size), and become the next round's inboxes;
+4. the loop ends when every generator has finished (or crashed), returning
+   a :class:`~repro.types.RunStats`.
+
+One generator ``yield`` == one communication round, matching the paper's
+synchronous model where "in each round, every node can send a message to
+each of its neighbors".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simulation.faults import FaultInjector
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.trace import TraceRecorder
+from repro.types import NodeId, RoundStats, RunStats
+
+
+def run_protocol(network: SynchronousNetwork, *,
+                 max_rounds: int = 100_000,
+                 injectors: Iterable[FaultInjector] = (),
+                 trace: Optional[TraceRecorder] = None,
+                 keep_round_stats: bool = False) -> RunStats:
+    """Execute all node processes on ``network`` to completion.
+
+    Parameters
+    ----------
+    network:
+        A fully-populated :class:`SynchronousNetwork`.
+    max_rounds:
+        Safety valve: raise :class:`SimulationError` if the protocol has not
+        terminated after this many rounds (catches livelock bugs).
+    injectors:
+        Fault injectors applied to every round's traffic and boundaries.
+    trace:
+        Optional event recorder; the runner emits ``"round"`` and
+        ``"crash"`` events, and hands the recorder to node processes that
+        declare a ``trace`` attribute.
+    keep_round_stats:
+        When true, ``RunStats.per_round`` is populated.
+
+    Returns
+    -------
+    RunStats
+        Aggregate round/message/bit accounting for the execution.
+    """
+    injectors = list(injectors)
+    stats = RunStats()
+
+    # Hand the trace recorder to any process that wants one.
+    if trace is not None:
+        for proc in network.processes.values():
+            if hasattr(proc, "trace"):
+                proc.trace = trace
+
+    generators: Dict[NodeId, object] = {}
+    for node_id, proc in network.processes.items():
+        proc.finished = False
+        proc.crashed = False
+        ctx = network.make_context(node_id)
+        proc.ctx = ctx
+        gen = proc.run(ctx)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"{type(proc).__name__}.run must be a generator (use 'yield')"
+            )
+        generators[node_id] = gen
+
+    inboxes: Dict[NodeId, List[Tuple[NodeId, object]]] = {}
+    live = set(generators)
+
+    for round_index in range(max_rounds + 1):
+        # --- apply crash faults scheduled for this boundary -------------
+        for injector in injectors:
+            for victim in injector.crashes_at(round_index):
+                if victim in live:
+                    live.discard(victim)
+                    proc = network.processes[victim]
+                    proc.crashed = True
+                    generators[victim].close()
+                    if trace is not None:
+                        trace.record(round_index, "crash", node=victim)
+
+        if not live:
+            break
+
+        # --- advance every live generator one round ---------------------
+        finished_now = []
+        for node_id in list(live):
+            proc = network.processes[node_id]
+            proc.ctx.round_index = round_index
+            gen = generators[node_id]
+            inbox = inboxes.get(node_id, [])
+            try:
+                if round_index == 0:
+                    next(gen)
+                else:
+                    gen.send(inbox)
+            except StopIteration:
+                proc.finished = True
+                finished_now.append(node_id)
+        for node_id in finished_now:
+            live.discard(node_id)
+
+        # --- collect, filter, account, and deliver messages --------------
+        sent = network.drain_outbox()
+        # Messages from nodes that crashed mid-round never made it out;
+        # filter_messages also drops traffic to/from crashed nodes.
+        for injector in injectors:
+            sent = injector.filter_messages(round_index, sent)
+
+        if not live and not sent:
+            # Everyone finished this round and nothing is in flight.
+            break
+
+        round_bits = 0
+        round_max = 0
+        for _, _, msg in sent:
+            bits = network.size_model.message_bits(msg)
+            round_bits += bits
+            if bits > round_max:
+                round_max = bits
+
+        stats.rounds += 1
+        stats.messages_sent += len(sent)
+        stats.bits_sent += round_bits
+        stats.max_message_bits = max(stats.max_message_bits, round_max)
+        if keep_round_stats:
+            stats.per_round.append(RoundStats(
+                round_index=round_index,
+                messages_sent=len(sent),
+                bits_sent=round_bits,
+                max_message_bits=round_max,
+                active_nodes=len(live),
+            ))
+        if trace is not None:
+            trace.record(round_index, "round",
+                         messages=len(sent), bits=round_bits, live=len(live))
+
+        inboxes = network.group_by_dest(sent)
+    else:
+        raise SimulationError(
+            f"protocol did not terminate within {max_rounds} rounds "
+            f"({len(live)} node(s) still live)"
+        )
+
+    return stats

@@ -1,0 +1,63 @@
+"""Structured execution traces for debugging and experiment analysis.
+
+A :class:`TraceRecorder` collects ``TraceEvent`` records — either emitted by
+the runner (round boundaries, crashes, deliveries) or by protocol code that
+wants to expose internal state (e.g. Algorithm 3 logging the number of
+active nodes per round for experiment E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    round_index: int
+    kind: str
+    node: Optional[NodeId] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects trace events, optionally filtered by kind.
+
+    Parameters
+    ----------
+    kinds:
+        When given, only events whose ``kind`` is in this set are kept.
+        Useful to avoid retaining per-message events on large runs.
+    """
+
+    def __init__(self, kinds: Optional[set[str]] = None):
+        self.kinds = set(kinds) if kinds is not None else None
+        self.events: List[TraceEvent] = []
+
+    def record(self, round_index: int, kind: str,
+               node: Optional[NodeId] = None, **data: Any) -> None:
+        """Append an event (subject to the kind filter)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.events.append(TraceEvent(round_index, kind, node, data))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All recorded events of the given kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def series(self, kind: str, key: str) -> List[Any]:
+        """Extract ``data[key]`` from every event of ``kind`` — handy for
+        plotting per-round time series."""
+        return [e.data[key] for e in self.of_kind(kind)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def null_recorder() -> TraceRecorder:
+    """A recorder that keeps nothing (filter set is empty)."""
+    return TraceRecorder(kinds=set())

@@ -1,0 +1,132 @@
+"""Shared type aliases and small dataclasses used across the package.
+
+The library identifies nodes by arbitrary hashable ids (networkx
+convention), and most algorithm entry points accept either a
+``networkx.Graph`` or a :class:`repro.graphs.udg.UnitDiskGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Sequence
+
+#: Node identifier. Any hashable (networkx convention); generators produce ints.
+NodeId = Hashable
+
+#: A per-node coverage requirement map (the paper's ``k_i`` parameters).
+CoverageMap = Mapping[NodeId, int]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Per-round accounting emitted by the synchronous simulator."""
+
+    round_index: int
+    messages_sent: int
+    bits_sent: int
+    max_message_bits: int
+    active_nodes: int
+
+
+@dataclass
+class RunStats:
+    """Aggregate accounting for one full protocol execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous communication rounds executed.
+    messages_sent:
+        Total number of point-to-point messages delivered.
+    bits_sent:
+        Total message payload volume in bits (per the paper's
+        ``O(log n)``-bit message model; see
+        :mod:`repro.simulation.messages`).
+    max_message_bits:
+        Size of the largest single message, in bits.  The paper's claims
+        require this to be ``O(log n)``.
+    per_round:
+        Optional per-round breakdown (populated when tracing is enabled).
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    bits_sent: int = 0
+    max_message_bits: int = 0
+    per_round: list[RoundStats] = field(default_factory=list)
+
+    def absorb(self, other: "RunStats") -> None:
+        """Accumulate another run's accounting into this one (sequential
+        composition of two protocol phases)."""
+        offset = self.rounds
+        self.rounds += other.rounds
+        self.messages_sent += other.messages_sent
+        self.bits_sent += other.bits_sent
+        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+        for rs in other.per_round:
+            self.per_round.append(
+                RoundStats(
+                    round_index=offset + rs.round_index,
+                    messages_sent=rs.messages_sent,
+                    bits_sent=rs.bits_sent,
+                    max_message_bits=rs.max_message_bits,
+                    active_nodes=rs.active_nodes,
+                )
+            )
+
+
+@dataclass
+class FractionalSolution:
+    """Output of Algorithm 1: a primal/dual pair for the LP ``(PP)``/``(DP)``.
+
+    ``x`` is the fractional dominating-set vector.  ``y`` and ``z`` are the
+    dual variables; ``alpha`` and ``beta`` are the bookkeeping shares the
+    algorithm maintains for the dual-fitting analysis (Lemmas 4.2–4.4).
+    ``alpha[i][j]`` is the share node ``j``'s x-increases contributed toward
+    covering node ``i`` (the paper's ``alpha_{j,i}`` stored at node ``i``).
+    """
+
+    x: Dict[NodeId, float]
+    y: Dict[NodeId, float]
+    z: Dict[NodeId, float]
+    alpha: Dict[NodeId, Dict[NodeId, float]]
+    beta: Dict[NodeId, Dict[NodeId, float]]
+    t: int
+    stats: RunStats = field(default_factory=RunStats)
+
+    @property
+    def objective(self) -> float:
+        """Primal objective value ``sum_i x_i``."""
+        return float(sum(self.x.values()))
+
+    def dual_objective(self, coverage: CoverageMap) -> float:
+        """Dual objective ``sum_i (k_i * y_i - z_i)`` for given ``k_i``."""
+        return float(
+            sum(coverage[i] * self.y[i] - self.z[i] for i in self.y)
+        )
+
+
+@dataclass
+class DominatingSet:
+    """An integral solution: the selected dominator set plus accounting."""
+
+    members: set
+    stats: RunStats = field(default_factory=RunStats)
+    #: Free-form diagnostic details (per-algorithm; e.g. part1/part2 sizes).
+    details: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.members
+
+    def __iter__(self):
+        return iter(self.members)
+
+
+def uniform_coverage(nodes: Sequence[NodeId], k: int) -> Dict[NodeId, int]:
+    """Build the uniform requirement map ``k_i = k`` for all nodes."""
+    if k < 0:
+        raise ValueError(f"coverage requirement must be non-negative, got {k}")
+    return {v: k for v in nodes}

@@ -1,0 +1,204 @@
+"""Dependency-free SVG rendering of deployments and experiment series.
+
+Visual inspection is the fastest sanity check for geometric clustering:
+are the dominators spread, is every client inside some dominator's disk,
+how does the active set shrink per round?  This module renders:
+
+- :func:`render_deployment_svg` — a sensor deployment with its radio
+  edges, dominators highlighted, and optional coverage disks;
+- :func:`render_series_svg` — a simple polyline chart (e.g. active nodes
+  per round, survival curves).
+
+Pure string generation — no plotting dependencies — so it runs anywhere
+the library runs; output opens in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph
+
+_STYLE = {
+    "background": "#ffffff",
+    "edge": "#d0d7de",
+    "node": "#57606a",
+    "dominator": "#cf222e",
+    "coverage": "#cf222e",
+    "axis": "#57606a",
+    "series": ("#0969da", "#cf222e", "#1a7f37", "#9a6700", "#8250df"),
+}
+
+
+def _svg_header(width: float, height: float, title: str) -> list:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f"<title>{html.escape(title)}</title>",
+        f'<rect width="100%" height="100%" fill="{_STYLE["background"]}"/>',
+    ]
+
+
+def render_deployment_svg(udg: UnitDiskGraph,
+                          dominators: Optional[Iterable[int]] = None, *,
+                          show_edges: bool = True,
+                          show_coverage: bool = False,
+                          scale: float = 60.0,
+                          title: str = "sensor deployment") -> str:
+    """Render a unit disk graph (optionally with a dominating set).
+
+    Parameters
+    ----------
+    udg:
+        The deployment to draw.
+    dominators:
+        Node indices to highlight (drawn larger, in red).
+    show_edges:
+        Draw the radio links.
+    show_coverage:
+        Draw each dominator's communication disk (radius = UDG radius).
+    scale:
+        Pixels per distance unit.
+    title:
+        SVG title element.
+    """
+    if scale <= 0:
+        raise GraphError(f"scale must be positive, got {scale}")
+    pts = udg.points
+    dom = set(dominators) if dominators is not None else set()
+    unknown = dom - set(range(udg.n))
+    if unknown:
+        raise GraphError(
+            f"dominators contain unknown node(s), e.g. {next(iter(unknown))}"
+        )
+
+    pad = udg.radius if show_coverage else 0.3
+    if len(pts):
+        min_x, min_y = pts.min(axis=0) - pad
+        max_x, max_y = pts.max(axis=0) + pad
+    else:
+        min_x = min_y = 0.0
+        max_x = max_y = 1.0
+    width = (max_x - min_x) * scale
+    height = (max_y - min_y) * scale
+
+    def sx(x: float) -> float:
+        return (x - min_x) * scale
+
+    def sy(y: float) -> float:
+        return height - (y - min_y) * scale  # flip: SVG y grows downward
+
+    parts = _svg_header(width, height, title)
+    if show_edges:
+        parts.append(f'<g stroke="{_STYLE["edge"]}" stroke-width="1">')
+        for u, v in udg.nx.edges:
+            parts.append(
+                f'<line x1="{sx(pts[u][0]):.1f}" y1="{sy(pts[u][1]):.1f}" '
+                f'x2="{sx(pts[v][0]):.1f}" y2="{sy(pts[v][1]):.1f}"/>')
+        parts.append("</g>")
+    if show_coverage and dom:
+        parts.append(
+            f'<g fill="{_STYLE["coverage"]}" fill-opacity="0.06" '
+            f'stroke="{_STYLE["coverage"]}" stroke-opacity="0.25">')
+        for v in sorted(dom):
+            parts.append(
+                f'<circle cx="{sx(pts[v][0]):.1f}" cy="{sy(pts[v][1]):.1f}" '
+                f'r="{udg.radius * scale:.1f}"/>')
+        parts.append("</g>")
+    parts.append(f'<g fill="{_STYLE["node"]}">')
+    for v in range(udg.n):
+        if v not in dom:
+            parts.append(
+                f'<circle cx="{sx(pts[v][0]):.1f}" cy="{sy(pts[v][1]):.1f}" '
+                'r="2.5"/>')
+    parts.append("</g>")
+    parts.append(f'<g fill="{_STYLE["dominator"]}">')
+    for v in sorted(dom):
+        parts.append(
+            f'<circle cx="{sx(pts[v][0]):.1f}" cy="{sy(pts[v][1]):.1f}" '
+            'r="4.5"/>')
+    parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_series_svg(series: Dict[str, Sequence[float]], *,
+                      width: float = 640.0, height: float = 360.0,
+                      x_label: str = "", y_label: str = "",
+                      title: str = "series") -> str:
+    """Render named numeric series as polylines with a legend.
+
+    Parameters
+    ----------
+    series:
+        Mapping label -> y-values (x is the index 0..len-1).
+    width / height:
+        Canvas size in pixels.
+    x_label / y_label / title:
+        Annotations.
+    """
+    if not series:
+        raise GraphError("at least one series is required")
+    for label, ys in series.items():
+        if len(ys) == 0:
+            raise GraphError(f"series {label!r} is empty")
+
+    margin = 50.0
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    max_len = max(len(ys) for ys in series.values())
+    y_min = min(min(ys) for ys in series.values())
+    y_max = max(max(ys) for ys in series.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    def px(i: int) -> float:
+        return margin + (i / max(1, max_len - 1)) * plot_w
+
+    def py(y: float) -> float:
+        return margin + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+    parts = _svg_header(width, height, title)
+    # Axes.
+    parts.append(
+        f'<g stroke="{_STYLE["axis"]}" stroke-width="1">'
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}"/>'
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height - margin}"/></g>')
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="{height - 10:.0f}" '
+        f'text-anchor="middle" font-size="12" fill="{_STYLE["axis"]}">'
+        f'{html.escape(x_label)}</text>')
+    parts.append(
+        f'<text x="14" y="{height / 2:.0f}" text-anchor="middle" '
+        f'font-size="12" fill="{_STYLE["axis"]}" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">'
+        f'{html.escape(y_label)}</text>')
+    parts.append(
+        f'<text x="{margin}" y="{margin - 10:.0f}" font-size="10" '
+        f'fill="{_STYLE["axis"]}">{y_max:g}</text>')
+    parts.append(
+        f'<text x="{margin}" y="{height - margin + 14:.0f}" font-size="10" '
+        f'fill="{_STYLE["axis"]}">{y_min:g}</text>')
+
+    for idx, (label, ys) in enumerate(series.items()):
+        color = _STYLE["series"][idx % len(_STYLE["series"])]
+        points = " ".join(f"{px(i):.1f},{py(y):.1f}"
+                          for i, y in enumerate(ys))
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{points}"/>')
+        ly = margin + 16 * idx
+        parts.append(
+            f'<line x1="{width - margin - 120:.0f}" y1="{ly:.0f}" '
+            f'x2="{width - margin - 100:.0f}" y2="{ly:.0f}" '
+            f'stroke="{color}" stroke-width="2"/>')
+        parts.append(
+            f'<text x="{width - margin - 94:.0f}" y="{ly + 4:.0f}" '
+            f'font-size="11" fill="{_STYLE["axis"]}">'
+            f'{html.escape(str(label))}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,266 @@
+"""Centralized baselines for the weighted k-MDS problem.
+
+- :func:`weighted_greedy_kmds` — cost-effectiveness greedy: always add the
+  node maximizing (newly covered units) / weight.  The classical
+  ``H_Delta``-approximation for weighted multicover [20, 21].
+- :func:`weighted_lp_optimum` — exact weighted LP optimum (HiGHS).
+- :func:`weighted_exact_kmds` — exact weighted optimum by branch-and-bound
+  with LP bounds (no integrality rounding of the bound, so arbitrary
+  positive real weights are supported).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set, Union
+
+import numpy as np
+import scipy.optimize as opt
+
+from repro.baselines.lp_opt import _constraint_matrix
+from repro.core.lp import CoveringLP
+from repro.errors import (
+    BudgetExceededError,
+    GraphError,
+    InfeasibleInstanceError,
+)
+from repro.graphs.properties import as_nx
+from repro.types import CoverageMap, DominatingSet, NodeId
+
+
+def _check_weights(g, weights: Mapping[NodeId, float]) -> Dict[NodeId, float]:
+    out = {}
+    for v in g.nodes:
+        if v not in weights:
+            raise GraphError(f"weights missing node {v!r}")
+        w = float(weights[v])
+        if w <= 0:
+            raise GraphError(f"weight of node {v!r} must be positive, got {w}")
+        out[v] = w
+    return out
+
+
+def set_cost(members, weights: Mapping[NodeId, float]) -> float:
+    """Total cost of a node set."""
+    return float(sum(weights[v] for v in members))
+
+
+# ----------------------------------------------------------------------
+def weighted_greedy_kmds(graph, weights: Mapping[NodeId, float],
+                         k: Union[int, CoverageMap] = 1, *,
+                         convention: str = "open") -> DominatingSet:
+    """Cost-effectiveness greedy for weighted k-fold domination."""
+    if convention not in ("open", "closed"):
+        raise GraphError(
+            f"unknown convention {convention!r}; expected 'open' or 'closed'"
+        )
+    g = as_nx(graph)
+    w = _check_weights(g, weights)
+    req = {v: k for v in g.nodes} if isinstance(k, int) else dict(k)
+    if convention == "closed":
+        for v in g.nodes:
+            if req[v] > g.degree[v] + 1:
+                raise InfeasibleInstanceError(
+                    f"node {v!r} requires {req[v]} covers but |N[v]| = "
+                    f"{g.degree[v] + 1}",
+                    witness=v,
+                )
+
+    residual = dict(req)
+    members: Set[NodeId] = set()
+
+    def gain(v: NodeId) -> int:
+        if v in members:
+            return 0
+        total = sum(1 for u in g.neighbors(v) if residual[u] > 0)
+        if convention == "closed":
+            total += 1 if residual[v] > 0 else 0
+        else:
+            total += residual[v]
+        return total
+
+    def effectiveness(v: NodeId) -> float:
+        return gain(v) / w[v]
+
+    heap: List[tuple] = [(-effectiveness(v), repr(v), v) for v in g.nodes]
+    heapq.heapify(heap)
+    outstanding = sum(residual.values())
+
+    while outstanding > 0:
+        if not heap:
+            raise InfeasibleInstanceError(
+                "greedy exhausted all nodes with requirements outstanding"
+            )
+        neg_e, _, v = heapq.heappop(heap)
+        current = effectiveness(v)
+        if current <= 0:
+            if all(effectiveness(u) <= 0 for u in g.nodes
+                   if u not in members):
+                raise InfeasibleInstanceError(
+                    "no remaining node can cover the outstanding demand"
+                )
+            continue
+        if -neg_e != current:
+            heapq.heappush(heap, (-current, repr(v), v))
+            continue
+        members.add(v)
+        covered = 0
+        for u in g.neighbors(v):
+            if residual[u] > 0:
+                residual[u] -= 1
+                covered += 1
+        if convention == "closed":
+            if residual[v] > 0:
+                residual[v] -= 1
+                covered += 1
+        else:
+            covered += residual[v]
+            residual[v] = 0
+        outstanding -= covered
+
+    return DominatingSet(
+        members=members,
+        details={"algorithm": "weighted-greedy", "convention": convention,
+                 "cost": set_cost(members, w)},
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class WeightedLPOptimum:
+    """Weighted LP solution: objective (total fractional cost) and x."""
+
+    objective: float
+    x: Dict[NodeId, float]
+
+
+def weighted_lp_optimum(graph, weights: Mapping[NodeId, float],
+                        k: Union[int, CoverageMap] = 1, *,
+                        convention: str = "closed") -> WeightedLPOptimum:
+    """Exact optimum of the weighted covering LP."""
+    if convention not in ("open", "closed"):
+        raise GraphError(
+            f"unknown convention {convention!r}; expected 'open' or 'closed'"
+        )
+    g = as_nx(graph)
+    w = _check_weights(g, weights)
+    coverage = {v: k for v in g.nodes} if isinstance(k, int) else k
+    lp = CoveringLP(g, coverage)
+    if lp.n == 0:
+        return WeightedLPOptimum(objective=0.0, x={})
+    a_mat = _constraint_matrix(lp, convention)
+    c = np.asarray([w[v] for v in lp.nodes])
+    res = opt.linprog(c=c, A_ub=-a_mat, b_ub=-lp.k_vector(),
+                      bounds=[(0.0, 1.0)] * lp.n, method="highs")
+    if not res.success:
+        from repro.errors import SolverError
+
+        raise SolverError(f"weighted LP solve failed: {res.message}")
+    return WeightedLPOptimum(
+        objective=float(res.fun),
+        x={v: float(res.x[i]) for i, v in enumerate(lp.nodes)},
+    )
+
+
+# ----------------------------------------------------------------------
+def weighted_exact_kmds(graph, weights: Mapping[NodeId, float],
+                        k: Union[int, CoverageMap] = 1, *,
+                        convention: str = "open",
+                        node_budget: int = 200_000) -> DominatingSet:
+    """Exact minimum-cost k-fold dominating set by branch-and-bound."""
+    if convention not in ("open", "closed"):
+        raise GraphError(
+            f"unknown convention {convention!r}; expected 'open' or 'closed'"
+        )
+    g = as_nx(graph)
+    w = _check_weights(g, weights)
+    coverage = {v: k for v in g.nodes} if isinstance(k, int) else dict(k)
+    lp = CoveringLP(g, coverage)
+    if lp.n == 0:
+        return DominatingSet(members=set(),
+                             details={"algorithm": "weighted-exact",
+                                      "cost": 0.0})
+    if convention == "closed" and lp.infeasible_witness() is not None:
+        witness = lp.infeasible_witness()
+        raise InfeasibleInstanceError(
+            f"node {witness!r} requires {lp.coverage[witness]} covers but "
+            f"|N[w]| = {lp.graph.degree[witness] + 1}",
+            witness=witness,
+        )
+
+    a_mat = _constraint_matrix(lp, convention).tocsr()
+    b = lp.k_vector()
+    n = lp.n
+    c = np.asarray([w[v] for v in lp.nodes])
+
+    greedy = weighted_greedy_kmds(g, w, coverage, convention=convention)
+    best_set = {lp.index[v] for v in greedy.members}
+    best_cost = float(c[sorted(best_set)].sum()) if best_set else 0.0
+    explored = 0
+
+    def feasible(chosen: Set[int]) -> bool:
+        xv = np.zeros(n)
+        for j in chosen:
+            xv[j] = 1.0
+        return bool(((a_mat @ xv) >= b - 1e-6).all())
+
+    def recurse(fixed_in: Set[int], fixed_out: Set[int]) -> None:
+        nonlocal best_set, best_cost, explored
+        explored += 1
+        if explored > node_budget:
+            raise BudgetExceededError(
+                f"weighted branch-and-bound exceeded {node_budget} nodes",
+                incumbent={lp.nodes[j] for j in best_set},
+            )
+        # Supply check / forcing.
+        hi = np.ones(n)
+        for j in fixed_out:
+            hi[j] = 0.0
+        supply = a_mat @ hi
+        if (supply < b - 1e-9).any():
+            return
+        row_slack = supply - b
+        for i in range(len(b)):
+            for ptr in range(a_mat.indptr[i], a_mat.indptr[i + 1]):
+                j = a_mat.indices[ptr]
+                if j in fixed_in or j in fixed_out:
+                    continue
+                if a_mat.data[ptr] > row_slack[i] + 1e-9:
+                    fixed_in.add(j)
+
+        cost_in = float(sum(c[j] for j in fixed_in))
+        if cost_in >= best_cost - 1e-9:
+            return
+        lo = np.zeros(n)
+        hb = np.ones(n)
+        for j in fixed_in:
+            lo[j] = 1.0
+        for j in fixed_out:
+            hb[j] = 0.0
+        res = opt.linprog(c=c, A_ub=-a_mat, b_ub=-b,
+                          bounds=np.stack([lo, hb], axis=1), method="highs")
+        if not res.success or res.fun >= best_cost - 1e-9:
+            return
+        x_rel = res.x
+        frac = [j for j in np.where((x_rel > 1e-6) & (x_rel < 1 - 1e-6))[0]
+                if j not in fixed_in and j not in fixed_out]
+        if not frac:
+            chosen = ({j for j in range(n) if x_rel[j] > 0.5} | fixed_in) \
+                - fixed_out
+            cost = float(sum(c[j] for j in chosen))
+            if cost < best_cost - 1e-12 and feasible(chosen):
+                best_cost = cost
+                best_set = set(chosen)
+            return
+        j = max(frac, key=lambda jj: min(x_rel[jj], 1 - x_rel[jj]))
+        recurse(fixed_in | {j}, set(fixed_out))
+        recurse(set(fixed_in), fixed_out | {j})
+
+    recurse(set(), set())
+    members = {lp.nodes[j] for j in best_set}
+    return DominatingSet(
+        members=members,
+        details={"algorithm": "weighted-exact", "convention": convention,
+                 "cost": set_cost(members, w), "bnb_nodes": explored},
+    )

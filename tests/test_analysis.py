@@ -1,0 +1,184 @@
+"""Unit tests for the analysis harness (stats, reporting, ratio, sweep,
+faults)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.faults import (
+    coverage_survival_curve,
+    dominator_failure_experiment,
+)
+from repro.analysis.ratio import (
+    OptimumEstimate,
+    approximation_ratio,
+    best_known_optimum,
+)
+from repro.analysis.reporting import format_markdown_table, format_table
+from repro.analysis.stats import (
+    geometric_mean,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.analysis.sweep import group_mean, sweep
+from repro.errors import GraphError
+from repro.graphs.generators import gnp_graph
+from repro.graphs.udg import random_udg
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["count"] == 3
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+    def test_ci_contains_mean(self):
+        m, lo, hi = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert lo <= m <= hi
+        assert m == 3.0
+
+    def test_ci_single_sample(self):
+        assert mean_confidence_interval([7.0]) == (7.0, 7.0, 7.0)
+
+    def test_ci_zero_variance(self):
+        m, lo, hi = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert (m, lo, hi) == (2.0, 2.0, 2.0)
+
+    def test_ci_bad_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1, 2], confidence=1.5)
+
+    def test_ci_widens_with_confidence(self):
+        vals = list(np.random.default_rng(0).normal(size=30))
+        _, lo95, hi95 = mean_confidence_interval(vals, 0.95)
+        _, lo99, hi99 = mean_confidence_interval(vals, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in out
+
+    def test_markdown_table(self):
+        out = format_markdown_table(["x"], [[1], [2]])
+        assert out.splitlines()[1] == "|---|"
+        assert out.count("|") == 8
+
+    def test_empty_rows(self):
+        out = format_table(["only", "headers"], [])
+        assert "only" in out
+
+
+class TestRatio:
+    def test_exact_on_small(self, tiny_gnp):
+        opt = best_known_optimum(tiny_gnp, 1, exact_node_limit=60)
+        assert opt.kind == "exact"
+        assert opt.value >= 1
+
+    def test_lp_on_large(self):
+        g = gnp_graph(120, 0.05, seed=0)
+        opt = best_known_optimum(g, 1, exact_node_limit=30)
+        assert opt.kind == "lp"
+
+    def test_ratio_math(self):
+        assert approximation_ratio(10, OptimumEstimate(5.0, "exact")) == 2.0
+        assert approximation_ratio(10, 4.0) == 2.5
+
+    def test_ratio_zero_opt(self):
+        assert approximation_ratio(0, 0.0) == 1.0
+        assert approximation_ratio(3, 0.0) == float("inf")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            OptimumEstimate(1.0, "guess")
+
+
+class TestSweep:
+    def test_grid_and_seeds(self):
+        def measure(seed, a, b):
+            return {"sum": a + b + seed}
+
+        recs = sweep(measure, {"a": [1, 2], "b": [10]}, seeds=(0, 1))
+        assert len(recs) == 4
+        assert {r["sum"] for r in recs} == {11, 12, 13, 12 + 1}
+
+    def test_on_record_callback(self):
+        seen = []
+        sweep(lambda seed, x: {"y": x}, {"x": [5]},
+              on_record=lambda r: seen.append(r))
+        assert len(seen) == 1
+        assert seen[0]["y"] == 5
+
+    def test_group_mean(self):
+        recs = [{"g": 1, "v": 2.0}, {"g": 1, "v": 4.0}, {"g": 2, "v": 10.0}]
+        out = group_mean(recs, by=["g"], value="v")
+        assert out[(1,)] == 3.0
+        assert out[(2,)] == 10.0
+
+
+class TestFaults:
+    def _setup(self):
+        from repro.core.udg import solve_kmds_udg
+
+        udg = random_udg(150, density=10.0, seed=2)
+        ds3 = solve_kmds_udg(udg, k=3, seed=0)
+        ds1 = solve_kmds_udg(udg, k=1, seed=0)
+        return udg, ds1, ds3
+
+    def test_zero_kill_full_coverage(self):
+        udg, ds1, _ = self._setup()
+        out = dominator_failure_experiment(udg, ds1.members, 0.0, trials=2,
+                                           seed=0)
+        assert out["uncovered_fraction"] == 0.0
+        assert out["all_covered_probability"] == 1.0
+
+    def test_full_kill_no_coverage(self):
+        udg, ds1, _ = self._setup()
+        out = dominator_failure_experiment(udg, ds1.members, 1.0, trials=2,
+                                           seed=0)
+        assert out["uncovered_fraction"] == 1.0
+
+    def test_redundancy_helps(self):
+        udg, ds1, ds3 = self._setup()
+        out1 = dominator_failure_experiment(udg, ds1.members, 0.4,
+                                            trials=20, seed=1)
+        out3 = dominator_failure_experiment(udg, ds3.members, 0.4,
+                                            trials=20, seed=1)
+        assert out3["uncovered_fraction"] <= out1["uncovered_fraction"]
+
+    def test_empty_members(self):
+        udg, _, _ = self._setup()
+        out = dominator_failure_experiment(udg, set(), 0.5, trials=1)
+        assert out["uncovered_fraction"] == 1.0
+
+    def test_invalid_fraction(self):
+        udg, ds1, _ = self._setup()
+        with pytest.raises(GraphError):
+            dominator_failure_experiment(udg, ds1.members, 1.5)
+
+    def test_invalid_trials(self):
+        udg, ds1, _ = self._setup()
+        with pytest.raises(GraphError):
+            dominator_failure_experiment(udg, ds1.members, 0.5, trials=0)
+
+    def test_survival_curve_shape(self):
+        udg, ds1, _ = self._setup()
+        curve = coverage_survival_curve(udg, ds1.members, [0.0, 0.5, 1.0],
+                                        trials=5, seed=0)
+        assert [c["kill_fraction"] for c in curve] == [0.0, 0.5, 1.0]
+        assert curve[0]["uncovered_fraction"] <= \
+            curve[-1]["uncovered_fraction"]

@@ -1,0 +1,130 @@
+"""Unit tests for the LP-optimum and exact branch-and-bound baselines."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.exact import exact_kmds
+from repro.baselines.greedy import greedy_kmds
+from repro.baselines.lp_opt import lp_optimum
+from repro.core.verify import is_k_dominating_set
+from repro.errors import BudgetExceededError, GraphError, InfeasibleInstanceError
+from repro.graphs.generators import gnp_graph, grid_graph
+from repro.graphs.properties import feasible_coverage
+
+
+class TestLPOptimum:
+    def test_triangle_k1(self, triangle):
+        # Closed convention: sum over N[v] (all 3 nodes) >= 1 -> 1/3 each.
+        res = lp_optimum(triangle, 1, convention="closed")
+        assert res.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_lp_lower_bounds_ilp(self, tiny_gnp):
+        for k in (1, 2):
+            cov = feasible_coverage(tiny_gnp, k)
+            lp = lp_optimum(tiny_gnp, cov, convention="closed")
+            ilp = exact_kmds(tiny_gnp, cov, convention="closed")
+            assert lp.objective <= len(ilp) + 1e-6
+
+    def test_open_le_closed(self, tiny_gnp):
+        cov = feasible_coverage(tiny_gnp, 2)
+        open_lp = lp_optimum(tiny_gnp, cov, convention="open")
+        closed_lp = lp_optimum(tiny_gnp, cov, convention="closed")
+        assert open_lp.objective <= closed_lp.objective + 1e-6
+
+    def test_x_within_box(self, tiny_gnp):
+        res = lp_optimum(tiny_gnp, 1)
+        assert all(-1e-9 <= x <= 1 + 1e-9 for x in res.x.values())
+
+    def test_empty_graph(self):
+        res = lp_optimum(nx.Graph(), 1)
+        assert res.objective == 0.0
+
+    def test_k0_zero(self, triangle):
+        assert lp_optimum(triangle, 0).objective == pytest.approx(0.0)
+
+    def test_unknown_convention(self, triangle):
+        with pytest.raises(GraphError):
+            lp_optimum(triangle, 1, convention="diag")
+
+    def test_scales_with_k(self, tiny_gnp):
+        cov1 = feasible_coverage(tiny_gnp, 1)
+        cov3 = feasible_coverage(tiny_gnp, 3)
+        assert lp_optimum(tiny_gnp, cov3).objective >= \
+            lp_optimum(tiny_gnp, cov1).objective
+
+
+class TestExact:
+    def test_grid_6x6_known_optimum(self):
+        g = grid_graph(6, 6)
+        assert len(exact_kmds(g, 1, convention="open")) == 10
+
+    def test_path_known_optimum(self):
+        # Domination number of P_n is ceil(n/3).
+        for n in (3, 4, 6, 7, 9):
+            g = nx.path_graph(n)
+            assert len(exact_kmds(g, 1, convention="open")) == -(-n // 3)
+
+    def test_cycle_known_optimum(self):
+        for n in (3, 5, 6, 9):
+            g = nx.cycle_graph(n)
+            assert len(exact_kmds(g, 1, convention="open")) == -(-n // 3)
+
+    def test_star_optimum(self, star10):
+        assert len(exact_kmds(star10, 1, convention="open")) == 1
+
+    def test_never_beaten_by_greedy(self, tiny_gnp):
+        for k in (1, 2):
+            for conv in ("open", "closed"):
+                cov = feasible_coverage(tiny_gnp, k)
+                opt = exact_kmds(tiny_gnp, cov, convention=conv)
+                greedy = greedy_kmds(tiny_gnp, cov, convention=conv)
+                assert len(opt) <= len(greedy)
+                assert is_k_dominating_set(tiny_gnp, opt.members, cov,
+                                           convention=conv)
+
+    def test_k2_at_least_two(self, tiny_gnp):
+        cov = feasible_coverage(tiny_gnp, 2)
+        assert len(exact_kmds(tiny_gnp, cov, convention="closed")) >= 2
+
+    def test_closed_infeasible(self, path4):
+        with pytest.raises(InfeasibleInstanceError):
+            exact_kmds(path4, 3, convention="closed")
+
+    def test_budget_exceeded_carries_incumbent(self):
+        g = gnp_graph(40, 0.15, seed=2)
+        with pytest.raises(BudgetExceededError) as exc:
+            exact_kmds(g, 2, node_budget=1)
+        assert exc.value.incumbent is not None
+        assert is_k_dominating_set(g, exc.value.incumbent, 2)
+
+    def test_empty_graph(self):
+        assert exact_kmds(nx.Graph(), 1).members == set()
+
+    def test_details(self, tiny_gnp):
+        res = exact_kmds(tiny_gnp, 1)
+        assert res.details["bnb_nodes"] >= 1
+        assert res.details["lp_solves"] >= 0
+
+    def test_unknown_convention(self, triangle):
+        with pytest.raises(GraphError):
+            exact_kmds(triangle, 1, convention="mystery")
+
+    def test_matches_bruteforce(self):
+        """Cross-check against exhaustive search on very small graphs."""
+        import itertools
+
+        for seed in range(4):
+            g = gnp_graph(9, 0.3, seed=seed)
+            for k in (1, 2):
+                best = None
+                nodes = list(g.nodes)
+                for r in range(len(nodes) + 1):
+                    for combo in itertools.combinations(nodes, r):
+                        if is_k_dominating_set(g, set(combo), k,
+                                               convention="open"):
+                            best = r
+                            break
+                    if best is not None:
+                        break
+                res = exact_kmds(g, k, convention="open")
+                assert len(res) == best, (seed, k)

@@ -1,0 +1,160 @@
+"""Unit tests for the beta (tree-based) synchronizer."""
+
+import networkx as nx
+import pytest
+
+from repro.core.fractional import FractionalNode, fractional_kmds
+from repro.core.udg import UDGNode, solve_kmds_udg
+from repro.errors import SimulationError
+from repro.graphs.generators import gnp_graph
+from repro.graphs.properties import feasible_coverage, max_degree
+from repro.graphs.udg import random_udg
+from repro.simulation.asynchrony import run_protocol_async, uniform_delays
+from repro.simulation.beta import BetaSynchronizer, run_protocol_beta
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.node import NodeProcess
+from repro.simulation.messages import Message
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tick(Message):
+    SCHEMA = ()
+
+
+class Counter(NodeProcess):
+    """Counts per-round inbox sizes over `rounds` rounds."""
+
+    def __init__(self, node_id, rounds=3):
+        super().__init__(node_id)
+        self.rounds = rounds
+        self.sizes = []
+
+    def run(self, ctx):
+        for _ in range(self.rounds):
+            ctx.broadcast(Tick())
+            inbox = yield
+            self.sizes.append(len(inbox))
+
+
+class TestTreeConstruction:
+    def test_forest_covers_components(self):
+        g = nx.disjoint_union(nx.path_graph(4), nx.cycle_graph(5))
+        net = SynchronousNetwork(g, [Counter(v) for v in g.nodes], seed=0)
+        sync = BetaSynchronizer(net)
+        roots = {sync.root_of[v] for v in g.nodes}
+        assert len(roots) == 2
+        for v in g.nodes:
+            if sync.parent[v] is not None:
+                assert g.has_edge(v, sync.parent[v])
+
+    def test_children_consistent(self):
+        g = gnp_graph(20, 0.2, seed=1)
+        net = SynchronousNetwork(g, [Counter(v) for v in g.nodes], seed=0)
+        sync = BetaSynchronizer(net)
+        for v in g.nodes:
+            for c in sync.children[v]:
+                assert sync.parent[c] == v
+
+
+class TestEquivalence:
+    def test_counter_matches_sync(self):
+        g = gnp_graph(15, 0.3, seed=2)
+        from repro.simulation.runner import run_protocol
+
+        ref = [Counter(v) for v in g.nodes]
+        run_protocol(SynchronousNetwork(g, ref, seed=0))
+        beta = [Counter(v) for v in g.nodes]
+        run_protocol_beta(SynchronousNetwork(g, beta, seed=0), delay_seed=3)
+        for a, b in zip(ref, beta):
+            assert a.sizes == b.sizes
+
+    @pytest.mark.parametrize("delay_seed", [0, 7])
+    def test_algorithm1_identical(self, delay_seed):
+        g = gnp_graph(18, 0.25, seed=5)
+        cov = feasible_coverage(g, 1)
+        delta = max_degree(g)
+        procs = [FractionalNode(v, cov[v], delta, 2, False) for v in g.nodes]
+        run_protocol_beta(SynchronousNetwork(g, procs, seed=2),
+                          delay_seed=delay_seed)
+        ref = fractional_kmds(g, coverage=cov, t=2, mode="message",
+                              compute_duals=False, seed=2)
+        for p in procs:
+            assert p.x == pytest.approx(ref.x[p.node_id], abs=1e-12)
+
+    def test_algorithm3_identical(self):
+        udg = random_udg(50, density=9.0, seed=6)
+        procs = [UDGNode(v, 2, 50, "random", 51) for v in range(50)]
+        run_protocol_beta(SynchronousNetwork(udg, procs, seed=9),
+                          delay_seed=1)
+        members = {p.node_id for p in procs if p.leader}
+        ref = solve_kmds_udg(udg, k=2, mode="message", seed=9)
+        assert members == ref.members
+
+    def test_disconnected_graph(self):
+        g = nx.disjoint_union(nx.path_graph(3), nx.path_graph(3))
+        procs = [Counter(v, rounds=2) for v in g.nodes]
+        stats = run_protocol_beta(SynchronousNetwork(g, procs, seed=0),
+                                  delay_seed=0)
+        assert all(p.finished for p in procs)
+        assert stats.rounds >= 2
+
+    def test_singleton_node(self):
+        g = nx.empty_graph(1)
+        procs = [Counter(0, rounds=2)]
+        run_protocol_beta(SynchronousNetwork(g, procs, seed=0), delay_seed=0)
+        assert procs[0].sizes == [0, 0]
+
+
+class TestAlphaBetaTradeoff:
+    def _nets(self, seed=0):
+        g = gnp_graph(25, 0.35, seed=3)  # dense: beta should win on msgs
+        cov = feasible_coverage(g, 1)
+        delta = max_degree(g)
+
+        def make():
+            procs = [FractionalNode(v, cov[v], delta, 2, False)
+                     for v in g.nodes]
+            return SynchronousNetwork(g, procs, seed=seed)
+
+        return make
+
+    def test_beta_fewer_control_messages(self):
+        make = self._nets()
+        alpha = run_protocol_async(make(), delay_seed=1)
+        beta = run_protocol_beta(make(), delay_seed=1)
+        assert beta.control_messages < alpha.control_messages
+        assert beta.payload_messages == alpha.payload_messages
+
+    def test_beta_higher_latency(self):
+        make = self._nets()
+        alpha = run_protocol_async(make(), delay=uniform_delays(0.9, 1.1),
+                                   delay_seed=2)
+        beta = run_protocol_beta(make(), delay=uniform_delays(0.9, 1.1),
+                                 delay_seed=2)
+        assert beta.virtual_time > alpha.virtual_time
+
+
+class TestValidation:
+    def test_max_rounds_guard(self):
+        class Forever(NodeProcess):
+            def run(self, ctx):
+                while True:
+                    ctx.broadcast(Tick())
+                    yield
+
+        g = nx.path_graph(3)
+        procs = [Forever(v) for v in g.nodes]
+        with pytest.raises(SimulationError, match="exceeded"):
+            run_protocol_beta(SynchronousNetwork(g, procs, seed=0),
+                              delay_seed=0, max_rounds=5)
+
+    def test_non_generator_rejected(self):
+        class Bad(NodeProcess):
+            def run(self, ctx):
+                return 1
+
+        g = nx.path_graph(2)
+        with pytest.raises(SimulationError, match="generator"):
+            run_protocol_beta(
+                SynchronousNetwork(g, [Bad(0), Bad(1)], seed=0))

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Deployment" in out
+        assert "valid=True" in out
+
+
+class TestSolveUdg:
+    def test_solve_udg(self, capsys):
+        rc = main(["solve-udg", "--n", "120", "--k", "2", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dominators" in out
+        assert "True" in out
+
+    def test_message_mode(self, capsys):
+        rc = main(["solve-udg", "--n", "60", "--k", "1",
+                   "--mode", "message"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max message bits" in out
+
+
+class TestSolveGeneral:
+    def test_solve_general(self, capsys):
+        rc = main(["solve-general", "--n", "60", "--p", "0.1", "--k", "2",
+                   "--t", "2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fractional objective" in out
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        rc = main(["experiment", "e11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "E11" in out
+        assert "[PASS]" in out
+
+    def test_markdown_flag(self, capsys):
+        rc = main(["experiment", "e11", "--markdown"])
+        assert rc == 0
+        assert "### E11" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "e42"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fabricate"])
+
+
+class TestSolveWeighted:
+    def test_solve_weighted(self, capsys):
+        rc = main(["solve-weighted", "--n", "50", "--k", "1",
+                   "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline cost" in out
+        assert "LP lower bound" in out
+
+
+class TestVisualize:
+    def test_visualize(self, tmp_path, capsys):
+        rc = main(["visualize", "--n", "60", "--k", "2",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "deployment_k2.svg").exists()
+        assert (tmp_path / "active_decay.svg").exists()
+
+    def test_visualize_svg_parses(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        main(["visualize", "--n", "40", "--k", "1", "--out",
+              str(tmp_path)])
+        ET.parse(tmp_path / "deployment_k1.svg")
+        ET.parse(tmp_path / "active_decay.svg")
+
+
+@pytest.mark.slow
+class TestReportCommand:
+    def test_report_regenerates_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "EXP.md"
+        rc = main(["report", "--out", str(out_file), "--scale", "quick"])
+        assert rc == 0
+        text = out_file.read_text()
+        for i in range(1, 22):
+            assert f"### E{i} " in text or f"### E{i} —" in text, i
+        assert "❌" not in text

@@ -1,0 +1,187 @@
+"""Unit tests for Algorithm 2 (distributed randomized rounding)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.fractional import fractional_kmds
+from repro.core.rounding import (
+    REQUEST_POLICIES,
+    randomized_rounding,
+    rounding_probability,
+)
+from repro.core.verify import is_k_dominating_set
+from repro.errors import GraphError, InfeasibleInstanceError
+from repro.graphs.generators import gnp_graph
+from repro.graphs.properties import feasible_coverage
+
+
+def _frac(graph, cov):
+    return fractional_kmds(graph, coverage=cov, t=3, compute_duals=False)
+
+
+class TestRoundingProbability:
+    def test_formula(self):
+        assert rounding_probability(0.2, 9) == pytest.approx(0.2 * math.log(10))
+
+    def test_capped_at_one(self):
+        assert rounding_probability(0.9, 100) == 1.0
+
+    def test_zero_x(self):
+        assert rounding_probability(0.0, 50) == 0.0
+
+    def test_delta_zero(self):
+        assert rounding_probability(0.7, 0) == pytest.approx(0.7)
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_always_feasible(self, small_gnp, k, seed):
+        cov = feasible_coverage(small_gnp, k)
+        frac = _frac(small_gnp, cov)
+        ds = randomized_rounding(small_gnp, frac.x, coverage=cov, seed=seed)
+        assert is_k_dominating_set(small_gnp, ds.members, cov,
+                                   convention="closed")
+
+    @pytest.mark.parametrize("policy", REQUEST_POLICIES)
+    def test_all_policies_feasible(self, small_gnp, policy):
+        cov = feasible_coverage(small_gnp, 2)
+        frac = _frac(small_gnp, cov)
+        for seed in range(4):
+            ds = randomized_rounding(small_gnp, frac.x, coverage=cov,
+                                     policy=policy, seed=seed)
+            assert is_k_dominating_set(small_gnp, ds.members, cov,
+                                       convention="closed")
+
+    def test_zero_fractional_still_patches(self, path4):
+        # Even an all-zero "fractional solution" must end feasible thanks
+        # to the REQ patching step.
+        x = {v: 0.0 for v in path4.nodes}
+        ds = randomized_rounding(path4, x, k=1, seed=0)
+        assert is_k_dominating_set(path4, ds.members, 1, convention="closed")
+
+    def test_isolated_nodes_join(self):
+        g = nx.empty_graph(4)
+        x = {v: 0.0 for v in g.nodes}
+        ds = randomized_rounding(g, x, k=1, seed=0)
+        assert ds.members == set(g.nodes)
+
+
+class TestDeterminismAndModes:
+    def test_same_seed_same_result(self, small_gnp):
+        cov = feasible_coverage(small_gnp, 2)
+        frac = _frac(small_gnp, cov)
+        a = randomized_rounding(small_gnp, frac.x, coverage=cov, seed=5)
+        b = randomized_rounding(small_gnp, frac.x, coverage=cov, seed=5)
+        assert a.members == b.members
+
+    def test_different_seeds_vary(self, small_gnp):
+        cov = feasible_coverage(small_gnp, 1)
+        frac = _frac(small_gnp, cov)
+        sets = {frozenset(randomized_rounding(small_gnp, frac.x,
+                                              coverage=cov, seed=s).members)
+                for s in range(8)}
+        assert len(sets) > 1
+
+    @pytest.mark.parametrize("policy", REQUEST_POLICIES)
+    def test_message_equals_direct(self, policy):
+        g = gnp_graph(25, 0.2, seed=4)
+        cov = feasible_coverage(g, 2)
+        frac = _frac(g, cov)
+        for seed in range(3):
+            d = randomized_rounding(g, frac.x, coverage=cov, policy=policy,
+                                    mode="direct", seed=seed)
+            m = randomized_rounding(g, frac.x, coverage=cov, policy=policy,
+                                    mode="message", seed=seed)
+            assert d.members == m.members, (policy, seed)
+
+    def test_message_constant_rounds(self, small_gnp):
+        cov = feasible_coverage(small_gnp, 1)
+        frac = _frac(small_gnp, cov)
+        ds = randomized_rounding(small_gnp, frac.x, coverage=cov,
+                                 mode="message", seed=0)
+        assert ds.stats.rounds <= 2
+
+
+class TestValidation:
+    def test_unknown_policy(self, triangle):
+        with pytest.raises(GraphError, match="policy"):
+            randomized_rounding(triangle, {v: 0.5 for v in triangle.nodes},
+                                k=1, policy="psychic")
+
+    def test_unknown_mode(self, triangle):
+        with pytest.raises(GraphError, match="unknown mode"):
+            randomized_rounding(triangle, {v: 0.5 for v in triangle.nodes},
+                                k=1, mode="carrier-pigeon")
+
+    def test_missing_x_entries(self, triangle):
+        with pytest.raises(GraphError, match="missing"):
+            randomized_rounding(triangle, {0: 0.5}, k=1)
+
+    def test_infeasible_instance(self, path4):
+        x = {v: 1.0 for v in path4.nodes}
+        with pytest.raises(InfeasibleInstanceError):
+            randomized_rounding(path4, x, k=3)
+
+    def test_empty_graph(self):
+        ds = randomized_rounding(nx.Graph(), {}, k=1)
+        assert ds.members == set()
+
+    def test_details_recorded(self, small_gnp):
+        cov = feasible_coverage(small_gnp, 1)
+        frac = _frac(small_gnp, cov)
+        ds = randomized_rounding(small_gnp, frac.x, coverage=cov, seed=1)
+        assert "sampled" in ds.details
+        assert "requested" in ds.details
+        assert ds.details["policy"] == "random"
+
+
+class TestStatisticalBehavior:
+    @pytest.mark.slow
+    def test_expected_blowup_theorem_46(self):
+        # Mean integral size over many seeds stays within
+        # ln(Delta+1) * frac + O(OPT-ish additive).
+        g = gnp_graph(80, 0.12, seed=9)
+        cov = feasible_coverage(g, 2)
+        frac = _frac(g, cov)
+        delta = max(d for _, d in g.degree)
+        sizes = [len(randomized_rounding(g, frac.x, coverage=cov, seed=s))
+                 for s in range(40)]
+        mean = sum(sizes) / len(sizes)
+        assert mean <= math.log(delta + 1) * frac.objective \
+            + 2 * g.number_of_nodes() / (delta + 1) + 5
+
+
+class TestAccountingEquivalence:
+    @pytest.mark.parametrize("policy", REQUEST_POLICIES)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_direct_analytic_stats_match_message(self, policy, seed):
+        g = gnp_graph(30, 0.15, seed=2)
+        cov = feasible_coverage(g, 2)
+        frac = _frac(g, cov)
+        d = randomized_rounding(g, frac.x, coverage=cov, policy=policy,
+                                mode="direct", seed=seed)
+        m = randomized_rounding(g, frac.x, coverage=cov, policy=policy,
+                                mode="message", seed=seed)
+        assert d.members == m.members
+        assert d.stats.messages_sent == m.stats.messages_sent
+        assert d.stats.bits_sent == m.stats.bits_sent
+
+
+class TestWeightedFractionalStats:
+    def test_weighted_direct_stats_match_message(self):
+        import numpy as np
+
+        g = gnp_graph(25, 0.2, seed=4)
+        cov = feasible_coverage(g, 2)
+        rng = np.random.default_rng(0)
+        w = {v: float(rng.uniform(1, 5)) for v in g.nodes}
+        d = fractional_kmds(g, coverage=cov, t=2, weights=w,
+                            compute_duals=False, mode="direct")
+        m = fractional_kmds(g, coverage=cov, t=2, weights=w,
+                            compute_duals=False, mode="message")
+        assert d.stats.rounds == m.stats.rounds
+        assert d.stats.messages_sent == m.stats.messages_sent
+        assert d.stats.bits_sent == m.stats.bits_sent

@@ -1,0 +1,155 @@
+"""Unit tests for Algorithm 3 (unit disk graphs)."""
+
+import math
+
+import pytest
+
+from repro.core.udg import (
+    XI,
+    part_one_leaders,
+    part_one_round_count,
+    solve_kmds_udg,
+    theta_schedule,
+)
+from repro.core.verify import is_k_dominating_set
+from repro.errors import GeometryError, GraphError
+from repro.graphs.udg import random_udg, udg_from_points
+
+
+class TestSchedule:
+    def test_round_count_formula(self):
+        for n in (8, 100, 10_000, 10 ** 6):
+            expected = math.ceil(math.log(math.log2(n), XI))
+            assert part_one_round_count(n) == max(1, expected)
+
+    def test_round_count_tiny(self):
+        assert part_one_round_count(1) == 1
+        assert part_one_round_count(2) == 1
+
+    def test_loglog_growth(self):
+        assert part_one_round_count(10 ** 6) <= part_one_round_count(100) + 4
+
+    def test_schedule_doubles(self):
+        for n in (100, 5000):
+            sched = theta_schedule(n)
+            for a, b in zip(sched, sched[1:]):
+                assert b == pytest.approx(2 * a)
+
+    def test_schedule_ends_at_half(self):
+        for n in (10, 100, 10_000):
+            assert theta_schedule(n)[-1] == pytest.approx(0.5)
+
+    def test_schedule_length(self):
+        for n in (50, 2000):
+            assert len(theta_schedule(n)) == part_one_round_count(n)
+
+
+class TestPartOne:
+    def test_leaders_dominate(self, udg200):
+        res = part_one_leaders(udg200, seed=0)
+        assert is_k_dominating_set(udg200, res.members, 1, convention="open")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lemma_51_many_seeds(self, seed):
+        udg = random_udg(150, density=8.0, seed=seed)
+        res = part_one_leaders(udg, seed=seed)
+        assert is_k_dominating_set(udg, res.members, 1, convention="open")
+
+    def test_active_counts_decrease(self, udg200):
+        res = part_one_leaders(udg200, seed=1)
+        trace = res.details["active_per_round"]
+        assert trace[0] == 200
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+        assert trace[-1] == len(res.members)
+
+    def test_sparsifies(self, udg200):
+        res = part_one_leaders(udg200, seed=2)
+        assert len(res.members) < 200
+
+    def test_isolated_node_becomes_leader(self):
+        udg = udg_from_points([(0, 0), (10, 10), (10.4, 10.0)])
+        res = part_one_leaders(udg, seed=0)
+        assert 0 in res.members
+
+    def test_single_node(self):
+        udg = udg_from_points([(0, 0)])
+        res = part_one_leaders(udg, seed=0)
+        assert res.members == {0}
+
+    def test_deterministic(self, udg200):
+        a = part_one_leaders(udg200, seed=3)
+        b = part_one_leaders(udg200, seed=3)
+        assert a.members == b.members
+
+
+class TestFullAlgorithm:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_valid_kfold(self, udg200, k):
+        ds = solve_kmds_udg(udg200, k=k, seed=0)
+        assert is_k_dominating_set(udg200, ds.members, k, convention="open")
+
+    def test_monotone_in_k(self, udg200):
+        sizes = [len(solve_kmds_udg(udg200, k=k, seed=0)) for k in (1, 2, 4)]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+
+    def test_k_exceeding_degrees_promotes_everyone_needed(self):
+        # Clique of 3 with k=5: nobody can have 5 neighbors in S, so all
+        # deficient nodes end up inside S (where they are exempt).
+        udg = udg_from_points([(0, 0), (0.1, 0), (0, 0.1)])
+        ds = solve_kmds_udg(udg, k=5, seed=0)
+        assert is_k_dominating_set(udg, ds.members, 5, convention="open")
+        assert ds.members == {0, 1, 2}
+
+    def test_details(self, udg200):
+        ds = solve_kmds_udg(udg200, k=2, seed=1)
+        assert ds.details["part1_leaders"] <= len(ds)
+        assert ds.details["part2_iterations"] >= 0
+        assert len(ds.details["theta_per_round"]) == part_one_round_count(200)
+
+    def test_selection_policies_valid(self, udg200):
+        for policy in ("random", "by-id"):
+            ds = solve_kmds_udg(udg200, k=3, selection_policy=policy, seed=0)
+            assert is_k_dominating_set(udg200, ds.members, 3,
+                                       convention="open")
+
+    def test_empty(self):
+        udg = udg_from_points([])
+        ds = solve_kmds_udg(udg, k=1)
+        assert ds.members == set()
+
+    def test_invalid_k(self, udg_tiny):
+        with pytest.raises(GraphError, match="k must be"):
+            solve_kmds_udg(udg_tiny, k=0)
+
+    def test_invalid_policy(self, udg_tiny):
+        with pytest.raises(GraphError, match="selection policy"):
+            solve_kmds_udg(udg_tiny, k=1, selection_policy="telepathy")
+
+    def test_requires_udg(self, triangle):
+        with pytest.raises(GeometryError, match="UnitDiskGraph"):
+            solve_kmds_udg(triangle, k=1)
+
+    def test_invalid_mode(self, udg_tiny):
+        with pytest.raises(GraphError, match="unknown mode"):
+            solve_kmds_udg(udg_tiny, k=1, mode="smoke-signals")
+
+
+class TestModes:
+    @pytest.mark.parametrize("k", [1, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_message_equals_direct(self, k, seed):
+        udg = random_udg(120, density=9.0, seed=40 + seed)
+        d = solve_kmds_udg(udg, k=k, mode="direct", seed=seed)
+        m = solve_kmds_udg(udg, k=k, mode="message", seed=seed)
+        assert d.members == m.members
+
+    def test_message_rounds_loglog(self):
+        udg = random_udg(150, density=10.0, seed=5)
+        ds = solve_kmds_udg(udg, k=1, mode="message", seed=0)
+        # Part I: 2 rounds per doubling round; Part II small.
+        assert ds.stats.rounds <= 2 * part_one_round_count(150) + 3 * 8 + 4
+
+    def test_message_bits_logarithmic(self):
+        udg = random_udg(100, density=10.0, seed=6)
+        ds = solve_kmds_udg(udg, k=2, mode="message", seed=0)
+        assert ds.stats.max_message_bits <= 16 * math.log2(101)

@@ -1,0 +1,124 @@
+"""Unit tests for non-uniform deployment generators and the targeted
+failure strategy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.faults import dominator_failure_experiment
+from repro.core.udg import solve_kmds_udg
+from repro.core.verify import is_k_dominating_set
+from repro.errors import GraphError
+from repro.graphs.deployments import clustered_udg, corridor_udg, perforated_udg
+
+
+class TestClustered:
+    def test_basic(self):
+        udg = clustered_udg(200, clusters=5, seed=1)
+        assert udg.n == 200
+
+    def test_clumpier_than_uniform(self):
+        from repro.graphs.udg import random_udg
+
+        clustered = clustered_udg(400, clusters=5, spread=0.5, seed=2)
+        uniform = random_udg(400, density=10.0, seed=2)
+        # Hot spots: the max degree in a clustered field is far higher.
+        max_deg = lambda u: max(d for _, d in u.nx.degree)
+        assert max_deg(clustered) > 1.5 * max_deg(uniform)
+
+    def test_deterministic(self):
+        a = clustered_udg(100, seed=5)
+        b = clustered_udg(100, seed=5)
+        assert np.allclose(a.points, b.points)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            clustered_udg(-1)
+        with pytest.raises(GraphError):
+            clustered_udg(10, clusters=0)
+        with pytest.raises(GraphError):
+            clustered_udg(10, spread=-1.0)
+
+    def test_algorithm3_works(self):
+        udg = clustered_udg(200, clusters=6, seed=3)
+        ds = solve_kmds_udg(udg, k=2, seed=0)
+        assert is_k_dominating_set(udg, ds.members, 2)
+
+
+class TestCorridor:
+    def test_shape(self):
+        udg = corridor_udg(150, width=2.0, seed=1)
+        assert udg.points[:, 1].max() <= 2.0
+        assert udg.points[:, 0].max() > 10.0
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            corridor_udg(-1)
+        with pytest.raises(GraphError):
+            corridor_udg(10, width=0.0)
+        with pytest.raises(GraphError):
+            corridor_udg(10, length=-5.0)
+
+    def test_algorithm3_works(self):
+        udg = corridor_udg(150, seed=2)
+        ds = solve_kmds_udg(udg, k=1, seed=0)
+        assert is_k_dominating_set(udg, ds.members, 1)
+
+
+class TestPerforated:
+    def test_holes_respected(self):
+        udg = perforated_udg(300, holes=3, hole_radius=2.0, seed=4)
+        # Regenerate the hole centers the same way to check clearance.
+        rng = np.random.default_rng(4)
+        import math
+
+        side = math.sqrt(300 * math.pi / 8.0)
+        centers = rng.uniform(0.0, side, size=(3, 2))
+        d2 = ((udg.points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assert (d2.min(axis=1) >= 2.0 ** 2 - 1e-9).all()
+
+    def test_no_holes_is_uniform(self):
+        udg = perforated_udg(100, holes=0, seed=1)
+        assert udg.n == 100
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            perforated_udg(-1)
+        with pytest.raises(GraphError):
+            perforated_udg(10, holes=-1)
+        with pytest.raises(GraphError):
+            perforated_udg(10, hole_radius=-0.5)
+
+    def test_algorithm3_works(self):
+        udg = perforated_udg(250, holes=4, seed=5)
+        ds = solve_kmds_udg(udg, k=2, seed=0)
+        assert is_k_dominating_set(udg, ds.members, 2)
+
+
+class TestTargetedFailures:
+    def _clustering(self):
+        udg = clustered_udg(200, clusters=6, seed=7)
+        ds = solve_kmds_udg(udg, k=1, seed=0)
+        return udg, ds.members
+
+    def test_targeted_at_least_as_bad_as_random(self):
+        udg, members = self._clustering()
+        rnd = dominator_failure_experiment(udg, members, 0.3, trials=15,
+                                           strategy="random", seed=1)
+        adv = dominator_failure_experiment(udg, members, 0.3, trials=15,
+                                           strategy="targeted", seed=1)
+        assert adv["uncovered_fraction"] >= \
+            rnd["uncovered_fraction"] - 1e-9
+
+    def test_targeted_deterministic_ranking(self):
+        udg, members = self._clustering()
+        a = dominator_failure_experiment(udg, members, 0.5, trials=3,
+                                         strategy="targeted", seed=2)
+        b = dominator_failure_experiment(udg, members, 0.5, trials=3,
+                                         strategy="targeted", seed=2)
+        assert a == b
+
+    def test_unknown_strategy(self):
+        udg, members = self._clustering()
+        with pytest.raises(GraphError, match="strategy"):
+            dominator_failure_experiment(udg, members, 0.3,
+                                         strategy="voodoo")

@@ -1,0 +1,32 @@
+"""Smoke tests: the example scripts run end-to-end (marked slow).
+
+Each example is executed as a subprocess with its own interpreter — the
+same way a user would run it — and must exit 0 and print its takeaway.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "message_cost_analysis.py",
+    "heterogeneous_coverage.py",
+    "visualize_clustering.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, tmp_path):
+    args = [sys.executable, str(EXAMPLES / name)]
+    if name == "visualize_clustering.py":
+        args.append(str(tmp_path))
+    out = subprocess.run(args, capture_output=True, text=True, timeout=600)
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert out.stdout.strip(), "example produced no output"

@@ -1,0 +1,70 @@
+"""Tests for the E1-E13 experiment harness.
+
+Each experiment runs at quick scale and must pass all of its claim checks
+— these are the repository's "the paper reproduces" assertions.  The fast
+ones run in the default suite; the heavier ones are marked slow.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentReport, ScaleError
+
+FAST = ["e2", "e3", "e5", "e7", "e8", "e11", "e12", "e13", "e15", "e16"]
+HEAVY = ["e1", "e4", "e6", "e9", "e10", "e14", "e17", "e18", "e19", "e20", "e21"]
+
+
+class TestRegistry:
+    def test_all_thirteen_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 22)}
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("e99")
+
+    def test_case_insensitive(self):
+        report = run_experiment("E11")
+        assert report.experiment_id == "e11"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ScaleError):
+            run_experiment("e11", scale="galactic")
+
+
+@pytest.mark.parametrize("eid", FAST)
+def test_fast_experiments_pass(eid):
+    report = run_experiment(eid, scale="quick", seed=0)
+    assert isinstance(report, ExperimentReport)
+    assert report.rows, f"{eid} produced no rows"
+    assert report.passed, f"{eid} failed: {report.failed_checks()}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("eid", HEAVY)
+def test_heavy_experiments_pass(eid):
+    report = run_experiment(eid, scale="quick", seed=0)
+    assert report.rows, f"{eid} produced no rows"
+    assert report.passed, f"{eid} failed: {report.failed_checks()}"
+
+
+class TestReportRendering:
+    def test_render_ascii(self):
+        report = run_experiment("e11")
+        out = report.render()
+        assert "E11" in out
+        assert "PASS" in out
+
+    def test_render_markdown(self):
+        report = run_experiment("e11")
+        out = report.render_markdown()
+        assert out.startswith("### E11")
+        assert "|---|" in out
+
+    def test_failed_checks_listed(self):
+        report = ExperimentReport(
+            experiment_id="ex", title="t", claim="c",
+            headers=["h"], rows=[[1]],
+            checks={"good": True, "bad": False})
+        assert not report.passed
+        assert report.failed_checks() == ["bad"]
+        assert "[FAIL] bad" in report.render()

@@ -1,0 +1,118 @@
+"""Unit tests for the general-graph generators."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    gnp_graph,
+    graph_suite,
+    grid_graph,
+    path_graph,
+    powerlaw_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+class TestGenerators:
+    def test_gnp_sizes(self):
+        g = gnp_graph(50, 0.1, seed=0)
+        assert g.number_of_nodes() == 50
+
+    def test_gnp_determinism(self):
+        a = gnp_graph(40, 0.2, seed=7)
+        b = gnp_graph(40, 0.2, seed=7)
+        assert set(a.edges) == set(b.edges)
+
+    def test_gnp_bad_probability(self):
+        with pytest.raises(GraphError):
+            gnp_graph(10, 1.5)
+
+    def test_integer_labels(self):
+        for name, g in graph_suite("tiny"):
+            assert set(g.nodes) == set(range(g.number_of_nodes())), name
+
+    def test_no_self_loops(self):
+        for name, g in graph_suite("tiny"):
+            assert nx.number_of_selfloops(g) == 0, name
+
+    def test_regular_degrees(self):
+        g = random_regular_graph(20, 4, seed=1)
+        assert all(d == 4 for _, d in g.degree)
+
+    def test_regular_invalid(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 5)
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)  # n*d odd
+
+    def test_powerlaw_heavy_tail(self):
+        g = powerlaw_graph(300, 2, seed=3)
+        degs = sorted((d for _, d in g.degree), reverse=True)
+        assert degs[0] >= 4 * degs[len(degs) // 2]
+
+    def test_powerlaw_invalid(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(3, 5)
+
+    def test_grid_structure(self):
+        g = grid_graph(4, 6)
+        assert g.number_of_nodes() == 24
+        assert g.number_of_edges() == 4 * 5 + 6 * 3
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.number_of_edges() == 4
+
+    def test_star(self):
+        g = star_graph(7)
+        degs = sorted(d for _, d in g.degree)
+        assert degs == [1] * 7 + [7]
+
+    def test_star_invalid(self):
+        with pytest.raises(GraphError):
+            star_graph(-1)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.number_of_edges() == 15
+
+    def test_caterpillar_structure(self):
+        g = caterpillar_graph(5, 3)
+        assert g.number_of_nodes() == 5 + 15
+        leaves = [v for v, d in g.degree if d == 1]
+        assert len(leaves) == 15  # the legs; spine ends carry legs too
+
+    def test_caterpillar_no_legs(self):
+        g = caterpillar_graph(4, 0)
+        assert g.number_of_nodes() == 4
+
+    def test_caterpillar_invalid(self):
+        with pytest.raises(GraphError):
+            caterpillar_graph(0)
+        with pytest.raises(GraphError):
+            caterpillar_graph(3, -1)
+
+
+class TestSuite:
+    def test_scales(self):
+        for scale in ("tiny", "small", "medium"):
+            names = [name for name, _ in graph_suite(scale)]
+            assert len(names) == 6
+            assert len(set(names)) == 6
+
+    def test_unknown_scale(self):
+        with pytest.raises(GraphError, match="unknown scale"):
+            list(graph_suite("huge"))
+
+    def test_deterministic(self):
+        a = {name: set(g.edges) for name, g in graph_suite("tiny", seed=4)}
+        b = {name: set(g.edges) for name, g in graph_suite("tiny", seed=4)}
+        assert a == b

@@ -1,0 +1,111 @@
+"""Unit tests for the hexagonal-covering geometry (Figure 1 / Lemma 5.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.graphs.hexcover import (
+    ETA,
+    alpha_bound,
+    covering_disk_count,
+    disks_touching,
+    hex_cover_centers,
+    hex_lattice_points,
+    leaders_per_disk,
+    verify_cover,
+)
+
+
+class TestLattice:
+    def test_contains_origin(self):
+        pts = hex_lattice_points(1.0, 3.0)
+        assert any(np.allclose(p, (0, 0)) for p in pts)
+
+    def test_nearest_neighbor_spacing(self):
+        pts = hex_lattice_points(1.0, 5.0)
+        origin = np.array([0.0, 0.0])
+        dists = sorted(np.hypot(*(p - origin)) for p in pts if not np.allclose(p, origin))
+        assert dists[0] == pytest.approx(1.0)
+        # exactly 6 nearest neighbors in a hex lattice
+        assert sum(1 for d in dists if abs(d - 1.0) < 1e-9) == 6
+
+    def test_radius_filter(self):
+        pts = hex_lattice_points(1.0, 2.0)
+        assert all(np.hypot(*p) <= 2.0 + 1e-9 for p in pts)
+
+    def test_invalid_args(self):
+        with pytest.raises(GeometryError):
+            hex_lattice_points(0.0, 1.0)
+        with pytest.raises(GeometryError):
+            hex_lattice_points(1.0, -1.0)
+
+
+class TestCovering:
+    @pytest.mark.parametrize("disk_radius", [0.05, 0.1, 0.02])
+    def test_cover_is_complete(self, disk_radius):
+        centers = hex_cover_centers(0.5, disk_radius)
+        assert verify_cover(0.5, disk_radius, centers)
+
+    def test_lemma_53_bound_small_theta(self):
+        for theta in (0.2, 0.1, 0.05, 0.02):
+            count = covering_disk_count(0.5, theta / 2)
+            assert count < alpha_bound(theta)
+
+    def test_count_scales_inverse_square(self):
+        c1 = covering_disk_count(0.5, 0.05)
+        c2 = covering_disk_count(0.5, 0.025)
+        assert 3.0 <= c2 / c1 <= 5.0
+
+    def test_eta_constant(self):
+        assert ETA == pytest.approx(16 * math.pi / (3 * math.sqrt(3)))
+
+    def test_alpha_bound_invalid(self):
+        with pytest.raises(GeometryError):
+            alpha_bound(0.0)
+
+    def test_invalid_radii(self):
+        with pytest.raises(GeometryError):
+            hex_cover_centers(0.5, 0.0)
+        with pytest.raises(GeometryError):
+            hex_cover_centers(-0.5, 0.1)
+
+
+class TestFigure1:
+    @pytest.mark.parametrize("theta", [1.0, 0.5, 0.1, 0.037])
+    def test_nineteen_disks(self, theta):
+        assert disks_touching(theta) == 19
+
+    def test_invalid_theta(self):
+        with pytest.raises(GeometryError):
+            disks_touching(-1.0)
+
+
+class TestLeadersPerDisk:
+    def test_empty_points(self):
+        out = leaders_per_disk([], [], disk_radius=0.5)
+        assert out == {"max": 0, "mean": 0.0, "disks": 0}
+
+    def test_single_cluster(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1)]
+        out = leaders_per_disk(pts, [0, 1, 2], disk_radius=0.5, grid_step=0.25)
+        assert out["max"] == 3
+
+    def test_no_leaders(self):
+        pts = [(0.0, 0.0), (5.0, 5.0)]
+        out = leaders_per_disk(pts, [], disk_radius=0.5)
+        assert out["max"] == 0
+        assert out["disks"] > 0
+
+    def test_spread_leaders(self):
+        # Leaders 10 apart can never share a radius-1/2 disk.
+        pts = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+        out = leaders_per_disk(pts, [0, 1, 2], disk_radius=0.5)
+        assert out["max"] == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GeometryError):
+            leaders_per_disk([(0, 0, 0)], [])
+        with pytest.raises(GeometryError):
+            leaders_per_disk([(0, 0)], [], grid_step=0.0)

@@ -1,0 +1,105 @@
+"""Unit tests for graph property utilities."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import star_graph
+from repro.graphs.properties import (
+    as_nx,
+    closed_neighborhood,
+    degree_histogram,
+    feasible_coverage,
+    graph_summary,
+    max_degree,
+    max_feasible_k,
+    min_degree,
+    validate_coverage,
+)
+from repro.graphs.udg import random_udg
+
+
+class TestAsNx:
+    def test_passthrough(self, triangle):
+        assert as_nx(triangle) is triangle
+
+    def test_unwraps_udg(self):
+        udg = random_udg(10, seed=0)
+        assert as_nx(udg) is udg.nx
+
+    def test_rejects_garbage(self):
+        with pytest.raises(GraphError, match="expected a graph"):
+            as_nx(42)
+
+
+class TestDegrees:
+    def test_max_degree_star(self):
+        assert max_degree(star_graph(9)) == 9
+
+    def test_min_degree_star(self):
+        assert min_degree(star_graph(9)) == 1
+
+    def test_empty_graph(self):
+        g = nx.Graph()
+        assert max_degree(g) == 0
+        assert min_degree(g) == 0
+
+    def test_degree_histogram(self, path4):
+        hist = degree_histogram(path4)
+        assert hist == {1: 2, 2: 2}
+
+
+class TestNeighborhoods:
+    def test_closed_includes_self(self, path4):
+        assert closed_neighborhood(path4, 1) == {0, 1, 2}
+
+    def test_isolated_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert closed_neighborhood(g, 0) == {0}
+
+
+class TestCoverage:
+    def test_max_feasible_k(self, triangle):
+        assert max_feasible_k(triangle) == 3
+
+    def test_max_feasible_k_path(self, path4):
+        assert max_feasible_k(path4) == 2
+
+    def test_feasible_coverage_clips(self, path4):
+        cov = feasible_coverage(path4, 3)
+        assert cov[0] == 2  # end node, deg 1
+        assert cov[1] == 3
+
+    def test_feasible_coverage_negative_k(self, path4):
+        with pytest.raises(GraphError):
+            feasible_coverage(path4, -1)
+
+    def test_validate_coverage_ok(self, triangle):
+        validate_coverage(triangle, {0: 1, 1: 2, 2: 3})
+
+    def test_validate_coverage_missing(self, triangle):
+        with pytest.raises(GraphError, match="missing"):
+            validate_coverage(triangle, {0: 1})
+
+    def test_validate_coverage_negative(self, triangle):
+        with pytest.raises(GraphError, match="negative"):
+            validate_coverage(triangle, {0: -1, 1: 1, 2: 1})
+
+    def test_validate_coverage_infeasible(self, path4):
+        with pytest.raises(GraphError, match="infeasible"):
+            validate_coverage(path4, {0: 5, 1: 1, 2: 1, 3: 1})
+
+
+class TestSummary:
+    def test_summary_fields(self, triangle):
+        s = graph_summary(triangle)
+        assert s["n"] == 3
+        assert s["m"] == 3
+        assert s["avg_degree"] == pytest.approx(2.0)
+        assert s["components"] == 1
+
+    def test_summary_empty(self):
+        s = graph_summary(nx.Graph())
+        assert s["n"] == 0
+        assert s["avg_degree"] == 0.0

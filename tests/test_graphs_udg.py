@@ -1,0 +1,126 @@
+"""Unit tests for the unit disk graph substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph, random_udg, udg_from_points
+
+
+class TestConstruction:
+    def test_edges_match_brute_force(self):
+        udg = random_udg(80, seed=1)
+        pts = udg.points
+        for i in range(80):
+            for j in range(i + 1, 80):
+                d = math.hypot(*(pts[i] - pts[j]))
+                assert udg.nx.has_edge(i, j) == (d <= 1.0), (i, j, d)
+
+    def test_custom_radius(self):
+        pts = [(0, 0), (0, 1.5), (0, 3.5)]
+        udg = UnitDiskGraph(pts, radius=2.0)
+        assert udg.nx.has_edge(0, 1)
+        assert udg.nx.has_edge(1, 2)
+        assert not udg.nx.has_edge(0, 2)
+
+    def test_positions_stored(self):
+        udg = udg_from_points([(1.0, 2.0), (3.0, 4.0)])
+        assert udg.nx.nodes[0]["pos"] == (1.0, 2.0)
+
+    def test_edge_distances_stored(self):
+        udg = udg_from_points([(0, 0), (0.6, 0)])
+        assert udg.nx.edges[0, 1]["dist"] == pytest.approx(0.6)
+
+    def test_empty(self):
+        udg = udg_from_points([])
+        assert len(udg) == 0
+        assert udg.number_of_edges() == 0
+
+    def test_single_node(self):
+        udg = udg_from_points([(0, 0)])
+        assert len(udg) == 1
+        assert udg.degree(0) == 0
+
+    def test_coincident_points_connected(self):
+        udg = udg_from_points([(1, 1), (1, 1)])
+        assert udg.nx.has_edge(0, 1)
+
+    def test_bad_radius(self):
+        with pytest.raises(GraphError, match="radius"):
+            UnitDiskGraph([(0, 0)], radius=0)
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphError, match="\\(n, 2\\)"):
+            UnitDiskGraph([(0, 0, 0)])
+
+
+class TestQueries:
+    def test_distance_symmetric(self):
+        udg = random_udg(30, seed=2)
+        assert udg.distance(3, 7) == pytest.approx(udg.distance(7, 3))
+
+    def test_neighbors_within_prefix_property(self):
+        udg = random_udg(100, seed=3)
+        for v in range(20):
+            inner = set(udg.neighbors_within(v, 0.3))
+            outer = set(udg.neighbors_within(v, 0.8))
+            assert inner <= outer
+
+    def test_neighbors_within_exact(self):
+        udg = random_udg(100, seed=4)
+        for v in range(10):
+            got = set(udg.neighbors_within(v, 0.5))
+            want = {w for w in udg.nx.neighbors(v)
+                    if udg.distance(v, w) <= 0.5}
+            assert got == want
+
+    def test_closed_neighbors_within_includes_self(self):
+        udg = random_udg(20, seed=5)
+        assert udg.closed_neighbors_within(0, 0.5)[0] == 0
+
+    def test_full_radius_equals_graph_neighbors(self):
+        udg = random_udg(60, seed=6)
+        for v in range(10):
+            assert set(udg.neighbors_within(v, 1.0)) == set(udg.nx.neighbors(v))
+
+
+class TestRandomUdg:
+    def test_deterministic(self):
+        a = random_udg(50, seed=9)
+        b = random_udg(50, seed=9)
+        assert np.allclose(a.points, b.points)
+
+    def test_density_controls_degree(self):
+        sparse = random_udg(300, density=3.0, seed=1)
+        dense = random_udg(300, density=20.0, seed=1)
+        mean_deg = lambda u: 2 * u.number_of_edges() / len(u)
+        assert mean_deg(dense) > 2 * mean_deg(sparse)
+
+    def test_density_approximation(self):
+        # Mean degree should be close to density - 1 (boundary effects
+        # pull it down somewhat).
+        udg = random_udg(2000, density=12.0, seed=2)
+        mean_deg = 2 * udg.number_of_edges() / len(udg)
+        assert 7.0 <= mean_deg <= 12.5
+
+    def test_area_side_explicit(self):
+        udg = random_udg(100, area_side=5.0, seed=3)
+        assert udg.points.max() <= 5.0
+        assert udg.points.min() >= 0.0
+
+    def test_mutually_exclusive_args(self):
+        with pytest.raises(GraphError, match="at most one"):
+            random_udg(10, area_side=5.0, density=10.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            random_udg(-1)
+        with pytest.raises(GraphError):
+            random_udg(10, density=-1.0)
+        with pytest.raises(GraphError):
+            random_udg(10, area_side=0.0)
+
+    def test_zero_nodes(self):
+        assert len(random_udg(0, seed=0)) == 0

@@ -1,0 +1,128 @@
+"""Unit tests for the mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.mobility import (
+    GaussianDrift,
+    RandomWaypoint,
+    _reflect,
+    mobility_trace,
+)
+from repro.graphs.udg import random_udg
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        pts = np.array([[1.0, 2.0]])
+        assert np.allclose(_reflect(pts, 5.0), pts)
+
+    def test_negative_reflected(self):
+        pts = np.array([[-1.0, 2.0]])
+        assert np.allclose(_reflect(pts, 5.0), [[1.0, 2.0]])
+
+    def test_over_side_reflected(self):
+        pts = np.array([[6.0, 2.0]])
+        assert np.allclose(_reflect(pts, 5.0), [[4.0, 2.0]])
+
+    def test_multi_bounce(self):
+        pts = np.array([[11.5, 0.0]])
+        assert np.allclose(_reflect(pts, 5.0), [[1.5, 0.0]])
+
+    def test_invalid_side(self):
+        with pytest.raises(GraphError):
+            _reflect(np.zeros((1, 2)), 0.0)
+
+
+class TestGaussianDrift:
+    def test_stays_in_bounds(self):
+        model = GaussianDrift(0.5, seed=1)
+        pts = np.random.default_rng(0).uniform(0, 5, size=(50, 2))
+        for _ in range(20):
+            pts = model.step(pts, 5.0)
+            assert pts.min() >= 0.0
+            assert pts.max() <= 5.0
+
+    def test_deterministic(self):
+        pts = np.ones((10, 2))
+        a = GaussianDrift(0.3, seed=7).step(pts, 5.0)
+        b = GaussianDrift(0.3, seed=7).step(pts, 5.0)
+        assert np.allclose(a, b)
+
+    def test_zero_speed_static(self):
+        model = GaussianDrift(0.0, seed=0)
+        pts = np.ones((5, 2))
+        assert np.allclose(model.step(pts, 5.0), pts)
+
+    def test_displacement_scales_with_speed(self):
+        pts = np.full((200, 2), 2.5)
+        slow = GaussianDrift(0.01, seed=3).step(pts, 5.0)
+        fast = GaussianDrift(0.5, seed=3).step(pts, 5.0)
+        assert np.abs(fast - pts).mean() > 5 * np.abs(slow - pts).mean()
+
+    def test_invalid_speed(self):
+        with pytest.raises(GraphError):
+            GaussianDrift(-1.0)
+
+
+class TestRandomWaypoint:
+    def test_moves_toward_targets(self):
+        model = RandomWaypoint(0.5, seed=2)
+        pts = np.full((20, 2), 2.5)
+        first = model.step(pts, 5.0)
+        # Every non-arrived node moved by exactly `speed`.
+        moved = np.hypot(*(first - pts).T)
+        assert np.all((np.isclose(moved, 0.5, atol=1e-9)) | (moved < 0.5))
+
+    def test_stays_in_bounds(self):
+        model = RandomWaypoint(0.8, pause_steps=1, seed=4)
+        pts = np.random.default_rng(1).uniform(0, 5, size=(30, 2))
+        for _ in range(50):
+            pts = model.step(pts, 5.0)
+            assert pts.min() >= -1e-9
+            assert pts.max() <= 5.0 + 1e-9
+
+    def test_pause_holds_position(self):
+        model = RandomWaypoint(10.0, pause_steps=3, seed=5)
+        pts = np.full((5, 2), 2.5)
+        # Speed 10 >> area: every node arrives on step 1 and then pauses.
+        arrived = model.step(pts, 5.0)
+        held = model.step(arrived, 5.0)
+        assert np.allclose(arrived, held)
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            RandomWaypoint(-0.1)
+        with pytest.raises(GraphError):
+            RandomWaypoint(1.0, pause_steps=-1)
+
+
+class TestMobilityTrace:
+    def test_yields_requested_snapshots(self):
+        udg = random_udg(40, density=8.0, seed=3)
+        snaps = list(mobility_trace(udg, GaussianDrift(0.1, seed=0), 5))
+        assert len(snaps) == 5
+        assert all(s.n == 40 for s in snaps)
+        assert all(s.radius == udg.radius for s in snaps)
+
+    def test_graph_changes_under_motion(self):
+        udg = random_udg(60, density=8.0, seed=4)
+        snaps = list(mobility_trace(udg, GaussianDrift(0.4, seed=1), 3))
+        assert set(snaps[-1].nx.edges) != set(udg.nx.edges)
+
+    def test_zero_steps(self):
+        udg = random_udg(10, density=8.0, seed=5)
+        assert list(mobility_trace(udg, GaussianDrift(0.1, seed=0), 0)) == []
+
+    def test_negative_steps_rejected(self):
+        udg = random_udg(10, density=8.0, seed=5)
+        with pytest.raises(GraphError):
+            list(mobility_trace(udg, GaussianDrift(0.1), -1))
+
+    def test_deterministic(self):
+        udg = random_udg(30, density=8.0, seed=6)
+        a = list(mobility_trace(udg, RandomWaypoint(0.3, seed=9), 4))
+        b = list(mobility_trace(udg, RandomWaypoint(0.3, seed=9), 4))
+        for s1, s2 in zip(a, b):
+            assert np.allclose(s1.points, s2.points)

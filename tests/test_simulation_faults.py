@@ -1,0 +1,124 @@
+"""Unit tests for fault injection (crash-stop and message loss)."""
+
+from dataclasses import dataclass
+
+import networkx as nx
+import pytest
+
+from repro.simulation.faults import CrashFaultInjector, MessageLossInjector
+from repro.simulation.messages import Message
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.node import NodeProcess
+from repro.simulation.runner import run_protocol
+from repro.simulation.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class Beat(Message):
+    SCHEMA = ()
+
+
+class Heartbeat(NodeProcess):
+    """Broadcasts for `rounds` rounds; records per-round senders heard."""
+
+    def __init__(self, node_id, rounds=4):
+        super().__init__(node_id)
+        self.rounds = rounds
+        self.heard = []
+
+    def run(self, ctx):
+        for _ in range(self.rounds):
+            ctx.broadcast(Beat())
+            inbox = yield
+            self.heard.append(sorted(src for src, _ in inbox))
+
+
+class TestCrashFaults:
+    def test_crashed_node_stops_sending(self, triangle):
+        procs = {v: Heartbeat(v) for v in triangle.nodes}
+        injector = CrashFaultInjector({2: [0]})  # node 0 dies at round 2
+        net = SynchronousNetwork(triangle, procs.values())
+        run_protocol(net, injectors=[injector])
+        # Rounds 0,1: node 1 hears {0, 2}; afterwards only {2}.
+        assert procs[1].heard[0] == [0, 2]
+        assert procs[1].heard[1] == [0, 2]
+        assert procs[1].heard[2] == [2]
+
+    def test_crashed_node_flagged(self, triangle):
+        procs = [Heartbeat(v) for v in triangle.nodes]
+        injector = CrashFaultInjector({1: [2]})
+        net = SynchronousNetwork(triangle, procs)
+        run_protocol(net, injectors=[injector])
+        assert procs[2].crashed
+        assert not procs[2].finished
+        assert procs[0].finished
+
+    def test_crash_at_round_zero(self, triangle):
+        procs = {v: Heartbeat(v) for v in triangle.nodes}
+        injector = CrashFaultInjector({0: [0]})
+        net = SynchronousNetwork(triangle, procs.values())
+        run_protocol(net, injectors=[injector])
+        assert procs[1].heard[0] == [2]
+
+    def test_crash_traced(self, triangle):
+        trace = TraceRecorder()
+        procs = [Heartbeat(v) for v in triangle.nodes]
+        net = SynchronousNetwork(triangle, procs)
+        run_protocol(net, injectors=[CrashFaultInjector({1: [0]})],
+                     trace=trace)
+        crashes = trace.of_kind("crash")
+        assert len(crashes) == 1
+        assert crashes[0].node == 0
+
+    def test_all_crash_terminates(self, triangle):
+        procs = [Heartbeat(v, rounds=100) for v in triangle.nodes]
+        injector = CrashFaultInjector({1: list(triangle.nodes)})
+        net = SynchronousNetwork(triangle, procs)
+        stats = run_protocol(net, injectors=[injector])
+        assert stats.rounds <= 2
+
+    def test_messages_to_crashed_dropped(self, triangle):
+        injector = CrashFaultInjector({0: [1]})
+        injector.crashes_at(0)
+        msgs = [(0, 1, Beat()), (0, 2, Beat()), (1, 2, Beat())]
+        kept = injector.filter_messages(0, msgs)
+        assert kept == [(0, 2, Beat())]
+
+
+class TestMessageLoss:
+    def test_zero_loss_keeps_all(self):
+        inj = MessageLossInjector(0.0, seed=1)
+        msgs = [(0, 1, Beat())] * 10
+        assert inj.filter_messages(0, msgs) == msgs
+
+    def test_full_loss_drops_all(self):
+        inj = MessageLossInjector(1.0, seed=1)
+        msgs = [(0, 1, Beat())] * 10
+        assert inj.filter_messages(0, msgs) == []
+        assert inj.dropped == 10
+
+    def test_partial_loss_statistics(self):
+        inj = MessageLossInjector(0.3, seed=123)
+        msgs = [(0, 1, Beat())] * 10_000
+        kept = inj.filter_messages(0, msgs)
+        assert 6300 <= len(kept) <= 7700
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MessageLossInjector(1.5)
+        with pytest.raises(ValueError):
+            MessageLossInjector(-0.1)
+
+    def test_loss_is_deterministic_per_seed(self):
+        msgs = [(0, 1, Beat())] * 100
+        a = MessageLossInjector(0.5, seed=9).filter_messages(0, list(msgs))
+        b = MessageLossInjector(0.5, seed=9).filter_messages(0, list(msgs))
+        assert len(a) == len(b)
+
+    def test_loss_in_protocol(self):
+        g = nx.complete_graph(4)
+        procs = {v: Heartbeat(v, rounds=3) for v in g.nodes}
+        net = SynchronousNetwork(g, procs.values())
+        stats = run_protocol(net, injectors=[MessageLossInjector(1.0, seed=0)])
+        assert stats.messages_sent == 0
+        assert all(h == [] for p in procs.values() for h in p.heard)

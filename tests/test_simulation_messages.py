@@ -1,0 +1,86 @@
+"""Unit tests for message bit-size accounting."""
+
+import math
+
+import pytest
+
+from repro.core.fractional import ColorMsg, XUpdateMsg
+from repro.core.udg import ElectionMsg
+from repro.errors import ProtocolViolationError
+from repro.simulation.messages import Message, MessageSizeModel, field_bits
+
+
+class TestFieldBits:
+    def test_flag_costs_one_bit(self):
+        assert field_bits("flag", 100) == 1
+
+    def test_count_costs_log_n(self):
+        assert field_bits("count", 127) == 7
+        assert field_bits("count", 128) == 8
+
+    def test_id_costs_four_log_n(self):
+        # id space defaults to n^4.
+        bits = field_bits("id", 100)
+        assert bits == math.ceil(math.log2(100 ** 4))
+
+    def test_id_with_explicit_space(self):
+        assert field_bits("id", 100, id_space=2 ** 20) == 20
+
+    def test_value_default_width(self):
+        n = 1000
+        assert field_bits("value", n) == 4 * math.ceil(math.log2(n + 1))
+
+    def test_value_override(self):
+        assert field_bits("value", 1000, value_bits=64) == 64
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown message field kind"):
+            field_bits("blob", 10)
+
+    def test_tiny_network_minimum_one_bit(self):
+        assert field_bits("count", 1) >= 1
+
+
+class TestMessageSizeModel:
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            MessageSizeModel(0)
+
+    def test_header_added(self):
+        model = MessageSizeModel(100)
+        assert model.message_bits(ColorMsg(gray=True)) == model.header_bits + 1
+
+    def test_xupdate_schema(self):
+        model = MessageSizeModel(100)
+        bits = model.message_bits(XUpdateMsg(x=0.5, x_plus=0.1, dyn=3))
+        log_n = math.ceil(math.log2(101))
+        # header + 2 values + 1 count
+        assert bits == log_n + 2 * 4 * log_n + log_n
+
+    def test_message_size_is_logarithmic(self):
+        small = MessageSizeModel(100).message_bits(ElectionMsg(ident=5))
+        large = MessageSizeModel(100_000).message_bits(ElectionMsg(ident=5))
+        # 1000x more nodes should cost only a constant factor more bits.
+        assert large <= 3 * small
+
+    def test_cache_consistency(self):
+        model = MessageSizeModel(64)
+        a = model.message_bits(ColorMsg(gray=False))
+        b = model.message_bits(ColorMsg(gray=True))
+        assert a == b
+
+
+class TestMessageValidation:
+    def test_field_kinds_order(self):
+        msg = XUpdateMsg(x=0.0, x_plus=0.0, dyn=0.0)
+        assert msg.field_kinds() == ("value", "value", "count")
+
+    def test_validate_passes_on_complete_message(self):
+        XUpdateMsg(x=1.0, x_plus=0.0, dyn=2.0).validate()
+
+    def test_validate_fails_on_bad_schema(self):
+        class Broken(Message):
+            SCHEMA = (("missing_field", "flag"),)
+
+        with pytest.raises(ProtocolViolationError, match="missing_field"):
+            Broken().validate()

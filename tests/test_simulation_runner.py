@@ -1,0 +1,150 @@
+"""Unit tests for the synchronous round loop."""
+
+from dataclasses import dataclass
+
+import networkx as nx
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.messages import Message
+from repro.simulation.network import SynchronousNetwork
+from repro.simulation.node import NodeProcess
+from repro.simulation.runner import run_protocol
+from repro.simulation.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    hop: int = 0
+    SCHEMA = (("hop", "count"),)
+
+
+class Broadcaster(NodeProcess):
+    """Broadcasts once, records what it heard."""
+
+    def run(self, ctx):
+        ctx.broadcast(Ping(hop=0))
+        inbox = yield
+        self.heard = sorted(src for src, _ in inbox)
+
+
+class Relay(NodeProcess):
+    """Floods a token for `hops` rounds."""
+
+    def __init__(self, node_id, hops):
+        super().__init__(node_id)
+        self.hops = hops
+        self.saw_token = node_id == 0
+
+    def run(self, ctx):
+        for h in range(self.hops):
+            if self.saw_token:
+                ctx.broadcast(Ping(hop=h))
+            inbox = yield
+            if inbox:
+                self.saw_token = True
+
+
+class NeverYields(NodeProcess):
+    def run(self, ctx):
+        while True:
+            ctx.broadcast(Ping())
+            yield
+
+
+class NotAGenerator(NodeProcess):
+    def run(self, ctx):
+        return None
+
+
+def _run(graph, processes, **kw):
+    net = SynchronousNetwork(graph, processes)
+    return net, run_protocol(net, **kw)
+
+
+class TestBasicExecution:
+    def test_single_exchange(self, triangle):
+        procs = [Broadcaster(v) for v in triangle.nodes]
+        _, stats = _run(triangle, procs)
+        assert stats.rounds == 1
+        for p in procs:
+            assert p.heard == sorted(set(triangle.nodes) - {p.node_id})
+            assert p.finished
+
+    def test_message_counting(self, triangle):
+        procs = [Broadcaster(v) for v in triangle.nodes]
+        net, stats = _run(triangle, procs)
+        assert stats.messages_sent == 6  # 2 per node on K3
+        assert stats.bits_sent == 6 * net.size_model.message_bits(Ping())
+
+    def test_flood_covers_path(self):
+        g = nx.path_graph(6)
+        procs = [Relay(v, hops=5) for v in g.nodes]
+        _, stats = _run(g, procs)
+        assert all(p.saw_token for p in procs)
+        assert stats.rounds == 5
+
+    def test_flood_too_few_hops(self):
+        g = nx.path_graph(6)
+        procs = [Relay(v, hops=2) for v in g.nodes]
+        _run(g, procs)
+        assert not procs[5].saw_token
+        assert procs[2].saw_token
+
+    def test_max_rounds_guard(self, triangle):
+        procs = [NeverYields(v) for v in triangle.nodes]
+        with pytest.raises(SimulationError, match="did not terminate"):
+            _run(triangle, procs, max_rounds=10)
+
+    def test_non_generator_process_rejected(self, triangle):
+        procs = [NotAGenerator(v) for v in triangle.nodes]
+        with pytest.raises(SimulationError, match="must be a generator"):
+            _run(triangle, procs)
+
+    def test_no_messages_zero_rounds(self, triangle):
+        class Silent(NodeProcess):
+            def run(self, ctx):
+                self.done_early = True
+                return
+                yield
+
+        procs = [Silent(v) for v in triangle.nodes]
+        _, stats = _run(triangle, procs)
+        assert stats.rounds == 0
+        assert stats.messages_sent == 0
+
+
+class TestRoundStats:
+    def test_per_round_disabled_by_default(self, triangle):
+        _, stats = _run(triangle, [Broadcaster(v) for v in triangle.nodes])
+        assert stats.per_round == []
+
+    def test_per_round_enabled(self):
+        g = nx.path_graph(4)
+        procs = [Relay(v, hops=3) for v in g.nodes]
+        net = SynchronousNetwork(g, procs)
+        stats = run_protocol(net, keep_round_stats=True)
+        assert len(stats.per_round) == stats.rounds
+        assert stats.per_round[0].round_index == 0
+        assert sum(r.messages_sent for r in stats.per_round) == stats.messages_sent
+
+    def test_max_message_bits_tracked(self, triangle):
+        net = SynchronousNetwork(triangle, [Broadcaster(v) for v in triangle.nodes])
+        stats = run_protocol(net)
+        assert stats.max_message_bits == net.size_model.message_bits(Ping())
+
+
+class TestTracing:
+    def test_round_events_recorded(self, triangle):
+        trace = TraceRecorder()
+        net = SynchronousNetwork(triangle, [Broadcaster(v) for v in triangle.nodes])
+        run_protocol(net, trace=trace)
+        rounds = trace.of_kind("round")
+        assert len(rounds) == 1
+        assert rounds[0].data["messages"] == 6
+
+    def test_trace_filter(self, triangle):
+        trace = TraceRecorder(kinds={"nonexistent"})
+        net = SynchronousNetwork(triangle, [Broadcaster(v) for v in triangle.nodes])
+        run_protocol(net, trace=trace)
+        assert len(trace) == 0

@@ -1,0 +1,41 @@
+"""Unit tests for the trace recorder."""
+
+from repro.simulation.trace import TraceEvent, TraceRecorder, null_recorder
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        t = TraceRecorder()
+        t.record(0, "round", messages=5)
+        t.record(1, "crash", node=3)
+        assert len(t) == 2
+
+    def test_kind_filter(self):
+        t = TraceRecorder(kinds={"round"})
+        t.record(0, "round")
+        t.record(0, "crash", node=1)
+        assert len(t) == 1
+        assert t.events[0].kind == "round"
+
+    def test_of_kind(self):
+        t = TraceRecorder()
+        t.record(0, "a")
+        t.record(1, "b")
+        t.record(2, "a")
+        assert [e.round_index for e in t.of_kind("a")] == [0, 2]
+
+    def test_series_extraction(self):
+        t = TraceRecorder()
+        for i, val in enumerate([10, 7, 3]):
+            t.record(i, "active", count=val)
+        assert t.series("active", "count") == [10, 7, 3]
+
+    def test_null_recorder_keeps_nothing(self):
+        t = null_recorder()
+        t.record(0, "round")
+        assert len(t) == 0
+
+    def test_event_data_immutable_identity(self):
+        e = TraceEvent(0, "x", node=1, data={"a": 2})
+        assert e.round_index == 0
+        assert e.data["a"] == 2

@@ -1,0 +1,102 @@
+"""Unit tests for shared types and the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    GeometryError,
+    GraphError,
+    InfeasibleInstanceError,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+from repro.types import (
+    DominatingSet,
+    FractionalSolution,
+    RoundStats,
+    RunStats,
+    uniform_coverage,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (GraphError, GeometryError, InfeasibleInstanceError,
+                    SimulationError, ProtocolViolationError, SolverError,
+                    BudgetExceededError):
+            assert issubclass(exc, ReproError)
+
+    def test_geometry_is_graph_error(self):
+        assert issubclass(GeometryError, GraphError)
+
+    def test_protocol_is_simulation_error(self):
+        assert issubclass(ProtocolViolationError, SimulationError)
+
+    def test_budget_is_solver_error(self):
+        assert issubclass(BudgetExceededError, SolverError)
+
+    def test_infeasible_carries_witness(self):
+        e = InfeasibleInstanceError("msg", witness=42)
+        assert e.witness == 42
+
+    def test_budget_carries_incumbent(self):
+        e = BudgetExceededError("msg", incumbent={1, 2}, lower_bound=1.5)
+        assert e.incumbent == {1, 2}
+        assert e.lower_bound == 1.5
+
+
+class TestRunStats:
+    def test_absorb_accumulates(self):
+        a = RunStats(rounds=3, messages_sent=10, bits_sent=100,
+                     max_message_bits=8)
+        b = RunStats(rounds=2, messages_sent=5, bits_sent=40,
+                     max_message_bits=16)
+        a.absorb(b)
+        assert a.rounds == 5
+        assert a.messages_sent == 15
+        assert a.bits_sent == 140
+        assert a.max_message_bits == 16
+
+    def test_absorb_offsets_round_indices(self):
+        a = RunStats(rounds=2)
+        a.per_round = [RoundStats(0, 1, 8, 8, 3), RoundStats(1, 1, 8, 8, 3)]
+        b = RunStats(rounds=1)
+        b.per_round = [RoundStats(0, 2, 16, 8, 3)]
+        a.absorb(b)
+        assert [r.round_index for r in a.per_round] == [0, 1, 2]
+
+    def test_defaults(self):
+        s = RunStats()
+        assert s.rounds == 0
+        assert s.per_round == []
+
+
+class TestDominatingSet:
+    def test_container_protocol(self):
+        ds = DominatingSet(members={1, 2, 3})
+        assert len(ds) == 3
+        assert 2 in ds
+        assert sorted(ds) == [1, 2, 3]
+
+
+class TestFractionalSolution:
+    def test_objective(self):
+        sol = FractionalSolution(x={0: 0.5, 1: 0.25}, y={}, z={},
+                                 alpha={}, beta={}, t=2)
+        assert sol.objective == 0.75
+
+    def test_dual_objective(self):
+        sol = FractionalSolution(x={}, y={0: 1.0, 1: 0.5},
+                                 z={0: 0.2, 1: 0.0}, alpha={}, beta={}, t=1)
+        assert sol.dual_objective({0: 2, 1: 1}) == pytest.approx(2.3)
+
+
+class TestUniformCoverage:
+    def test_builds_map(self):
+        assert uniform_coverage([1, 2], 3) == {1: 3, 2: 3}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            uniform_coverage([1], -1)

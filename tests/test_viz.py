@@ -1,0 +1,110 @@
+"""Unit tests for the SVG rendering module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.udg import random_udg, udg_from_points
+from repro.viz import render_deployment_svg, render_series_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestDeploymentSvg:
+    def test_valid_xml(self):
+        udg = random_udg(30, density=8.0, seed=1)
+        root = _parse(render_deployment_svg(udg))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_node_count(self):
+        udg = random_udg(25, density=8.0, seed=2)
+        root = _parse(render_deployment_svg(udg, show_edges=False))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 25
+
+    def test_dominators_highlighted(self):
+        udg = udg_from_points([(0, 0), (0.5, 0), (1.5, 0)])
+        svg = render_deployment_svg(udg, dominators=[1], show_edges=False)
+        root = _parse(svg)
+        big = [c for c in root.findall(f".//{SVG_NS}circle")
+               if c.get("r") == "4.5"]
+        assert len(big) == 1
+
+    def test_edges_drawn(self):
+        udg = udg_from_points([(0, 0), (0.5, 0), (1.5, 0)])
+        root = _parse(render_deployment_svg(udg, show_edges=True))
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(lines) == udg.number_of_edges()
+
+    def test_coverage_disks(self):
+        udg = udg_from_points([(0, 0), (0.5, 0)])
+        svg = render_deployment_svg(udg, dominators=[0], show_edges=False,
+                                    show_coverage=True, scale=100.0)
+        root = _parse(svg)
+        disks = [c for c in root.findall(f".//{SVG_NS}circle")
+                 if c.get("r") == "100.0"]
+        assert len(disks) == 1
+
+    def test_empty_deployment(self):
+        udg = udg_from_points([])
+        root = _parse(render_deployment_svg(udg))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_unknown_dominator_rejected(self):
+        udg = udg_from_points([(0, 0)])
+        with pytest.raises(GraphError, match="unknown"):
+            render_deployment_svg(udg, dominators=[5])
+
+    def test_invalid_scale(self):
+        udg = udg_from_points([(0, 0)])
+        with pytest.raises(GraphError, match="scale"):
+            render_deployment_svg(udg, scale=0.0)
+
+    def test_title_escaped(self):
+        udg = udg_from_points([(0, 0)])
+        svg = render_deployment_svg(udg, title="<n> & co")
+        assert "&lt;n&gt; &amp; co" in svg
+
+
+class TestSeriesSvg:
+    def test_valid_xml(self):
+        root = _parse(render_series_svg({"a": [1, 2, 3]}))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        svg = render_series_svg({"a": [1, 2], "b": [3, 1], "c": [0, 0]})
+        root = _parse(svg)
+        lines = root.findall(f".//{SVG_NS}polyline")
+        assert len(lines) == 3
+
+    def test_legend_labels(self):
+        svg = render_series_svg({"active nodes": [5, 3, 1]})
+        assert "active nodes" in svg
+
+    def test_constant_series_ok(self):
+        root = _parse(render_series_svg({"flat": [2.0, 2.0, 2.0]}))
+        assert root is not None
+
+    def test_axis_labels(self):
+        svg = render_series_svg({"a": [1]}, x_label="round", y_label="n")
+        assert "round" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            render_series_svg({})
+        with pytest.raises(GraphError):
+            render_series_svg({"a": []})
+
+    def test_polyline_coordinates_in_canvas(self):
+        svg = render_series_svg({"a": [0, 10, 5]}, width=400, height=300)
+        root = _parse(svg)
+        for poly in root.findall(f".//{SVG_NS}polyline"):
+            for pair in poly.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 400
+                assert 0 <= y <= 300

@@ -1,0 +1,188 @@
+"""Unit tests for the weighted k-MDS extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.fractional import fractional_kmds
+from repro.core.lp import CoveringLP
+from repro.core.verify import is_k_dominating_set
+from repro.errors import GraphError, InfeasibleInstanceError
+from repro.graphs.generators import gnp_graph, star_graph
+from repro.graphs.properties import feasible_coverage
+from repro.weighted import (
+    solve_weighted_kmds,
+    weighted_exact_kmds,
+    weighted_fractional_kmds,
+    weighted_greedy_kmds,
+    weighted_lp_optimum,
+    weighted_randomized_rounding,
+)
+from repro.weighted.baselines import set_cost
+from repro.weighted.fractional import weighted_objective
+
+
+@pytest.fixture
+def weighted_instance():
+    g = gnp_graph(30, 0.2, seed=6)
+    rng = np.random.default_rng(1)
+    w = {v: float(rng.uniform(1.0, 8.0)) for v in g.nodes}
+    return g, w, feasible_coverage(g, 2)
+
+
+class TestWeightedFractional:
+    def test_unit_weights_reduce_to_algorithm1(self, small_gnp):
+        cov = feasible_coverage(small_gnp, 2)
+        unit = {v: 1.0 for v in small_gnp.nodes}
+        a = weighted_fractional_kmds(small_gnp, unit, coverage=cov, t=3)
+        b = fractional_kmds(small_gnp, coverage=cov, t=3,
+                            compute_duals=False)
+        assert all(a.x[v] == b.x[v] for v in small_gnp.nodes)
+
+    def test_feasible(self, weighted_instance):
+        g, w, cov = weighted_instance
+        sol = weighted_fractional_kmds(g, w, coverage=cov, t=3)
+        assert CoveringLP(g, cov).primal_feasible(sol.x, tol=1e-7)
+
+    def test_objective_tracks_weighted_lp(self, weighted_instance):
+        g, w, cov = weighted_instance
+        sol = weighted_fractional_kmds(g, w, coverage=cov, t=4)
+        lp = weighted_lp_optimum(g, w, cov, convention="closed")
+        cost = weighted_objective(sol.x, w)
+        assert lp.objective - 1e-9 <= cost <= 30 * lp.objective
+
+    def test_prefers_cheap_dominators(self):
+        # A star where the hub is absurdly expensive: fractional weight
+        # should not concentrate everything on the hub.
+        g = star_graph(8)
+        hub = max(g.nodes, key=lambda v: g.degree[v])
+        w = {v: (1000.0 if v == hub else 1.0) for v in g.nodes}
+        uniform_sol = weighted_fractional_kmds(
+            g, {v: 1.0 for v in g.nodes}, k=1, t=4)
+        weighted_sol = weighted_fractional_kmds(g, w, k=1, t=4)
+        assert weighted_objective(weighted_sol.x, w) \
+            < weighted_objective(uniform_sol.x, w)
+
+    def test_modes_agree(self, weighted_instance):
+        g, w, cov = weighted_instance
+        d = weighted_fractional_kmds(g, w, coverage=cov, t=2, mode="direct")
+        m = weighted_fractional_kmds(g, w, coverage=cov, t=2, mode="message")
+        assert all(abs(d.x[v] - m.x[v]) < 1e-12 for v in g.nodes)
+
+    def test_rejects_nonpositive_weights(self, triangle):
+        with pytest.raises(GraphError, match="positive"):
+            weighted_fractional_kmds(triangle, {0: 1.0, 1: 0.0, 2: 1.0},
+                                     k=1)
+
+    def test_rejects_missing_weights(self, triangle):
+        with pytest.raises(GraphError, match="missing"):
+            weighted_fractional_kmds(triangle, {0: 1.0}, k=1)
+
+    def test_duals_refused_with_weights(self, triangle):
+        w = {v: 2.0 for v in triangle.nodes}
+        with pytest.raises(GraphError, match="dual"):
+            fractional_kmds(triangle, k=1, weights=w, compute_duals=True)
+
+
+class TestWeightedRounding:
+    @pytest.mark.parametrize("policy", ["cheapest", "random", "highest-x"])
+    def test_feasible_all_policies(self, weighted_instance, policy):
+        g, w, cov = weighted_instance
+        frac = weighted_fractional_kmds(g, w, coverage=cov, t=3)
+        for seed in range(3):
+            ds = weighted_randomized_rounding(g, frac.x, w, coverage=cov,
+                                              policy=policy, seed=seed)
+            assert is_k_dominating_set(g, ds.members, cov,
+                                       convention="closed")
+            assert ds.details["cost"] == pytest.approx(
+                set_cost(ds.members, w))
+
+    def test_cheapest_beats_random_on_average(self, weighted_instance):
+        g, w, cov = weighted_instance
+        frac = weighted_fractional_kmds(g, w, coverage=cov, t=3)
+        cheap = np.mean([
+            weighted_randomized_rounding(g, frac.x, w, coverage=cov,
+                                         policy="cheapest",
+                                         seed=s).details["cost"]
+            for s in range(10)])
+        rand = np.mean([
+            weighted_randomized_rounding(g, frac.x, w, coverage=cov,
+                                         policy="random",
+                                         seed=s).details["cost"]
+            for s in range(10)])
+        assert cheap <= rand + 1e-9
+
+    def test_rejects_bad_weights(self, triangle):
+        with pytest.raises(GraphError, match="positive"):
+            weighted_randomized_rounding(
+                triangle, {v: 0.5 for v in triangle.nodes},
+                {0: -1.0, 1: 1.0, 2: 1.0}, k=1)
+
+
+class TestWeightedBaselines:
+    def test_greedy_valid_both_conventions(self, weighted_instance):
+        g, w, cov = weighted_instance
+        for conv in ("open", "closed"):
+            ds = weighted_greedy_kmds(g, w, cov, convention=conv)
+            assert is_k_dominating_set(g, ds.members, cov, convention=conv)
+
+    def test_greedy_prefers_cheap(self):
+        g = star_graph(6)
+        hub = max(g.nodes, key=lambda v: g.degree[v])
+        # Hub cheap: greedy takes it alone (open convention, k=1).
+        w_cheap = {v: (1.0 if v == hub else 100.0) for v in g.nodes}
+        ds = weighted_greedy_kmds(g, w_cheap, 1)
+        assert ds.members == {hub}
+
+    def test_lp_lower_bounds_exact(self, weighted_instance):
+        g, w, cov = weighted_instance
+        lp = weighted_lp_optimum(g, w, cov, convention="closed")
+        ex = weighted_exact_kmds(g, w, cov, convention="closed")
+        gr = weighted_greedy_kmds(g, w, cov, convention="closed")
+        assert lp.objective <= ex.details["cost"] + 1e-6
+        assert ex.details["cost"] <= gr.details["cost"] + 1e-9
+
+    def test_exact_beats_unit_exact_on_weighted_instances(self):
+        # The weighted optimum is cost-optimal, not size-optimal.
+        g = star_graph(5)
+        hub = max(g.nodes, key=lambda v: g.degree[v])
+        w = {v: (50.0 if v == hub else 1.0) for v in g.nodes}
+        ex = weighted_exact_kmds(g, w, 1, convention="open")
+        # Leaves self-select (cost 5) rather than paying 50 for the hub.
+        assert hub not in ex.members
+        assert ex.details["cost"] == pytest.approx(5.0)
+
+    def test_exact_unit_weights_match_unweighted(self, tiny_gnp):
+        from repro.baselines.exact import exact_kmds
+
+        unit = {v: 1.0 for v in tiny_gnp.nodes}
+        a = weighted_exact_kmds(tiny_gnp, unit, 1, convention="open")
+        b = exact_kmds(tiny_gnp, 1, convention="open")
+        assert a.details["cost"] == pytest.approx(float(len(b)))
+
+    def test_infeasible_closed(self, path4):
+        w = {v: 1.0 for v in path4.nodes}
+        with pytest.raises(InfeasibleInstanceError):
+            weighted_greedy_kmds(path4, w, 3, convention="closed")
+        with pytest.raises(InfeasibleInstanceError):
+            weighted_exact_kmds(path4, w, 3, convention="closed")
+
+
+class TestWeightedPipeline:
+    def test_end_to_end_valid(self, weighted_instance):
+        g, w, cov = weighted_instance
+        ds = solve_weighted_kmds(g, w, coverage=cov, t=3, seed=0)
+        assert is_k_dominating_set(g, ds.members, cov, convention="closed")
+        assert ds.details["cost"] > 0
+        assert ds.details["fractional_cost"] > 0
+
+    def test_deterministic(self, weighted_instance):
+        g, w, cov = weighted_instance
+        a = solve_weighted_kmds(g, w, coverage=cov, t=2, seed=9)
+        b = solve_weighted_kmds(g, w, coverage=cov, t=2, seed=9)
+        assert a.members == b.members
+
+    def test_cost_reasonable_vs_lp(self, weighted_instance):
+        g, w, cov = weighted_instance
+        ds = solve_weighted_kmds(g, w, coverage=cov, t=3, seed=0)
+        lp = weighted_lp_optimum(g, w, cov, convention="closed")
+        assert ds.details["cost"] <= 40 * lp.objective
