@@ -19,9 +19,16 @@ import os
 import pytest
 
 from repro.experiments import run_experiment
+from repro.experiments.base import SCALES
 
 #: Scale for benchmark runs; override with REPRO_BENCH_SCALE=full.
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+if BENCH_SCALE not in SCALES:
+    # Fail at collection time, not after minutes of benchmarking.
+    raise SystemExit(
+        f"REPRO_BENCH_SCALE={BENCH_SCALE!r} is not a valid scale; "
+        f"expected one of {SCALES}"
+    )
 
 
 def run_and_check(benchmark, experiment_id: str, seed: int = 0):

@@ -26,9 +26,13 @@ Quickstart::
     ds = repro.solve_kmds_udg(udg, k=3, seed=7)   # 3-fold dominating set
     assert repro.is_k_dominating_set(udg, ds.members, 3)
 
-Everything runs either fast-and-central (``mode="direct"``) or on a real
-synchronous message-passing simulator (``mode="message"``) with bit-level
-message accounting and fault injection — see :mod:`repro.simulation`.
+Every algorithm is a single round program executed by
+:mod:`repro.engine` on interchangeable backends: fast-and-central
+(``mode="direct"``), a real synchronous message-passing simulator with
+bit-level accounting and fault injection (``mode="message"``), or an
+event-driven asynchronous network under the alpha / beta synchronizers
+(``mode="async"`` / ``"async-beta"``) — same seed, same output, on every
+backend.  See :mod:`repro.simulation` and ``docs/simulation.md``.
 """
 
 from repro.core import (
@@ -53,6 +57,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
     SolverError,
+    UnknownModeError,
 )
 from repro.graphs import (
     UnitDiskGraph,
@@ -67,6 +72,7 @@ from repro.graphs import (
     udg_from_points,
 )
 from repro.core.local_delta import two_hop_max_degree
+from repro.engine import BACKENDS
 from repro.weighted import solve_weighted_kmds
 from repro.types import DominatingSet, FractionalSolution, RunStats, uniform_coverage
 
@@ -100,6 +106,8 @@ __all__ = [
     "uniform_coverage",
     "max_degree",
     "max_feasible_k",
+    # engine
+    "BACKENDS",
     # results
     "DominatingSet",
     "FractionalSolution",
@@ -107,6 +115,7 @@ __all__ = [
     # errors
     "ReproError",
     "GraphError",
+    "UnknownModeError",
     "GeometryError",
     "InfeasibleInstanceError",
     "SimulationError",

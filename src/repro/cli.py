@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.core.general import solve_kmds_general
+from repro.engine import BACKENDS
 from repro.core.udg import solve_kmds_udg
 from repro.core.verify import is_k_dominating_set, redundancy_profile
 from repro.experiments import EXPERIMENTS, run_experiment
@@ -51,8 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
     udg.add_argument("--n", type=int, default=500)
     udg.add_argument("--density", type=float, default=10.0)
     udg.add_argument("--k", type=int, default=3)
-    udg.add_argument("--mode", choices=("direct", "message"),
-                     default="direct")
+    udg.add_argument("--mode", choices=BACKENDS, default="direct")
     udg.add_argument("--seed", type=int, default=0)
 
     gen = sub.add_parser("solve-general",
@@ -61,8 +61,7 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--p", type=float, default=0.05)
     gen.add_argument("--k", type=int, default=2)
     gen.add_argument("--t", type=int, default=3)
-    gen.add_argument("--mode", choices=("direct", "message"),
-                     default="direct")
+    gen.add_argument("--mode", choices=BACKENDS, default="direct")
     gen.add_argument("--seed", type=int, default=0)
 
     wgt = sub.add_parser("solve-weighted",

@@ -4,16 +4,21 @@ Computes a fractional solution of the covering LP ``(PP)`` in ``O(t^2)``
 synchronous rounds, together with the dual bookkeeping (``y``, ``z``,
 ``alpha``, ``beta``) used by the paper's dual-fitting analysis.
 
-Two execution modes produce the same result:
+The algorithm is written once as a
+:class:`~repro.engine.program.RoundProgram` and executed by
+:func:`repro.engine.execute` on any backend:
 
 - ``mode="direct"`` — the round structure is simulated centrally with
   vectorized numpy (fast; use for large graphs and sweeps);
 - ``mode="message"`` — every node runs as a real
   :class:`~repro.simulation.node.NodeProcess` exchanging
   ``O(log n)``-bit messages on the synchronous simulator (faithful; use to
-  measure rounds/messages/bits).
+  measure rounds/messages/bits);
+- ``mode="async"`` / ``"async-beta"`` — the same node processes over an
+  event-driven network with random link delays, kept round-synchronous by
+  the alpha / beta synchronizer.
 
-Algorithm 1 is deterministic, so the two modes agree up to floating-point
+Algorithm 1 is deterministic, so all backends agree up to floating-point
 summation order.
 
 Guarantees (Theorem 4.5): the primal is (PP)-feasible, the run takes
@@ -25,18 +30,16 @@ Guarantees (Theorem 4.5): the primal is (PP)-feasible, the run takes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.lp import CoveringLP
+from repro.engine import Instrumentation, RoundProgram, execute, validate_seed
 from repro.errors import GraphError, InfeasibleInstanceError
 from repro.graphs.properties import as_nx
 from repro.simulation.messages import Message
-from repro.simulation.network import SynchronousNetwork
 from repro.simulation.node import NodeProcess
-from repro.simulation.runner import run_protocol
 from repro.types import CoverageMap, FractionalSolution, NodeId, RunStats
 
 
@@ -78,144 +81,7 @@ def _resolve_instance(graph, k: int | None,
 
 
 # ======================================================================
-# Direct (vectorized) mode
-# ======================================================================
-
-def _closed_adjacency(lp: CoveringLP) -> sp.csr_matrix:
-    """Sparse 0/1 matrix A with A[i, j] = 1 iff j in N_i (closed)."""
-    rows: List[int] = []
-    cols: List[int] = []
-    for i, nbrs in enumerate(lp.closed_nbrs):
-        rows.extend([i] * len(nbrs))
-        cols.extend(nbrs.tolist())
-    data = np.ones(len(rows), dtype=float)
-    return sp.csr_matrix((data, (rows, cols)), shape=(lp.n, lp.n))
-
-
-def _fractional_direct(lp: CoveringLP, t: int, compute_duals: bool,
-                       weights: Optional[Dict[NodeId, float]] = None,
-                       local_delta: Optional[Dict[NodeId, int]] = None
-                       ) -> FractionalSolution:
-    n = lp.n
-    # Per-node (Delta_i + 1): the global maximum degree by default, or the
-    # node's 2-hop local estimate (the Section 4 remark; see
-    # repro.core.local_delta).
-    if local_delta is None:
-        base = np.full(n, lp.delta + 1.0)
-    else:
-        base = np.asarray([local_delta[v] + 1.0 for v in lp.nodes])
-    k_vec = lp.k_vector()
-    adj = _closed_adjacency(lp)
-
-    # Weighted extension (Section 4.1 remark): nodes raise x when their
-    # cost-effectiveness (dynamic degree per unit weight) clears the round
-    # threshold.  With unit weights this reduces bit-for-bit to the
-    # paper's condition delta~_i >= (Delta+1)^{p/t}.
-    w_vec = (np.ones(n) if weights is None
-             else np.asarray([float(weights[v]) for v in lp.nodes]))
-    w_max = float(w_vec.max()) if n else 1.0
-    w_min = float(w_vec.min()) if n else 1.0
-    big_e = base * (w_max / w_min)   # per-node effectiveness range
-
-    # Directed closed-neighborhood pairs (covered i, contributor j) used to
-    # carry the alpha/beta edge shares of the dual-fitting bookkeeping.
-    if compute_duals:
-        cov_idx = adj.tocoo().row
-        con_idx = adj.tocoo().col
-        alpha_e = np.zeros(len(cov_idx))
-        beta_e = np.zeros(len(cov_idx))
-
-    x = np.zeros(n)
-    c = np.zeros(n)
-    y = np.zeros(n)
-    white = np.ones(n, dtype=bool)
-    dyn = adj @ white.astype(float)  # delta_i + 1 initially
-
-    for p in range(t - 1, -1, -1):
-        thr = base ** (p / t)                    # dual threshold (Line 15/20)
-        thr_raise = big_e ** (p / t) / w_max     # raising threshold (Line 5)
-        for q in range(t - 1, -1, -1):
-            inc = 1.0 / (base ** (q / t))
-            # Line 5-8: raise x at eligible nodes (effectiveness test).
-            raising = (x < 1.0) & (dyn >= thr_raise * w_vec)
-            x_plus = np.where(raising, np.minimum(inc, 1.0 - x), 0.0)
-            x = x + x_plus
-
-            # Lines 10-17: coverage accounting at white nodes.
-            c_plus = adj @ x_plus
-            lam = np.zeros(n)
-            safe = white & (c_plus > 0)
-            lam[safe] = np.minimum(1.0, (k_vec[safe] - c[safe]) / c_plus[safe])
-            lam[white & (c_plus <= 0)] = 1.0
-            np.clip(lam, 0.0, 1.0, out=lam)
-            if compute_duals:
-                share = lam[cov_idx] * x_plus[con_idx]
-                alpha_e += share
-                beta_e += share / thr[cov_idx]
-            c = np.where(white, c + c_plus, c)
-
-            # Lines 18-21: newly covered nodes turn gray, fix their y.
-            newly_gray = white & (c >= k_vec)
-            y[newly_gray] = 1.0 / thr[newly_gray]
-            white = white & ~newly_gray
-
-            # Lines 23-24: refresh dynamic degrees.
-            dyn = adj @ white.astype(float)
-
-    # Line 27: assemble z from the shares stored at neighbors.
-    if compute_duals:
-        z = np.bincount(con_idx, weights=alpha_e * y[cov_idx] - beta_e,
-                        minlength=n)
-        alpha: Dict[NodeId, Dict[NodeId, float]] = {v: {} for v in lp.nodes}
-        beta: Dict[NodeId, Dict[NodeId, float]] = {v: {} for v in lp.nodes}
-        for e in range(len(cov_idx)):
-            i_node = lp.nodes[cov_idx[e]]
-            j_node = lp.nodes[con_idx[e]]
-            alpha[i_node][j_node] = float(alpha_e[e])
-            beta[i_node][j_node] = float(beta_e[e])
-    else:
-        z = np.zeros(n)
-        alpha = {v: {} for v in lp.nodes}
-        beta = {v: {} for v in lp.nodes}
-
-    stats = _analytic_stats(lp, t, compute_duals)
-    return FractionalSolution(
-        x={v: float(x[i]) for i, v in enumerate(lp.nodes)},
-        y={v: float(y[i]) for i, v in enumerate(lp.nodes)},
-        z={v: float(z[i]) for i, v in enumerate(lp.nodes)},
-        alpha=alpha,
-        beta=beta,
-        t=t,
-        stats=stats,
-    )
-
-
-def _analytic_stats(lp: CoveringLP, t: int, compute_duals: bool) -> RunStats:
-    """Round/message accounting implied by the fixed communication schedule
-    (every node broadcasts in every round; 2 rounds per inner iteration)."""
-    from repro.simulation.messages import MessageSizeModel
-
-    m2 = 2 * lp.graph.number_of_edges()  # messages per full broadcast round
-    model = MessageSizeModel(max(1, lp.n))
-    xu_bits = model.message_bits(XUpdateMsg(x=0.0, x_plus=0.0, dyn=0.0))
-    col_bits = model.message_bits(ColorMsg(gray=False))
-    stats = RunStats()
-    stats.rounds = 2 * t * t
-    stats.messages_sent = 2 * t * t * m2
-    stats.bits_sent = t * t * m2 * (xu_bits + col_bits)
-    stats.max_message_bits = max(xu_bits, col_bits) if m2 else 0
-    if compute_duals:
-        dual_bits = model.message_bits(DualShareMsg(value=0.0))
-        stats.rounds += 1
-        stats.messages_sent += m2
-        stats.bits_sent += m2 * dual_bits
-        if m2:
-            stats.max_message_bits = max(stats.max_message_bits, dual_bits)
-    return stats
-
-
-# ======================================================================
-# Message-passing mode
+# Messages
 # ======================================================================
 
 @dataclass(frozen=True)
@@ -328,38 +194,168 @@ class FractionalNode(NodeProcess):
             self.z = z
 
 
-def _fractional_message(lp: CoveringLP, t: int, compute_duals: bool,
-                        seed: int | None,
-                        weights: Optional[Dict[NodeId, float]] = None,
-                        local_delta: Optional[Dict[NodeId, int]] = None
-                        ) -> FractionalSolution:
-    if weights is None:
-        w_of = {v: 1.0 for v in lp.nodes}
-        w_max = w_min = 1.0
-    else:
-        w_of = {v: float(weights[v]) for v in lp.nodes}
-        w_max = max(w_of.values())
-        w_min = min(w_of.values())
-    processes = [
-        FractionalNode(
-            v, lp.coverage[v],
-            lp.delta if local_delta is None else local_delta[v],
-            t, compute_duals,
-            weight=w_of[v], w_max=w_max, w_min=w_min)
-        for v in lp.nodes
-    ]
-    net = SynchronousNetwork(lp.graph, processes, seed=seed)
-    stats = run_protocol(net, max_rounds=2 * t * t + 4)
-    by_id = {p.node_id: p for p in processes}
-    return FractionalSolution(
-        x={v: by_id[v].x for v in lp.nodes},
-        y={v: by_id[v].y for v in lp.nodes},
-        z={v: by_id[v].z for v in lp.nodes},
-        alpha={v: dict(by_id[v].alpha) for v in lp.nodes},
-        beta={v: dict(by_id[v].beta) for v in lp.nodes},
-        t=t,
-        stats=stats,
-    )
+# ======================================================================
+# The round program (one definition, every backend)
+# ======================================================================
+
+class FractionalProgram(RoundProgram):
+    """Algorithm 1 as an engine-executable round program."""
+
+    def __init__(self, lp: CoveringLP, t: int, compute_duals: bool,
+                 weights: Optional[Dict[NodeId, float]] = None,
+                 local_delta: Optional[Dict[NodeId, int]] = None):
+        super().__init__(lp.artifacts)
+        self.lp = lp
+        self.t = t
+        self.compute_duals = compute_duals
+        self.weights = weights
+        self.local_delta = local_delta
+
+    def max_rounds(self) -> int:
+        return 2 * self.t * self.t + 4
+
+    # ------------------------------------------------------------------
+    def direct(self, instr: Instrumentation) -> FractionalSolution:
+        lp, t = self.lp, self.t
+        compute_duals = self.compute_duals
+        n = lp.n
+        # Per-node (Delta_i + 1): the global maximum degree by default, or
+        # the node's 2-hop local estimate (the Section 4 remark; see
+        # repro.core.local_delta).
+        if self.local_delta is None:
+            base = np.full(n, lp.delta + 1.0)
+        else:
+            base = np.asarray([self.local_delta[v] + 1.0 for v in lp.nodes])
+        k_vec = lp.k_vector()
+        adj = self.artifacts.closed_adjacency()
+
+        # Weighted extension (Section 4.1 remark): nodes raise x when their
+        # cost-effectiveness (dynamic degree per unit weight) clears the
+        # round threshold.  With unit weights this reduces bit-for-bit to
+        # the paper's condition delta~_i >= (Delta+1)^{p/t}.
+        w_vec = (np.ones(n) if self.weights is None
+                 else np.asarray([float(self.weights[v]) for v in lp.nodes]))
+        w_max = float(w_vec.max()) if n else 1.0
+        w_min = float(w_vec.min()) if n else 1.0
+        big_e = base * (w_max / w_min)   # per-node effectiveness range
+
+        # Directed closed-neighborhood pairs (covered i, contributor j) used
+        # to carry the alpha/beta edge shares of the dual-fitting bookkeeping.
+        if compute_duals:
+            cov_idx, con_idx = self.artifacts.closed_pairs()
+            alpha_e = np.zeros(len(cov_idx))
+            beta_e = np.zeros(len(cov_idx))
+
+        x = np.zeros(n)
+        c = np.zeros(n)
+        y = np.zeros(n)
+        white = np.ones(n, dtype=bool)
+        dyn = adj @ white.astype(float)  # delta_i + 1 initially
+
+        for p in range(t - 1, -1, -1):
+            thr = base ** (p / t)                    # dual threshold (Line 15/20)
+            thr_raise = big_e ** (p / t) / w_max     # raising threshold (Line 5)
+            for q in range(t - 1, -1, -1):
+                inc = 1.0 / (base ** (q / t))
+                # Line 5-8: raise x at eligible nodes (effectiveness test).
+                raising = (x < 1.0) & (dyn >= thr_raise * w_vec)
+                x_plus = np.where(raising, np.minimum(inc, 1.0 - x), 0.0)
+                x = x + x_plus
+
+                # Lines 10-17: coverage accounting at white nodes.
+                c_plus = adj @ x_plus
+                lam = np.zeros(n)
+                safe = white & (c_plus > 0)
+                lam[safe] = np.minimum(1.0, (k_vec[safe] - c[safe]) / c_plus[safe])
+                lam[white & (c_plus <= 0)] = 1.0
+                np.clip(lam, 0.0, 1.0, out=lam)
+                if compute_duals:
+                    share = lam[cov_idx] * x_plus[con_idx]
+                    alpha_e += share
+                    beta_e += share / thr[cov_idx]
+                c = np.where(white, c + c_plus, c)
+
+                # Lines 18-21: newly covered nodes turn gray, fix their y.
+                newly_gray = white & (c >= k_vec)
+                y[newly_gray] = 1.0 / thr[newly_gray]
+                white = white & ~newly_gray
+
+                # Lines 23-24: refresh dynamic degrees.
+                dyn = adj @ white.astype(float)
+
+        # Line 27: assemble z from the shares stored at neighbors.
+        if compute_duals:
+            z = np.bincount(con_idx, weights=alpha_e * y[cov_idx] - beta_e,
+                            minlength=n)
+            alpha: Dict[NodeId, Dict[NodeId, float]] = {v: {} for v in lp.nodes}
+            beta: Dict[NodeId, Dict[NodeId, float]] = {v: {} for v in lp.nodes}
+            for e in range(len(cov_idx)):
+                i_node = lp.nodes[cov_idx[e]]
+                j_node = lp.nodes[con_idx[e]]
+                alpha[i_node][j_node] = float(alpha_e[e])
+                beta[i_node][j_node] = float(beta_e[e])
+        else:
+            z = np.zeros(n)
+            alpha = {v: {} for v in lp.nodes}
+            beta = {v: {} for v in lp.nodes}
+
+        self._charge_schedule(instr)
+        return FractionalSolution(
+            x={v: float(x[i]) for i, v in enumerate(lp.nodes)},
+            y={v: float(y[i]) for i, v in enumerate(lp.nodes)},
+            z={v: float(z[i]) for i, v in enumerate(lp.nodes)},
+            alpha=alpha,
+            beta=beta,
+            t=t,
+            stats=instr.stats,
+        )
+
+    def _charge_schedule(self, instr: Instrumentation) -> None:
+        """Round/message accounting implied by the fixed communication
+        schedule (every node broadcasts in every round; 2 rounds per inner
+        iteration)."""
+        t = self.t
+        m2 = 2 * self.artifacts.m  # messages per full broadcast round
+        instr.charge_messages(t * t * m2,
+                              XUpdateMsg(x=0.0, x_plus=0.0, dyn=0.0),
+                              rounds=t * t)
+        instr.charge_messages(t * t * m2, ColorMsg(gray=False),
+                              rounds=t * t)
+        if self.compute_duals:
+            instr.charge_messages(m2, DualShareMsg(value=0.0), rounds=1)
+
+    # ------------------------------------------------------------------
+    def processes(self) -> List[FractionalNode]:
+        lp = self.lp
+        if self.weights is None:
+            w_of = {v: 1.0 for v in lp.nodes}
+            w_max = w_min = 1.0
+        else:
+            w_of = {v: float(self.weights[v]) for v in lp.nodes}
+            w_max = max(w_of.values())
+            w_min = min(w_of.values())
+        return [
+            FractionalNode(
+                v, lp.coverage[v],
+                lp.delta if self.local_delta is None else self.local_delta[v],
+                self.t, self.compute_duals,
+                weight=w_of[v], w_max=w_max, w_min=w_min)
+            for v in lp.nodes
+        ]
+
+    def collect(self, processes: Sequence[FractionalNode],
+                stats: RunStats) -> FractionalSolution:
+        lp = self.lp
+        by_id = {p.node_id: p for p in processes}
+        return FractionalSolution(
+            x={v: by_id[v].x for v in lp.nodes},
+            y={v: by_id[v].y for v in lp.nodes},
+            z={v: by_id[v].z for v in lp.nodes},
+            alpha={v: dict(by_id[v].alpha) for v in lp.nodes},
+            beta={v: dict(by_id[v].beta) for v in lp.nodes},
+            t=self.t,
+            stats=stats,
+        )
 
 
 # ======================================================================
@@ -373,8 +369,9 @@ def fractional_kmds(graph, k: int | None = 1, *,
                     compute_duals: bool = True,
                     seed: int | None = None,
                     weights: Optional[Dict[NodeId, float]] = None,
-                    local_delta: Optional[Dict[NodeId, int]] = None
-                    ) -> FractionalSolution:
+                    local_delta: Optional[Dict[NodeId, int]] = None,
+                    delay=None,
+                    delay_seed: int | None = None) -> FractionalSolution:
     """Run Algorithm 1 on ``graph``.
 
     Parameters
@@ -389,13 +386,16 @@ def fractional_kmds(graph, k: int | None = 1, *,
         The time/quality trade-off parameter: ``2 t^2`` rounds for a
         ``t((Delta+1)^{2/t} + (Delta+1)^{1/t})`` approximation.
     mode:
-        ``"direct"`` (vectorized central simulation) or ``"message"``
-        (real message passing on the synchronous simulator).
+        An engine backend: ``"direct"`` (vectorized central simulation),
+        ``"message"`` (real message passing on the synchronous simulator),
+        or ``"async"`` / ``"async-beta"`` (alpha / beta synchronizer over
+        random link delays).
     compute_duals:
         Whether to carry the dual bookkeeping (needed for the Lemma 4.2-4.4
         diagnostics; adds one communication round and O(m) memory).
     seed:
-        Simulator seed (message mode only; the algorithm is deterministic).
+        Simulator seed (message-passing backends only; the algorithm is
+        deterministic).
     weights:
         Optional positive node costs for the weighted k-MDS extension
         (Section 4.1 remark).  Nodes then raise x based on
@@ -415,6 +415,7 @@ def fractional_kmds(graph, k: int | None = 1, *,
     """
     if t < 1:
         raise GraphError(f"t must be a positive integer, got {t}")
+    seed = validate_seed(seed)
     lp = _resolve_instance(graph, k, coverage)
     if weights is not None:
         missing = [v for v in lp.nodes if v not in weights]
@@ -438,9 +439,6 @@ def fractional_kmds(graph, k: int | None = 1, *,
             )
     if lp.n == 0:
         return FractionalSolution(x={}, y={}, z={}, alpha={}, beta={}, t=t)
-    if mode == "direct":
-        return _fractional_direct(lp, t, compute_duals, weights, local_delta)
-    if mode == "message":
-        return _fractional_message(lp, t, compute_duals, seed, weights,
-                                   local_delta)
-    raise GraphError(f"unknown mode {mode!r}; expected 'direct' or 'message'")
+    program = FractionalProgram(lp, t, compute_duals, weights, local_delta)
+    return execute(program, mode, seed=seed, delay=delay,
+                   delay_seed=delay_seed)

@@ -15,6 +15,10 @@ This module provides both forms of the estimate:
   the max it heard), with message accounting.  The two agree exactly
   (tested).
 
+The protocol is an engine :class:`~repro.engine.program.RoundProgram`, so
+it also runs vectorized (``mode="direct"``) or under the asynchronous
+synchronizers (``"async"`` / ``"async-beta"``).
+
 Pass the resulting map as ``local_delta=`` to
 :func:`repro.core.fractional.fractional_kmds` to run Algorithm 1 without
 global knowledge; experiment E15 measures the quality impact.
@@ -23,13 +27,18 @@ global knowledge; experiment E15 measures the quality impact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
+from repro.engine import (
+    Instrumentation,
+    RoundProgram,
+    execute,
+    graph_artifacts,
+    validate_seed,
+)
 from repro.graphs.properties import as_nx
 from repro.simulation.messages import Message
-from repro.simulation.network import SynchronousNetwork
 from repro.simulation.node import NodeProcess
-from repro.simulation.runner import run_protocol
 from repro.types import NodeId, RunStats
 
 
@@ -69,12 +78,41 @@ class DegreeEstimationNode(NodeProcess):
         self.estimate = max([one_hop] + [m.degree for _, m in inbox])
 
 
-def estimate_two_hop_max_message(graph, *, seed: int | None = None
+class DegreeEstimationProgram(RoundProgram):
+    """The 2-hop max-degree protocol as an engine round program."""
+
+    def max_rounds(self) -> int:
+        return 4
+
+    def direct(self, instr: Instrumentation
+               ) -> Tuple[Dict[NodeId, int], RunStats]:
+        estimates = two_hop_max_degree(self.artifacts.graph)
+        # Two full broadcast rounds of one DegreeMsg per directed edge.
+        instr.charge_messages(2 * self.artifacts.m, DegreeMsg(degree=0),
+                              rounds=1)
+        instr.charge_messages(2 * self.artifacts.m, DegreeMsg(degree=0),
+                              rounds=1)
+        return estimates, instr.stats
+
+    def processes(self) -> List[DegreeEstimationNode]:
+        return [DegreeEstimationNode(v) for v in self.artifacts.nodes]
+
+    def collect(self, processes: Sequence[DegreeEstimationNode],
+                stats: RunStats) -> Tuple[Dict[NodeId, int], RunStats]:
+        return {p.node_id: p.estimate for p in processes}, stats
+
+
+def estimate_two_hop_max_message(graph, *, mode: str = "message",
+                                 seed: int | None = None,
+                                 delay=None, delay_seed: int | None = None
                                  ) -> Tuple[Dict[NodeId, int], RunStats]:
     """Run the distributed estimation protocol; returns the per-node
-    estimates and the run's communication accounting (2 rounds)."""
-    g = as_nx(graph)
-    processes = [DegreeEstimationNode(v) for v in g.nodes]
-    net = SynchronousNetwork(g, processes, seed=seed)
-    stats = run_protocol(net, max_rounds=4)
-    return {p.node_id: p.estimate for p in processes}, stats
+    estimates and the run's communication accounting (2 rounds).
+
+    ``mode`` selects the engine backend (``"message"`` by default, for
+    backwards compatibility; ``"direct"`` computes the same map centrally
+    with analytic accounting)."""
+    seed = validate_seed(seed)
+    program = DegreeEstimationProgram(graph_artifacts(as_nx(graph)))
+    return execute(program, mode, seed=seed, delay=delay,
+                   delay_seed=delay_seed)

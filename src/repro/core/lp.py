@@ -26,8 +26,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.engine.artifacts import GraphArtifacts, graph_artifacts
 from repro.errors import GraphError
-from repro.graphs.properties import as_nx, max_degree
 from repro.types import CoverageMap, NodeId
 
 
@@ -45,9 +45,11 @@ class CoveringLP:
     """
 
     def __init__(self, graph, coverage: CoverageMap):
-        self.graph: nx.Graph = as_nx(graph)
-        self.nodes: List[NodeId] = list(self.graph.nodes)
-        self.index: Dict[NodeId, int] = {v: i for i, v in enumerate(self.nodes)}
+        #: Shared per-graph derived structures (cached across LP builds).
+        self.artifacts: GraphArtifacts = graph_artifacts(graph)
+        self.graph: nx.Graph = self.artifacts.graph
+        self.nodes: List[NodeId] = self.artifacts.nodes
+        self.index: Dict[NodeId, int] = self.artifacts.index
         missing = [v for v in self.nodes if v not in coverage]
         if missing:
             raise GraphError(
@@ -57,12 +59,9 @@ class CoveringLP:
         if any(k < 0 for k in self.coverage.values()):
             raise GraphError("coverage requirements must be non-negative")
         #: Closed neighborhoods as index lists (the paper's N_i, with i).
-        self.closed_nbrs: List[np.ndarray] = []
-        for v in self.nodes:
-            idx = [self.index[v]] + [self.index[w] for w in self.graph.neighbors(v)]
-            self.closed_nbrs.append(np.asarray(sorted(idx), dtype=np.int64))
-        self.n = len(self.nodes)
-        self.delta = max_degree(self.graph)
+        self.closed_nbrs: List[np.ndarray] = self.artifacts.closed_nbrs
+        self.n = self.artifacts.n
+        self.delta = self.artifacts.delta
 
     # ------------------------------------------------------------------
     def k_vector(self) -> np.ndarray:

@@ -17,24 +17,29 @@ v_l with x'_l = 0"); three policies are provided (an E3 ablation):
 - ``"highest-x"`` — prefer neighbors with the largest fractional value
   (they were "almost chosen" and tend to be useful elsewhere too);
 - ``"self-first"`` — a deficient node recruits itself first, then randoms.
+
+The algorithm is a :class:`~repro.engine.program.RoundProgram`: the same
+definition runs vectorized (``mode="direct"``), on the synchronous
+simulator (``"message"``), or under the alpha / beta synchronizers
+(``"async"`` / ``"async-beta"``).  All backends consume the per-node RNG
+streams identically, so the same seed yields the same set everywhere.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Mapping
+from typing import Iterator, List, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.lp import CoveringLP
+from repro.engine import Instrumentation, RoundProgram, execute, validate_seed
 from repro.errors import GraphError
 from repro.graphs.properties import as_nx
 from repro.simulation.messages import Message
-from repro.simulation.network import SynchronousNetwork
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
-from repro.simulation.runner import run_protocol
 from repro.types import CoverageMap, DominatingSet, NodeId, RunStats
 
 REQUEST_POLICIES = ("random", "highest-x", "self-first")
@@ -84,65 +89,7 @@ def _choose_requests(rng: np.random.Generator, me: NodeId,
 
 
 # ======================================================================
-# Direct mode
-# ======================================================================
-
-def _rounding_direct(lp: CoveringLP, x: Mapping[NodeId, float],
-                     policy: str, seed: int | None) -> DominatingSet:
-    rngs = spawn_node_rngs(lp.nodes, seed)
-    delta = lp.delta
-
-    # Line 1-2: independent randomized rounding.
-    members = {
-        v for v in lp.nodes
-        if rngs[v].random() < rounding_probability(x[v], delta)
-    }
-    sampled = len(members)
-
-    # Lines 4-7: deficient nodes recruit non-members from N_i.  Neighbor
-    # order matches the simulator's stable order so that direct and message
-    # modes consume node randomness identically.
-    requested: set = set()
-    req_messages = 0  # actual REQ sends (self-picks are local, not sent)
-    for v in lp.nodes:
-        closed = [v] + _stable_sorted(lp.graph.neighbors(v))
-        have = sum(1 for w in closed if w in members)
-        need = lp.coverage[v] - have
-        if need <= 0:
-            continue
-        candidates = [w for w in closed if w not in members]
-        for w in _choose_requests(rngs[v], v, candidates, x, need, policy):
-            requested.add(w)
-            if w != v:
-                req_messages += 1
-    members |= requested
-
-    stats = _analytic_rounding_stats(lp, req_messages)
-    return DominatingSet(
-        members=members,
-        stats=stats,
-        details={"sampled": sampled, "requested": len(requested),
-                 "policy": policy},
-    )
-
-
-def _analytic_rounding_stats(lp: CoveringLP, n_requests: int) -> RunStats:
-    from repro.simulation.messages import MessageSizeModel
-
-    model = MessageSizeModel(max(1, lp.n))
-    m2 = 2 * lp.graph.number_of_edges()
-    memb_bits = model.message_bits(MembershipMsg(member=False))
-    req_bits = model.message_bits(ReqMsg())
-    stats = RunStats()
-    stats.rounds = 2
-    stats.messages_sent = m2 + n_requests
-    stats.bits_sent = m2 * memb_bits + n_requests * req_bits
-    stats.max_message_bits = max(memb_bits, req_bits) if (m2 or n_requests) else 0
-    return stats
-
-
-# ======================================================================
-# Message-passing mode
+# Messages
 # ======================================================================
 
 @dataclass(frozen=True)
@@ -199,16 +146,78 @@ class RoundingNode(NodeProcess):
             self.member = True
 
 
-def _rounding_message(lp: CoveringLP, x: Mapping[NodeId, float],
-                      policy: str, seed: int | None) -> DominatingSet:
-    processes = [
-        RoundingNode(v, lp.coverage[v], lp.delta, x, policy)
-        for v in lp.nodes
-    ]
-    net = SynchronousNetwork(lp.graph, processes, seed=seed)
-    stats = run_protocol(net, max_rounds=8)
-    members = {p.node_id for p in processes if p.member}
-    return DominatingSet(members=members, stats=stats, details={"policy": policy})
+# ======================================================================
+# The round program
+# ======================================================================
+
+class RoundingProgram(RoundProgram):
+    """Algorithm 2 as an engine-executable round program."""
+
+    def __init__(self, lp: CoveringLP, x: Mapping[NodeId, float],
+                 policy: str, seed: int | None):
+        super().__init__(lp.artifacts)
+        self.lp = lp
+        self.x = x
+        self.policy = policy
+        self.seed = seed
+
+    def max_rounds(self) -> int:
+        return 8
+
+    def direct(self, instr: Instrumentation) -> DominatingSet:
+        lp, x, policy = self.lp, self.x, self.policy
+        rngs = spawn_node_rngs(lp.nodes, self.seed)
+        delta = lp.delta
+
+        # Line 1-2: independent randomized rounding.
+        members = {
+            v for v in lp.nodes
+            if rngs[v].random() < rounding_probability(x[v], delta)
+        }
+        sampled = len(members)
+
+        # Lines 4-7: deficient nodes recruit non-members from N_i.
+        # Neighbor order matches the simulator's stable order so that
+        # direct and message backends consume node randomness identically.
+        nbrs_of = self.artifacts.sorted_neighbors
+        requested: set = set()
+        req_messages = 0  # actual REQ sends (self-picks are local, not sent)
+        for v in lp.nodes:
+            closed = [v] + list(nbrs_of[v])
+            have = sum(1 for w in closed if w in members)
+            need = lp.coverage[v] - have
+            if need <= 0:
+                continue
+            candidates = [w for w in closed if w not in members]
+            for w in _choose_requests(rngs[v], v, candidates, x, need, policy):
+                requested.add(w)
+                if w != v:
+                    req_messages += 1
+        members |= requested
+
+        # Accounting implied by the two-exchange schedule.
+        instr.charge_messages(2 * self.artifacts.m,
+                              MembershipMsg(member=False), rounds=1)
+        instr.charge_messages(req_messages, ReqMsg(), rounds=1)
+        return DominatingSet(
+            members=members,
+            stats=instr.stats,
+            details={"sampled": sampled, "requested": len(requested),
+                     "policy": policy},
+        )
+
+    def processes(self) -> List[RoundingNode]:
+        lp = self.lp
+        return [
+            RoundingNode(v, lp.coverage[v], lp.delta, self.x, self.policy)
+            for v in lp.nodes
+        ]
+
+    def collect(self, processes: Sequence[RoundingNode],
+                stats: RunStats) -> DominatingSet:
+        members = {p.node_id for p in processes if p.member}
+        return DominatingSet(members=members, stats=stats,
+                             details={"policy": self.policy})
 
 
 # ======================================================================
@@ -220,7 +229,9 @@ def randomized_rounding(graph, x: Mapping[NodeId, float],
                         coverage: CoverageMap | None = None,
                         policy: str = "random",
                         mode: str = "direct",
-                        seed: int | None = None) -> DominatingSet:
+                        seed: int | None = None,
+                        delay=None,
+                        delay_seed: int | None = None) -> DominatingSet:
     """Run Algorithm 2: round a fractional (PP) solution to an integral
     k-fold dominating set (closed-neighborhood convention).
 
@@ -236,15 +247,17 @@ def randomized_rounding(graph, x: Mapping[NodeId, float],
     policy:
         REQ target selection policy (see module docstring).
     mode:
-        ``"direct"`` or ``"message"``.
+        An engine backend: ``"direct"``, ``"message"``, ``"async"`` or
+        ``"async-beta"``.
     seed:
-        Root seed for all node randomness.  Both modes consume per-node
-        streams identically, so the same seed yields the same set.
+        Root seed for all node randomness.  Every backend consumes the
+        per-node streams identically, so the same seed yields the same set.
     """
     if policy not in REQUEST_POLICIES:
         raise GraphError(
             f"unknown request policy {policy!r}; expected one of {REQUEST_POLICIES}"
         )
+    seed = validate_seed(seed)
     g = as_nx(graph)
     if coverage is None:
         if k is None:
@@ -268,8 +281,6 @@ def randomized_rounding(graph, x: Mapping[NodeId, float],
         )
     if lp.n == 0:
         return DominatingSet(members=set())
-    if mode == "direct":
-        return _rounding_direct(lp, x, policy, seed)
-    if mode == "message":
-        return _rounding_message(lp, x, policy, seed)
-    raise GraphError(f"unknown mode {mode!r}; expected 'direct' or 'message'")
+    program = RoundingProgram(lp, x, policy, seed)
+    return execute(program, mode, seed=seed, delay=delay,
+                   delay_seed=delay_seed)

@@ -31,17 +31,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Set
+from typing import Dict, Iterator, List, Sequence, Set
 
 import numpy as np
 
+from repro.engine import Instrumentation, RoundProgram, execute, validate_seed
+from repro.engine.artifacts import graph_artifacts
 from repro.errors import GeometryError, GraphError
 from repro.graphs.udg import UnitDiskGraph
 from repro.simulation.messages import Message
-from repro.simulation.network import SynchronousNetwork
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
-from repro.simulation.runner import run_protocol
 from repro.types import DominatingSet, NodeId, RunStats
 
 #: The paper's base xi = 3/2 for the doubling schedule.
@@ -196,24 +196,6 @@ def _part_two_direct(udg: UnitDiskGraph, leaders: Set[int], k: int,
     return {v for v in range(n) if leader_flag[v]}
 
 
-def _solve_udg_direct(udg: UnitDiskGraph, k: int, policy: str,
-                      seed: int | None) -> DominatingSet:
-    n = udg.n
-    details: dict = {"mode": "direct", "k": k}
-    if n == 0:
-        return DominatingSet(members=set(), details=details)
-    rngs = spawn_node_rngs(range(n), seed)
-
-    leaders = _part_one_direct(udg, rngs, details)
-    details["part1_leaders"] = len(leaders)
-    members = _part_two_direct(udg, set(leaders), k, rngs, policy, details)
-
-    stats = RunStats()
-    stats.rounds = 2 * len(details["theta_per_round"]) \
-        + 2 + 3 * details["part2_iterations"]
-    return DominatingSet(members=members, stats=stats, details=details)
-
-
 # ======================================================================
 # Message-passing mode
 # ======================================================================
@@ -354,21 +336,57 @@ class UDGNode(NodeProcess):
                     deficient_of[src] = msg.deficient
 
 
-def _solve_udg_message(udg: UnitDiskGraph, k: int, policy: str,
-                       seed: int | None) -> DominatingSet:
-    n = udg.n
-    details: dict = {"mode": "message", "k": k}
-    if n == 0:
-        return DominatingSet(members=set(), details=details)
-    # Upper bound on Part II iterations: each iteration removes at least k
-    # deficient nodes from any nonempty U(v), so deg+1 over k suffices;
-    # use n as a safe global bound.
-    sync_iters = n + 1
-    processes = [UDGNode(v, k, n, policy, sync_iters) for v in range(n)]
-    net = SynchronousNetwork(udg, processes, seed=seed)
-    stats = run_protocol(net, max_rounds=2 * len(theta_schedule(n)) + 3 * sync_iters + 8)
-    members = {p.node_id for p in processes if p.leader}
-    return DominatingSet(members=members, stats=stats, details=details)
+# ======================================================================
+# The round program
+# ======================================================================
+
+class UDGProgram(RoundProgram):
+    """Algorithm 3 as an engine-executable round program."""
+
+    def __init__(self, udg: UnitDiskGraph, k: int, policy: str,
+                 seed: int | None):
+        super().__init__(graph_artifacts(udg))
+        self.udg = udg
+        # Message-passing backends need the wrapper (distance sensing for
+        # Part I's send_within), not the plain graph.
+        self.network_graph = udg
+        self.k = k
+        self.policy = policy
+        self.seed = seed
+
+    def max_rounds(self) -> int:
+        n = self.udg.n
+        return 2 * len(theta_schedule(n)) + 3 * (n + 1) + 8
+
+    def direct(self, instr: Instrumentation) -> DominatingSet:
+        udg, k, policy = self.udg, self.k, self.policy
+        details: dict = {"mode": "direct", "k": k}
+        rngs = spawn_node_rngs(range(udg.n), self.seed)
+
+        leaders = _part_one_direct(udg, rngs, details)
+        details["part1_leaders"] = len(leaders)
+        members = _part_two_direct(udg, set(leaders), k, rngs, policy,
+                                   details)
+
+        instr.charge_rounds(2 * len(details["theta_per_round"])
+                            + 2 + 3 * details["part2_iterations"])
+        return DominatingSet(members=members, stats=instr.stats,
+                             details=details)
+
+    def processes(self) -> List[UDGNode]:
+        n = self.udg.n
+        # Upper bound on Part II iterations: each iteration removes at
+        # least k deficient nodes from any nonempty U(v), so deg+1 over k
+        # suffices; use n as a safe global bound.
+        sync_iters = n + 1
+        return [UDGNode(v, self.k, n, self.policy, sync_iters)
+                for v in range(n)]
+
+    def collect(self, processes: Sequence[UDGNode],
+                stats: RunStats) -> DominatingSet:
+        members = {p.node_id for p in processes if p.leader}
+        return DominatingSet(members=members, stats=stats,
+                             details={"mode": "message", "k": self.k})
 
 
 # ======================================================================
@@ -394,7 +412,9 @@ def part_one_leaders(graph, *, seed: int | None = None) -> DominatingSet:
 def solve_kmds_udg(graph, k: int = 1, *,
                    mode: str = "direct",
                    selection_policy: str = "random",
-                   seed: int | None = None) -> DominatingSet:
+                   seed: int | None = None,
+                   delay=None,
+                   delay_seed: int | None = None) -> DominatingSet:
     """Run Algorithm 3: a k-fold dominating set of a unit disk graph in
     ``O(log log n)`` rounds with ``O(log n)``-bit messages, O(1)-approximate
     in expectation (Theorem 5.7).
@@ -408,14 +428,16 @@ def solve_kmds_udg(graph, k: int = 1, *,
         outside the returned set has at least ``k`` neighbors inside it;
         always satisfiable since deficient nodes are promoted into the set).
     mode:
-        ``"direct"`` (fast central simulation) or ``"message"`` (full
-        message-passing simulation with accounting).
+        An engine backend: ``"direct"`` (fast central simulation),
+        ``"message"`` (full message-passing simulation with accounting),
+        or ``"async"`` / ``"async-beta"`` (synchronizers over random link
+        delays).
     selection_policy:
         How leaders pick adoption targets in Part II: ``"random"`` or
         ``"by-id"``.
     seed:
-        Root seed for all node randomness; the two modes consume per-node
-        streams identically, so results match for equal seeds.
+        Root seed for all node randomness; every backend consumes the
+        per-node streams identically, so results match for equal seeds.
     """
     if k < 1:
         raise GraphError(f"k must be at least 1, got {k}")
@@ -424,9 +446,15 @@ def solve_kmds_udg(graph, k: int = 1, *,
             f"unknown selection policy {selection_policy!r}; "
             f"expected one of {SELECTION_POLICIES}"
         )
+    seed = validate_seed(seed)
     udg = _as_udg(graph)
-    if mode == "direct":
-        return _solve_udg_direct(udg, k, selection_policy, seed)
-    if mode == "message":
-        return _solve_udg_message(udg, k, selection_policy, seed)
-    raise GraphError(f"unknown mode {mode!r}; expected 'direct' or 'message'")
+    if udg.n == 0:
+        from repro.engine.backends import resolve_backend
+
+        resolve_backend(mode)
+        return DominatingSet(members=set(), details={"mode": mode, "k": k})
+    program = UDGProgram(udg, k, selection_policy, seed)
+    result = execute(program, mode, seed=seed, delay=delay,
+                     delay_seed=delay_seed)
+    result.details["mode"] = mode
+    return result

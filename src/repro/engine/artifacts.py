@@ -1,0 +1,150 @@
+"""Per-graph cached derived structures.
+
+Every solver call used to rebuild the same derived data from scratch:
+:class:`~repro.core.lp.CoveringLP` re-sorted every closed neighborhood,
+``mode="direct"`` kernels re-assembled the closed-adjacency CSR matrix,
+and every :class:`~repro.simulation.network.SynchronousNetwork` re-sorted
+every neighbor list.  Inside a sweep (E1, E4, E6, ...) the same graph is
+solved dozens of times, so this recomputation dominated setup cost.
+
+:func:`graph_artifacts` returns a :class:`GraphArtifacts` bundle holding
+all of it, cached per graph object:
+
+- node list, node -> index map, ``n``, ``m``, max degree ``Delta``;
+- degree vector (index-aligned numpy array);
+- per-node sorted neighbor tuples (the simulator's stable order);
+- closed neighborhoods as sorted index arrays (the paper's ``N_i``);
+- the closed-adjacency CSR matrix ``A`` with ``A[i, j] = 1`` iff
+  ``j in N_i`` and its COO pair list (built lazily — only direct-mode
+  kernels need them).
+
+The cache is a :class:`weakref.WeakKeyDictionary` keyed by the underlying
+``networkx.Graph`` object, so artifacts die with their graph.  A
+``(number_of_nodes, number_of_edges)`` fingerprint guards against
+in-place topology mutation: if either changed, the entry is rebuilt.
+Mutating a graph while preserving both counts (an exact rewiring) is not
+detected — call :func:`invalidate` explicitly in that case.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.properties import as_nx
+from repro.types import NodeId
+
+
+def _stable_sorted(items) -> list:
+    """Sort by natural order, falling back to repr for mixed types."""
+    items = list(items)
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=repr)
+
+
+class GraphArtifacts:
+    """Derived structures for one graph, computed once and shared.
+
+    Do not construct directly — go through :func:`graph_artifacts` so
+    repeated solver calls on the same graph hit the cache.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        self.graph = graph
+        self.nodes: List[NodeId] = list(graph.nodes)
+        self.index: Dict[NodeId, int] = {v: i for i, v in enumerate(self.nodes)}
+        self.n = len(self.nodes)
+        self.m = graph.number_of_edges()
+        #: Per-node sorted neighbor tuples (the simulator's stable order).
+        self.sorted_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {
+            v: tuple(_stable_sorted(graph.neighbors(v))) for v in self.nodes
+        }
+        #: Index-aligned degree vector.
+        self.degrees: np.ndarray = np.asarray(
+            [len(self.sorted_neighbors[v]) for v in self.nodes], dtype=np.int64
+        )
+        #: The paper's Delta (0 on the empty graph).
+        self.delta: int = int(self.degrees.max()) if self.n else 0
+        #: Closed neighborhoods as sorted index arrays (the paper's N_i).
+        self.closed_nbrs: List[np.ndarray] = [
+            np.asarray(
+                sorted([self.index[v]]
+                       + [self.index[w] for w in self.sorted_neighbors[v]]),
+                dtype=np.int64,
+            )
+            for v in self.nodes
+        ]
+        self._closed_adjacency: Optional[sp.csr_matrix] = None
+        self._closed_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def closed_adjacency(self) -> sp.csr_matrix:
+        """Sparse 0/1 matrix ``A`` with ``A[i, j] = 1`` iff ``j in N_i``."""
+        if self._closed_adjacency is None:
+            rows = np.concatenate(
+                [np.full(len(nbrs), i, dtype=np.int64)
+                 for i, nbrs in enumerate(self.closed_nbrs)]
+            ) if self.n else np.zeros(0, dtype=np.int64)
+            cols = (np.concatenate(self.closed_nbrs) if self.n
+                    else np.zeros(0, dtype=np.int64))
+            data = np.ones(len(rows), dtype=float)
+            self._closed_adjacency = sp.csr_matrix(
+                (data, (rows, cols)), shape=(self.n, self.n)
+            )
+        return self._closed_adjacency
+
+    def closed_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The directed closed-neighborhood pairs ``(covered_i, contributor_j)``
+        of the adjacency matrix, in CSR order (used by the dual bookkeeping)."""
+        if self._closed_pairs is None:
+            coo = self.closed_adjacency().tocoo()
+            self._closed_pairs = (coo.row.copy(), coo.col.copy())
+        return self._closed_pairs
+
+    def fingerprint(self) -> Tuple[int, int]:
+        """The (n, m) pair used for cache staleness detection."""
+        return (self.n, self.m)
+
+
+#: graph -> (fingerprint, artifacts); weak keys so artifacts die with graphs.
+_CACHE: "weakref.WeakKeyDictionary[nx.Graph, Tuple[Tuple[int, int], GraphArtifacts]]" \
+    = weakref.WeakKeyDictionary()
+
+#: Cache-effectiveness counters (read by the engine-overhead benchmark).
+_STATS = {"hits": 0, "misses": 0}
+
+
+def graph_artifacts(graph) -> GraphArtifacts:
+    """Return the (cached) :class:`GraphArtifacts` for ``graph``.
+
+    Accepts a ``networkx.Graph`` or any wrapper exposing ``.nx`` (such as
+    :class:`repro.graphs.udg.UnitDiskGraph`); the cache is keyed by the
+    underlying plain graph.
+    """
+    g = as_nx(graph)
+    fingerprint = (g.number_of_nodes(), g.number_of_edges())
+    entry = _CACHE.get(g)
+    if entry is not None and entry[0] == fingerprint:
+        _STATS["hits"] += 1
+        return entry[1]
+    _STATS["misses"] += 1
+    art = GraphArtifacts(g)
+    _CACHE[g] = (fingerprint, art)
+    return art
+
+
+def invalidate(graph) -> None:
+    """Drop the cached artifacts for ``graph`` (after an in-place mutation
+    that preserved the node and edge counts)."""
+    _CACHE.pop(as_nx(graph), None)
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters since process start (benchmark diagnostics)."""
+    return dict(_STATS)

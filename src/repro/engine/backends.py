@@ -1,0 +1,120 @@
+"""Execution backends and the shared ``mode=`` / ``seed=`` validation.
+
+:func:`execute` runs a :class:`~repro.engine.program.RoundProgram` on one
+of four backends:
+
+========== =========================================================
+backend    execution
+========== =========================================================
+direct     vectorized central simulation (numpy; large-n sweeps)
+message    the faithful synchronous simulator, per-message accounting
+async      alpha synchronizer over random link delays (Awerbuch [2])
+async-beta beta synchronizer (spanning-tree safety detection)
+========== =========================================================
+
+All four consume the per-node RNG streams identically, so they produce
+the same solution for the same seed; they differ in speed and in the
+fidelity of the returned :class:`~repro.types.RunStats`.
+
+Every solver entry point funnels its ``mode=`` argument through
+:func:`resolve_backend` and its ``seed=`` through :func:`validate_seed`,
+so unknown modes and malformed seeds raise the same error class with the
+same message shape everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.program import RoundProgram
+from repro.errors import GraphError, UnknownModeError
+from repro.types import RunStats
+
+#: All engine backends, in documentation order.
+BACKENDS = ("direct", "message", "async", "async-beta")
+
+#: Backends that execute node processes on a transport (non-vectorized).
+MESSAGE_BACKENDS = ("message", "async", "async-beta")
+
+
+def resolve_backend(mode: str, *,
+                    allowed: Sequence[str] = BACKENDS) -> str:
+    """Validate a ``mode=`` argument; returns it unchanged.
+
+    Raises
+    ------
+    UnknownModeError
+        With the canonical message shape
+        ``unknown mode 'x'; expected one of (...)``.
+    """
+    if mode not in allowed:
+        raise UnknownModeError(
+            f"unknown mode {mode!r}; expected one of {tuple(allowed)}"
+        )
+    return mode
+
+
+def validate_seed(seed) -> Optional[int]:
+    """Validate a ``seed=`` argument; returns it as a plain int (or None)."""
+    if seed is None:
+        return None
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise GraphError(
+            f"seed must be an int or None, got {type(seed).__name__} {seed!r}"
+        )
+    return int(seed)
+
+
+def execute(program: RoundProgram, mode: str = "direct", *,
+            seed: int | None = None,
+            delay: Callable[[np.random.Generator], float] | None = None,
+            delay_seed: int | None = None):
+    """Run ``program`` on the backend selected by ``mode``.
+
+    Parameters
+    ----------
+    program:
+        The algorithm, written once as a :class:`RoundProgram`.
+    mode:
+        One of :data:`BACKENDS`.
+    seed:
+        Root seed for all per-node randomness (every backend derives the
+        same per-node streams from it).
+    delay / delay_seed:
+        Link-delay sampler and its seed for the asynchronous backends
+        (defaults: exponential with mean 1; ``delay_seed`` falls back to
+        ``seed``).  Delays live on a separate RNG stream, so they never
+        perturb protocol coin flips — asynchronous results equal
+        synchronous ones for the same ``seed``.
+    """
+    backend = resolve_backend(mode)
+    seed = validate_seed(seed)
+
+    if backend == "direct":
+        return program.direct(program.instrumentation())
+
+    # Imported lazily: the simulation layer itself imports the engine
+    # (runner/network use Instrumentation/GraphArtifacts), so a module-level
+    # import here would close an initialization cycle.
+    from repro.simulation.network import SynchronousNetwork
+
+    processes = program.processes()
+    net = SynchronousNetwork(program.network_graph, processes, seed=seed,
+                             **program.network_kwargs)
+    if backend == "message":
+        from repro.simulation.runner import run_protocol
+
+        stats = run_protocol(net, max_rounds=program.max_rounds())
+    else:
+        if backend == "async":
+            from repro.simulation.asynchrony import run_protocol_async as runner
+        else:
+            from repro.simulation.beta import run_protocol_beta as runner
+        astats = runner(net, delay=delay,
+                        delay_seed=seed if delay_seed is None else delay_seed,
+                        max_rounds=program.max_rounds())
+        stats = astats.as_run_stats()
+    assert isinstance(stats, RunStats)
+    return program.collect(processes, stats)

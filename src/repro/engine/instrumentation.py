@@ -1,0 +1,165 @@
+"""Unified execution accounting.
+
+One :class:`Instrumentation` object serves every engine backend:
+
+- the synchronous round loop (:func:`repro.simulation.runner.run_protocol`)
+  records delivered messages per round (``begin_round`` / ``payload`` /
+  ``end_round``);
+- the event-driven transports (alpha / beta synchronizers) record payload
+  traffic as it is shipped (``async_payload``), control overhead
+  (``control``), event time (``advance_time``) and completed synchronizer
+  rounds (``note_round``);
+- vectorized direct kernels charge the *analytic* schedule implied by the
+  algorithm (``charge_rounds`` / ``charge_messages``) so a direct run
+  reports the same round/message/bit figures a faithful message-passing
+  run would.
+
+All three paths accumulate into one :class:`~repro.types.RunStats`, so
+solver results carry comparable accounting regardless of the backend that
+produced them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.types import RoundStats, RunStats
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle:
+    # repro.simulation/__init__ pulls in runner, which needs this module.
+    from repro.simulation.messages import Message, MessageSizeModel
+
+
+class Instrumentation:
+    """Accumulates round/message/bit accounting for one execution.
+
+    Parameters
+    ----------
+    size_model:
+        The :class:`MessageSizeModel` used to charge message bits.  May be
+        omitted for executions that never account messages (pure
+        round-count bookkeeping).
+    keep_round_stats:
+        When true, the synchronous round API populates
+        ``stats.per_round``.
+    """
+
+    def __init__(self, size_model: Optional[MessageSizeModel] = None, *,
+                 keep_round_stats: bool = False):
+        self.size_model = size_model
+        self.keep_round_stats = keep_round_stats
+        self.stats = RunStats()
+        self._round_messages = 0
+        self._round_bits = 0
+        self._round_max = 0
+
+    @classmethod
+    def for_n(cls, n: int, *, value_bits: int | None = None,
+              keep_round_stats: bool = False) -> "Instrumentation":
+        """Instrumentation with the default size model for an n-node network."""
+        from repro.simulation.messages import MessageSizeModel
+
+        return cls(MessageSizeModel(max(1, n), value_bits=value_bits),
+                   keep_round_stats=keep_round_stats)
+
+    def message_bits(self, message: Message) -> int:
+        if self.size_model is None:
+            raise ValueError(
+                "this Instrumentation has no MessageSizeModel; "
+                "construct it with one to account message bits"
+            )
+        return self.size_model.message_bits(message)
+
+    # ------------------------------------------------------------------
+    # Synchronous round loop API
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        self._round_messages = 0
+        self._round_bits = 0
+        self._round_max = 0
+
+    def payload(self, message: Message) -> int:
+        """Account one delivered message within the current round."""
+        bits = self.message_bits(message)
+        self._round_messages += 1
+        self._round_bits += bits
+        if bits > self._round_max:
+            self._round_max = bits
+        return bits
+
+    def end_round(self, round_index: int, active_nodes: int) -> None:
+        """Close the current round and fold it into the aggregate stats."""
+        s = self.stats
+        s.rounds += 1
+        s.messages_sent += self._round_messages
+        s.bits_sent += self._round_bits
+        s.max_message_bits = max(s.max_message_bits, self._round_max)
+        if self.keep_round_stats:
+            s.per_round.append(RoundStats(
+                round_index=round_index,
+                messages_sent=self._round_messages,
+                bits_sent=self._round_bits,
+                max_message_bits=self._round_max,
+                active_nodes=active_nodes,
+            ))
+
+    @property
+    def round_messages(self) -> int:
+        """Messages accounted in the round currently open."""
+        return self._round_messages
+
+    @property
+    def round_bits(self) -> int:
+        return self._round_bits
+
+    @property
+    def round_max_bits(self) -> int:
+        return self._round_max
+
+    # ------------------------------------------------------------------
+    # Event-driven transport API
+    # ------------------------------------------------------------------
+    def async_payload(self, message: Message) -> int:
+        """Account one payload message shipped by a synchronizer."""
+        bits = self.message_bits(message)
+        s = self.stats
+        s.messages_sent += 1
+        s.bits_sent += bits
+        if bits > s.max_message_bits:
+            s.max_message_bits = bits
+        return bits
+
+    def control(self, count: int = 1) -> None:
+        """Account synchronizer control traffic (acks, safety, pulses)."""
+        self.stats.control_messages += count
+
+    def advance_time(self, now: float) -> None:
+        """Record the event time of the latest delivery."""
+        self.stats.virtual_time = now
+
+    def note_round(self, round_index: int) -> None:
+        """Record that some node entered ``round_index`` (monotone max)."""
+        if round_index > self.stats.rounds:
+            self.stats.rounds = round_index
+
+    # ------------------------------------------------------------------
+    # Analytic (direct-mode) API
+    # ------------------------------------------------------------------
+    def charge_rounds(self, rounds: int) -> None:
+        """Charge communication rounds implied by a fixed schedule."""
+        self.stats.rounds += rounds
+
+    def charge_messages(self, count: int, message: Message, *,
+                        rounds: int = 0) -> None:
+        """Charge ``count`` copies of ``message`` (and optionally the rounds
+        of the schedule segment that carries them)."""
+        if rounds:
+            self.stats.rounds += rounds
+        if count <= 0:
+            return
+        bits = self.message_bits(message)
+        s = self.stats
+        s.messages_sent += count
+        s.bits_sent += count * bits
+        if bits > s.max_message_bits:
+            s.max_message_bits = bits

@@ -1,0 +1,75 @@
+"""The round-program protocol: one algorithm definition, any backend.
+
+A :class:`RoundProgram` captures everything the engine needs to execute a
+distributed algorithm:
+
+- ``direct(instr)`` — the vectorized/centralized kernel (numpy over the
+  cached :class:`~repro.engine.artifacts.GraphArtifacts`), charging its
+  analytic round/message schedule on the given
+  :class:`~repro.engine.instrumentation.Instrumentation`;
+- ``processes()`` — one :class:`~repro.simulation.node.NodeProcess`
+  generator per node, executable on the synchronous simulator *or* on
+  either asynchronous synchronizer (the generators are transport-
+  oblivious);
+- ``collect(processes, stats)`` — assemble the algorithm's result object
+  from the final node states plus the transport's accounting.
+
+Both paths must consume the per-node RNG streams identically, so every
+backend produces the same output for the same seed (asserted by
+``tests/test_mode_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.engine.artifacts import GraphArtifacts
+from repro.engine.instrumentation import Instrumentation
+from repro.types import RunStats
+
+
+class RoundProgram:
+    """Base class for engine-executable algorithms.
+
+    Attributes
+    ----------
+    artifacts:
+        The cached :class:`GraphArtifacts` of the instance graph.
+    network_graph:
+        The object handed to :class:`SynchronousNetwork` for
+        message-passing backends.  Defaults to ``artifacts.graph``;
+        geometric programs override it with the wrapper that provides
+        distance sensing (e.g. a :class:`UnitDiskGraph`).
+    network_kwargs:
+        Extra keyword arguments for the network constructor
+        (``value_bits``, ``strict_message_bits``, ...).
+    """
+
+    network_kwargs: dict = {}
+
+    def __init__(self, artifacts: GraphArtifacts):
+        self.artifacts = artifacts
+        self.network_graph = artifacts.graph
+
+    # ------------------------------------------------------------------
+    def instrumentation(self) -> Instrumentation:
+        """The accountant handed to :meth:`direct` (size model matches the
+        message-passing backends')."""
+        value_bits = self.network_kwargs.get("value_bits")
+        return Instrumentation.for_n(self.artifacts.n, value_bits=value_bits)
+
+    def direct(self, instr: Instrumentation):
+        """Vectorized execution; returns the algorithm's result object."""
+        raise NotImplementedError
+
+    def processes(self) -> List:
+        """Fresh :class:`NodeProcess` instances, one per graph node."""
+        raise NotImplementedError
+
+    def collect(self, processes: Sequence, stats: RunStats):
+        """Assemble the result object from final node states + accounting."""
+        raise NotImplementedError
+
+    def max_rounds(self) -> int:
+        """Safety valve for the transport's livelock guard."""
+        return 100_000

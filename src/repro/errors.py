@@ -17,6 +17,16 @@ class GraphError(ReproError):
     """A graph is malformed or unsuitable for the requested operation."""
 
 
+class UnknownModeError(GraphError):
+    """An unknown execution mode / engine backend was requested.
+
+    Every solver entry point validates its ``mode=`` argument through
+    :func:`repro.engine.resolve_backend`, so the error message has the
+    same shape everywhere:
+    ``unknown mode 'x'; expected one of ('direct', 'message', ...)``.
+    """
+
+
 class GeometryError(GraphError):
     """A geometric graph operation was requested on a non-geometric graph.
 

@@ -22,6 +22,14 @@ seed produces the same dominating set asynchronously as synchronously
 (tested), while the event-time span reveals the latency dilation caused
 by the delay distribution, and message counts reveal the 3x payload
 overhead (payload + ack + safe).
+
+The event-queue machinery shared with the tree-based
+:class:`~repro.simulation.beta.BetaSynchronizer` lives in
+:class:`EventDrivenTransport`; subclasses supply only the safety-
+detection topology.  All accounting flows through one
+:class:`~repro.engine.instrumentation.Instrumentation`, so
+:meth:`AsyncStats.as_run_stats` yields figures directly comparable to
+the synchronous runner's.
 """
 
 from __future__ import annotations
@@ -33,10 +41,11 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.engine.instrumentation import Instrumentation
 from repro.errors import SimulationError
 from repro.simulation.messages import Message
 from repro.simulation.network import SynchronousNetwork
-from repro.types import NodeId
+from repro.types import NodeId, RunStats
 
 
 @dataclass(order=True)
@@ -47,7 +56,7 @@ class _Event:
     seq: int
     src: NodeId = field(compare=False)
     dest: NodeId = field(compare=False)
-    kind: str = field(compare=False)          # "payload" | "ack" | "safe"
+    kind: str = field(compare=False)          # "payload" | "ack" | control
     round_index: int = field(compare=False)
     payload: Optional[Message] = field(compare=False, default=None)
     msg_id: int = field(compare=False, default=-1)
@@ -55,16 +64,31 @@ class _Event:
 
 @dataclass
 class AsyncStats:
-    """Accounting for an asynchronous execution."""
+    """Accounting snapshot for an asynchronous execution."""
 
     virtual_time: float = 0.0       # event time of the last delivery
     payload_messages: int = 0
-    control_messages: int = 0       # acks + safety announcements
+    payload_bits: int = 0
+    max_message_bits: int = 0
+    control_messages: int = 0       # acks + safety announcements + pulses
     rounds: int = 0                 # synchronizer rounds completed
 
     @property
     def total_messages(self) -> int:
         return self.payload_messages + self.control_messages
+
+    def as_run_stats(self) -> RunStats:
+        """The execution's accounting as a :class:`RunStats` (payload
+        traffic in the message/bit fields, synchronizer overhead in
+        ``control_messages``) — the engine's common currency."""
+        return RunStats(
+            rounds=self.rounds,
+            messages_sent=self.payload_messages,
+            bits_sent=self.payload_bits,
+            max_message_bits=self.max_message_bits,
+            control_messages=self.control_messages,
+            virtual_time=self.virtual_time,
+        )
 
 
 def exponential_delays(mean: float = 1.0) -> Callable[[np.random.Generator], float]:
@@ -82,8 +106,20 @@ def uniform_delays(low: float = 0.5, high: float = 1.5
     return lambda rng: float(rng.uniform(low, high))
 
 
-class AlphaSynchronizer:
-    """Runs a synchronous protocol on an asynchronous network.
+class EventDrivenTransport:
+    """Shared machinery for running synchronous protocols asynchronously.
+
+    Owns the event queue, the delayed-delivery primitive, generator
+    startup, the advance/payload/ack cycle, and the accounting.
+    Subclasses implement the safety-detection strategy:
+
+    - :meth:`_node_safe` — called when a node's round-r payloads are all
+      acknowledged straight from its advance (possibly with the node
+      already finished);
+    - :meth:`_acks_complete` — called when the last outstanding ack of a
+      node arrives;
+    - :meth:`_handle_control` — dispatch for event kinds beyond
+      ``payload`` / ``ack``.
 
     Parameters
     ----------
@@ -100,6 +136,9 @@ class AlphaSynchronizer:
         Safety valve on synchronizer rounds.
     """
 
+    #: Subclass label used in error messages.
+    NAME = "asynchronous"
+
     def __init__(self, network: SynchronousNetwork, *,
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
@@ -108,104 +147,118 @@ class AlphaSynchronizer:
         self.delay = delay if delay is not None else exponential_delays(1.0)
         self.delay_rng = np.random.default_rng(delay_seed)
         self.max_rounds = max_rounds
-        self.stats = AsyncStats()
+        self.instr = Instrumentation(network.size_model)
+
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._msg_counter = itertools.count()
+        self.now = 0.0
+        self.generators: Dict[NodeId, object] = {}
+        self.round_of: Dict[NodeId, int] = {}
+        # Payloads are buffered per (receiver, consuming round): a
+        # message sent in the sender's round r is consumed by the
+        # receiver's round r+1 generator step.  Neighbors may run one
+        # round apart under a synchronizer, so a single shared buffer
+        # would mix rounds.
+        self.inbox_buffer: Dict[Tuple[NodeId, int],
+                                List[Tuple[NodeId, Message]]] = {}
+        self.pending_acks: Dict[NodeId, Set[int]] = {}
+        self.finished: Set[NodeId] = set()
+
+    @property
+    def stats(self) -> AsyncStats:
+        """Accounting snapshot (live during the run, final afterwards)."""
+        s = self.instr.stats
+        return AsyncStats(
+            virtual_time=s.virtual_time,
+            payload_messages=s.messages_sent,
+            payload_bits=s.bits_sent,
+            max_message_bits=s.max_message_bits,
+            control_messages=s.control_messages,
+            rounds=s.rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # Primitives shared by all synchronizers
+    # ------------------------------------------------------------------
+    def _push(self, src: NodeId, dest: NodeId, kind: str, round_index: int,
+              payload: Optional[Message] = None, msg_id: int = -1) -> None:
+        """Schedule a delivery after a random link delay."""
+        heapq.heappush(self._queue, _Event(
+            time=self.now + self.delay(self.delay_rng), seq=next(self._seq),
+            src=src, dest=dest, kind=kind, round_index=round_index,
+            payload=payload, msg_id=msg_id))
+
+    def _push_control(self, src: NodeId, dest: NodeId, kind: str,
+                      round_index: int) -> None:
+        """Schedule (and account) one control message."""
+        self.instr.control()
+        self._push(src, dest, kind, round_index)
+
+    def _advance(self, v: NodeId) -> None:
+        """Run node v's generator for one synchronous round and ship its
+        outgoing messages with the current round tag."""
+        net = self.network
+        proc = net.processes[v]
+        if v in self.finished:
+            # A finished node re-entered by a release wave (beta's pulse)
+            # has nothing to execute: it is immediately safe.
+            self.pending_acks[v] = set()
+            self._node_safe(v)
+            return
+        proc.ctx.round_index = self.round_of[v]
+        gen = self.generators[v]
+        inbox = self.inbox_buffer.pop((v, self.round_of[v]), [])
+        try:
+            if self.round_of[v] == 0:
+                next(gen)
+            else:
+                gen.send(inbox)
+        except StopIteration:
+            proc.finished = True
+            self.finished.add(v)
+        sent = net.drain_outbox()
+        self.pending_acks[v] = set()
+        for src, dest, msg in sent:
+            if src != v:  # pragma: no cover — defensive
+                raise SimulationError("outbox contamination")
+            mid = next(self._msg_counter)
+            self.pending_acks[v].add(mid)
+            self.instr.async_payload(msg)
+            self._push(v, dest, "payload", self.round_of[v], payload=msg,
+                       msg_id=mid)
+        if not self.pending_acks[v]:
+            self._node_safe(v)
+
+    def _enter_round(self, v: NodeId, r: int) -> None:
+        """Release node v into round r (respecting the safety valve)."""
+        if r > self.max_rounds:
+            raise SimulationError(
+                f"{self.NAME} run exceeded {self.max_rounds} rounds"
+            )
+        self.round_of[v] = r
+        self.instr.note_round(r)
+        self._advance(v)
+
+    # ------------------------------------------------------------------
+    # Safety-detection hooks (subclass responsibility)
+    # ------------------------------------------------------------------
+    def _node_safe(self, v: NodeId) -> None:
+        raise NotImplementedError
+
+    def _acks_complete(self, v: NodeId) -> None:
+        raise NotImplementedError
+
+    def _handle_control(self, ev: _Event) -> None:
+        raise NotImplementedError
+
+    def _start(self) -> None:
+        """Hook run after generators are primed, before the event loop."""
 
     # ------------------------------------------------------------------
     def run(self) -> AsyncStats:
         """Execute all node processes to completion; returns accounting."""
         net = self.network
-        queue: List[_Event] = []
-        seq = itertools.count()
-        now = 0.0
-
-        def push(src, dest, kind, round_index, payload=None, msg_id=-1):
-            heapq.heappush(queue, _Event(
-                time=now + self.delay(self.delay_rng), seq=next(seq),
-                src=src, dest=dest, kind=kind, round_index=round_index,
-                payload=payload, msg_id=msg_id))
-
-        # --- per-node synchronizer state ------------------------------
-        generators: Dict[NodeId, object] = {}
-        round_of: Dict[NodeId, int] = {}
-        # Payloads are buffered per (receiver, consuming round): a
-        # message sent in the sender's round r is consumed by the
-        # receiver's round r+1 generator step.  Neighbors may run one
-        # round apart under the alpha synchronizer, so a single shared
-        # buffer would mix rounds.
-        inbox_buffer: Dict[Tuple[NodeId, int], List[Tuple[NodeId, Message]]] = {}
-        pending_acks: Dict[NodeId, Set[int]] = {}
-        #: neighbors' highest announced safe round
-        safe_round: Dict[NodeId, Dict[NodeId, int]] = {}
-        finished: Set[NodeId] = set()
-        msg_counter = itertools.count()
-
-        def live_neighbors(v: NodeId) -> Tuple[NodeId, ...]:
-            return net.sorted_neighbors(v)
-
-        def advance(v: NodeId) -> None:
-            """Run node v's generator for one synchronous round and ship
-            its outgoing messages with the current round tag."""
-            proc = net.processes[v]
-            proc.ctx.round_index = round_of[v]
-            gen = generators[v]
-            inbox = inbox_buffer.pop((v, round_of[v]), [])
-            try:
-                if round_of[v] == 0:
-                    next(gen)
-                else:
-                    gen.send(inbox)
-            except StopIteration:
-                proc.finished = True
-                finished.add(v)
-            sent = net.drain_outbox()
-            pending_acks[v] = set()
-            for src, dest, msg in sent:
-                if src != v:  # pragma: no cover — defensive
-                    raise SimulationError("outbox contamination")
-                mid = next(msg_counter)
-                pending_acks[v].add(mid)
-                self.stats.payload_messages += 1
-                push(v, dest, "payload", round_of[v], payload=msg,
-                     msg_id=mid)
-            if not pending_acks[v]:
-                announce_safe(v)
-
-        #: Safety round announced by a node that has finished its protocol
-        #: and had its last messages acknowledged: safe for every future
-        #: round, so neighbors never wait on it again.
-        safe_forever = self.max_rounds + 1
-
-        def announce_safe(v: NodeId) -> None:
-            """v is safe for its current round (or forever, once its
-            generator has finished and its last messages are acked)."""
-            r_announce = safe_forever if v in finished else round_of[v]
-            for w in live_neighbors(v):
-                self.stats.control_messages += 1
-                push(v, w, "safe", r_announce)
-            # Record own safety so maybe_advance can treat v uniformly.
-            safe_round.setdefault(v, {})[v] = r_announce
-            maybe_advance(v)
-
-        def maybe_advance(v: NodeId) -> None:
-            """Enter round r+1 once v and all neighbors are safe for r."""
-            if v in finished:
-                return
-            r = round_of[v]
-            known = safe_round.get(v, {})
-            if known.get(v, -1) < r:
-                return
-            for w in live_neighbors(v):
-                if known.get(w, -1) < r:
-                    return
-            round_of[v] = r + 1
-            if round_of[v] > self.max_rounds:
-                raise SimulationError(
-                    f"asynchronous run exceeded {self.max_rounds} rounds"
-                )
-            self.stats.rounds = max(self.stats.rounds, round_of[v])
-            advance(v)
-
-        # --- start every node in round 0 ------------------------------
         for v, proc in net.processes.items():
             proc.finished = False
             proc.crashed = False
@@ -216,45 +269,100 @@ class AlphaSynchronizer:
                 raise SimulationError(
                     f"{type(proc).__name__}.run must be a generator"
                 )
-            generators[v] = gen
-            round_of[v] = 0
+            self.generators[v] = gen
+            self.round_of[v] = 0
+        self._start()
         for v in net.processes:
-            advance(v)
+            self._advance(v)
 
-        # --- event loop -------------------------------------------------
-        while queue:
-            ev = heapq.heappop(queue)
-            now = ev.time
-            self.stats.virtual_time = now
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            self.now = ev.time
+            self.instr.advance_time(ev.time)
             if ev.kind == "payload":
                 # Buffer for the receiver's round r+1; ack immediately.
-                inbox_buffer.setdefault(
+                self.inbox_buffer.setdefault(
                     (ev.dest, ev.round_index + 1), []
                 ).append((ev.src, ev.payload))
-                self.stats.control_messages += 1
-                push(ev.dest, ev.src, "ack", ev.round_index,
-                     msg_id=ev.msg_id)
+                self.instr.control()
+                self._push(ev.dest, ev.src, "ack", ev.round_index,
+                           msg_id=ev.msg_id)
             elif ev.kind == "ack":
-                pending = pending_acks.get(ev.dest)
+                pending = self.pending_acks.get(ev.dest)
                 if pending is not None and ev.msg_id in pending:
                     pending.discard(ev.msg_id)
-                    if not pending and ev.dest not in finished:
-                        announce_safe(ev.dest)
-            elif ev.kind == "safe":
-                safe_round.setdefault(ev.dest, {})[ev.src] = max(
-                    safe_round.get(ev.dest, {}).get(ev.src, -1),
-                    ev.round_index)
-                maybe_advance(ev.dest)
-            else:  # pragma: no cover — exhaustive kinds
-                raise SimulationError(f"unknown event kind {ev.kind!r}")
+                    if not pending:
+                        self._acks_complete(ev.dest)
+            else:
+                self._handle_control(ev)
 
-        if len(finished) != len(net.processes):
-            stuck = set(net.processes) - finished
+        if len(self.finished) != len(net.processes):
+            stuck = set(net.processes) - self.finished
             raise SimulationError(
-                f"asynchronous run deadlocked with {len(stuck)} node(s) "
+                f"{self.NAME} run deadlocked with {len(stuck)} node(s) "
                 f"unfinished, e.g. {next(iter(stuck))!r}"
             )
         return self.stats
+
+
+class AlphaSynchronizer(EventDrivenTransport):
+    """Awerbuch's alpha synchronizer: per-neighbor safety announcements.
+
+    Every node announces safety to all neighbors once its round-r
+    payloads are acknowledged; a node enters round r+1 once it and all
+    neighbors are safe for round r.  Cheap latency, ``O(|E|)`` control
+    messages per round.
+    """
+
+    NAME = "asynchronous"
+
+    def __init__(self, network: SynchronousNetwork, *,
+                 delay: Callable[[np.random.Generator], float] | None = None,
+                 delay_seed: int | None = None,
+                 max_rounds: int = 100_000):
+        super().__init__(network, delay=delay, delay_seed=delay_seed,
+                         max_rounds=max_rounds)
+        #: neighbors' highest announced safe round
+        self.safe_round: Dict[NodeId, Dict[NodeId, int]] = {}
+        #: Safety round announced by a node that has finished its protocol
+        #: and had its last messages acknowledged: safe for every future
+        #: round, so neighbors never wait on it again.
+        self.safe_forever = max_rounds + 1
+
+    def _node_safe(self, v: NodeId) -> None:
+        """v is safe for its current round (or forever, once its
+        generator has finished and its last messages are acked)."""
+        r_announce = self.safe_forever if v in self.finished else self.round_of[v]
+        for w in self.network.sorted_neighbors(v):
+            self._push_control(v, w, "safe", r_announce)
+        # Record own safety so _maybe_advance can treat v uniformly.
+        self.safe_round.setdefault(v, {})[v] = r_announce
+        self._maybe_advance(v)
+
+    def _acks_complete(self, v: NodeId) -> None:
+        if v not in self.finished:
+            self._node_safe(v)
+
+    def _maybe_advance(self, v: NodeId) -> None:
+        """Enter round r+1 once v and all neighbors are safe for r."""
+        if v in self.finished:
+            return
+        r = self.round_of[v]
+        known = self.safe_round.get(v, {})
+        if known.get(v, -1) < r:
+            return
+        for w in self.network.sorted_neighbors(v):
+            if known.get(w, -1) < r:
+                return
+        self._enter_round(v, r + 1)
+
+    def _handle_control(self, ev: _Event) -> None:
+        if ev.kind != "safe":  # pragma: no cover — exhaustive kinds
+            raise SimulationError(f"unknown event kind {ev.kind!r}")
+        self.safe_round.setdefault(ev.dest, {})[ev.src] = max(
+            self.safe_round.get(ev.dest, {}).get(ev.src, -1),
+            ev.round_index)
+        self._maybe_advance(ev.dest)
 
 
 def run_protocol_async(network: SynchronousNetwork, *,

@@ -20,25 +20,30 @@ The spanning trees (one per connected component, BFS from the
 smallest-id node) are computed by the simulator — standard practice for
 synchronizer studies; building them distributedly is an orthogonal
 O(diameter) preprocessing step.
+
+Event-queue machinery, payload shipping, and accounting are inherited
+from :class:`~repro.simulation.asynchrony.EventDrivenTransport`; this
+module supplies only the tree-based safety detection.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set
 
 import networkx as nx
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.simulation.asynchrony import AsyncStats, _Event, exponential_delays
-from repro.simulation.messages import Message
+from repro.simulation.asynchrony import (
+    AsyncStats,
+    EventDrivenTransport,
+    _Event,
+)
 from repro.simulation.network import SynchronousNetwork
 from repro.types import NodeId
 
 
-class BetaSynchronizer:
+class BetaSynchronizer(EventDrivenTransport):
     """Runs a synchronous protocol asynchronously over spanning trees.
 
     Same interface and guarantees as
@@ -46,16 +51,19 @@ class BetaSynchronizer:
     safety-detection topology differs.
     """
 
+    NAME = "beta-synchronized"
+
     def __init__(self, network: SynchronousNetwork, *,
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
                  max_rounds: int = 100_000):
-        self.network = network
-        self.delay = delay if delay is not None else exponential_delays(1.0)
-        self.delay_rng = np.random.default_rng(delay_seed)
-        self.max_rounds = max_rounds
-        self.stats = AsyncStats()
+        super().__init__(network, delay=delay, delay_seed=delay_seed,
+                         max_rounds=max_rounds)
         self._build_trees()
+        #: per node: rounds for which each child's subtree reported safe
+        self.child_safe: Dict[NodeId, Dict[NodeId, int]] = {}
+        self.self_safe: Dict[NodeId, int] = {}
+        self.reported: Dict[NodeId, int] = {}   # last round reported upward
 
     def _build_trees(self) -> None:
         """BFS spanning tree per component: parent/children/root maps."""
@@ -79,154 +87,63 @@ class BetaSynchronizer:
             self.children[v].sort(key=repr)
 
     # ------------------------------------------------------------------
-    def run(self) -> AsyncStats:
-        net = self.network
-        queue: List[_Event] = []
-        seq = itertools.count()
-        now = 0.0
+    # Safety-detection hooks
+    # ------------------------------------------------------------------
+    def _node_safe(self, v: NodeId) -> None:
+        """v's own round-r payloads are all acknowledged."""
+        self.self_safe[v] = self.round_of[v]
+        self._try_report(v)
 
-        def push(src, dest, kind, round_index, payload=None, msg_id=-1):
-            heapq.heappush(queue, _Event(
-                time=now + self.delay(self.delay_rng), seq=next(seq),
-                src=src, dest=dest, kind=kind, round_index=round_index,
-                payload=payload, msg_id=msg_id))
+    def _acks_complete(self, v: NodeId) -> None:
+        # Unlike alpha, finished nodes stay in the synchronizer (they
+        # keep reporting subtree safety upward), so no finished-guard.
+        self._node_safe(v)
 
-        generators: Dict[NodeId, object] = {}
-        round_of: Dict[NodeId, int] = {}
-        inbox_buffer: Dict[Tuple[NodeId, int],
-                           List[Tuple[NodeId, Message]]] = {}
-        pending_acks: Dict[NodeId, Set[int]] = {}
-        #: per node: rounds for which each child's subtree reported safe
-        child_safe: Dict[NodeId, Dict[NodeId, int]] = {}
-        self_safe: Dict[NodeId, int] = {}
-        reported: Dict[NodeId, int] = {}   # last round reported upward
-        finished: Set[NodeId] = set()
-        msg_counter = itertools.count()
+    def _try_report(self, v: NodeId) -> None:
+        """Report subtree safety upward (or pulse, at the root) once v
+        and all child subtrees are safe for v's round."""
+        r = self.round_of[v]
+        if self.self_safe.get(v, -1) < r or self.reported.get(v, -1) >= r:
+            return
+        kids = self.children.get(v, [])
+        if any(self.child_safe.get(v, {}).get(c, -1) < r for c in kids):
+            return
+        self.reported[v] = r
+        parent = self.parent.get(v)
+        if parent is not None:
+            self._push_control(v, parent, "subtree_safe", r)
+        else:
+            self._fire_pulse(v, r)
 
-        def advance(v: NodeId) -> None:
-            """Execute node v's round and ship its payloads."""
-            proc = net.processes[v]
-            if v in finished:
-                # Finished nodes have nothing to execute but stay in the
-                # synchronizer: immediately safe for this round.
-                pending_acks[v] = set()
-                on_safe(v)
-                return
-            proc.ctx.round_index = round_of[v]
-            gen = generators[v]
-            inbox = inbox_buffer.pop((v, round_of[v]), [])
-            try:
-                if round_of[v] == 0:
-                    next(gen)
-                else:
-                    gen.send(inbox)
-            except StopIteration:
-                proc.finished = True
-                finished.add(v)
-            sent = net.drain_outbox()
-            pending_acks[v] = set()
-            for _, dest, msg in sent:
-                mid = next(msg_counter)
-                pending_acks[v].add(mid)
-                self.stats.payload_messages += 1
-                push(v, dest, "payload", round_of[v], payload=msg,
-                     msg_id=mid)
-            if not pending_acks[v]:
-                on_safe(v)
-
-        def on_safe(v: NodeId) -> None:
-            """v's own round-r payloads are all acknowledged."""
-            self_safe[v] = round_of[v]
-            try_report(v)
-
-        def try_report(v: NodeId) -> None:
-            """Report subtree safety upward (or pulse, at the root) once
-            v and all child subtrees are safe for v's round."""
-            r = round_of[v]
-            if self_safe.get(v, -1) < r or reported.get(v, -1) >= r:
-                return
-            kids = self.children.get(v, [])
-            if any(child_safe.get(v, {}).get(c, -1) < r for c in kids):
-                return
-            reported[v] = r
-            parent = self.parent.get(v)
-            if parent is not None:
-                self.stats.control_messages += 1
-                push(v, parent, "subtree_safe", r)
-            else:
-                fire_pulse(v, r)
-
-        def fire_pulse(root: NodeId, r: int) -> None:
-            """Whole tree safe for round r: release round r+1."""
-            if all(w in finished for w in self.component[root]):
-                return  # protocol over in this component; stop pulsing
-            if r + 1 > self.max_rounds:
-                raise SimulationError(
-                    f"beta-synchronized run exceeded {self.max_rounds} rounds"
-                )
-            enter_round(root, r + 1)
-
-        def enter_round(v: NodeId, r: int) -> None:
-            round_of[v] = r
-            self.stats.rounds = max(self.stats.rounds, r)
-            # Forward the pulse before executing, so the release wave
-            # reaches the whole tree regardless of v's own fate.
-            for c in self.children.get(v, []):
-                self.stats.control_messages += 1
-                push(v, c, "pulse", r)
-            advance(v)
-
-        # --- start everyone in round 0 ---------------------------------
-        for v, proc in net.processes.items():
-            proc.finished = False
-            proc.crashed = False
-            ctx = net.make_context(v)
-            proc.ctx = ctx
-            gen = proc.run(ctx)
-            if not hasattr(gen, "send"):
-                raise SimulationError(
-                    f"{type(proc).__name__}.run must be a generator"
-                )
-            generators[v] = gen
-            round_of[v] = 0
-        for v in net.processes:
-            advance(v)
-
-        # --- event loop --------------------------------------------------
-        while queue:
-            ev = heapq.heappop(queue)
-            now = ev.time
-            self.stats.virtual_time = now
-            if ev.kind == "payload":
-                inbox_buffer.setdefault(
-                    (ev.dest, ev.round_index + 1), []
-                ).append((ev.src, ev.payload))
-                self.stats.control_messages += 1
-                push(ev.dest, ev.src, "ack", ev.round_index,
-                     msg_id=ev.msg_id)
-            elif ev.kind == "ack":
-                pending = pending_acks.get(ev.dest)
-                if pending is not None and ev.msg_id in pending:
-                    pending.discard(ev.msg_id)
-                    if not pending:
-                        on_safe(ev.dest)
-            elif ev.kind == "subtree_safe":
-                child_safe.setdefault(ev.dest, {})[ev.src] = max(
-                    child_safe.get(ev.dest, {}).get(ev.src, -1),
-                    ev.round_index)
-                try_report(ev.dest)
-            elif ev.kind == "pulse":
-                enter_round(ev.dest, ev.round_index)
-            else:  # pragma: no cover — exhaustive kinds
-                raise SimulationError(f"unknown event kind {ev.kind!r}")
-
-        if len(finished) != len(net.processes):
-            stuck = set(net.processes) - finished
+    def _fire_pulse(self, root: NodeId, r: int) -> None:
+        """Whole tree safe for round r: release round r+1."""
+        if all(w in self.finished for w in self.component[root]):
+            return  # protocol over in this component; stop pulsing
+        if r + 1 > self.max_rounds:
             raise SimulationError(
-                f"beta-synchronized run deadlocked with {len(stuck)} "
-                f"node(s) unfinished, e.g. {next(iter(stuck))!r}"
+                f"{self.NAME} run exceeded {self.max_rounds} rounds"
             )
-        return self.stats
+        self._enter_round(root, r + 1)
+
+    def _enter_round(self, v: NodeId, r: int) -> None:
+        self.round_of[v] = r
+        self.instr.note_round(r)
+        # Forward the pulse before executing, so the release wave
+        # reaches the whole tree regardless of v's own fate.
+        for c in self.children.get(v, []):
+            self._push_control(v, c, "pulse", r)
+        self._advance(v)
+
+    def _handle_control(self, ev: _Event) -> None:
+        if ev.kind == "subtree_safe":
+            self.child_safe.setdefault(ev.dest, {})[ev.src] = max(
+                self.child_safe.get(ev.dest, {}).get(ev.src, -1),
+                ev.round_index)
+            self._try_report(ev.dest)
+        elif ev.kind == "pulse":
+            self._enter_round(ev.dest, ev.round_index)
+        else:  # pragma: no cover — exhaustive kinds
+            raise SimulationError(f"unknown event kind {ev.kind!r}")
 
 
 def run_protocol_beta(network: SynchronousNetwork, *,

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.engine.artifacts import graph_artifacts
 from repro.errors import GeometryError, ProtocolViolationError, SimulationError
 from repro.simulation.messages import Message, MessageSizeModel
 from repro.simulation.node import NodeContext, NodeProcess
@@ -84,7 +85,9 @@ class SynchronousNetwork:
                                                           "neighbors_within")
         self._sensing = graph if has_sensing else None
         self._positions = self._load_positions()
-        self._sorted_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        # Stable neighbor orderings come from the per-graph artifact
+        # cache, shared with direct-mode kernels and repeated runs.
+        self._artifacts = graph_artifacts(self.graph)
         self._edge_distance_cache: Dict[Tuple[NodeId, NodeId], float] = {}
 
     # ------------------------------------------------------------------
@@ -129,14 +132,7 @@ class SynchronousNetwork:
 
     def sorted_neighbors(self, v: NodeId) -> Tuple[NodeId, ...]:
         """Neighbors of ``v`` in a stable order (deterministic runs)."""
-        cached = self._sorted_neighbors.get(v)
-        if cached is None:
-            try:
-                cached = tuple(sorted(self.graph.neighbors(v)))
-            except TypeError:
-                cached = tuple(sorted(self.graph.neighbors(v), key=repr))
-            self._sorted_neighbors[v] = cached
-        return cached
+        return self._artifacts.sorted_neighbors[v]
 
     # ------------------------------------------------------------------
     # Message queueing (called by NodeContext)

@@ -19,18 +19,20 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.engine.instrumentation import Instrumentation
 from repro.errors import SimulationError
 from repro.simulation.faults import FaultInjector
 from repro.simulation.network import SynchronousNetwork
 from repro.simulation.trace import TraceRecorder
-from repro.types import NodeId, RoundStats, RunStats
+from repro.types import NodeId, RunStats
 
 
 def run_protocol(network: SynchronousNetwork, *,
                  max_rounds: int = 100_000,
                  injectors: Iterable[FaultInjector] = (),
                  trace: Optional[TraceRecorder] = None,
-                 keep_round_stats: bool = False) -> RunStats:
+                 keep_round_stats: bool = False,
+                 instrumentation: Optional[Instrumentation] = None) -> RunStats:
     """Execute all node processes on ``network`` to completion.
 
     Parameters
@@ -48,6 +50,10 @@ def run_protocol(network: SynchronousNetwork, *,
         declare a ``trace`` attribute.
     keep_round_stats:
         When true, ``RunStats.per_round`` is populated.
+    instrumentation:
+        Optional externally-owned accountant; by default a fresh
+        :class:`~repro.engine.instrumentation.Instrumentation` is built
+        from the network's size model.
 
     Returns
     -------
@@ -55,7 +61,8 @@ def run_protocol(network: SynchronousNetwork, *,
         Aggregate round/message/bit accounting for the execution.
     """
     injectors = list(injectors)
-    stats = RunStats()
+    instr = instrumentation if instrumentation is not None else Instrumentation(
+        network.size_model, keep_round_stats=keep_round_stats)
 
     # Hand the trace recorder to any process that wants one.
     if trace is not None:
@@ -123,29 +130,14 @@ def run_protocol(network: SynchronousNetwork, *,
             # Everyone finished this round and nothing is in flight.
             break
 
-        round_bits = 0
-        round_max = 0
+        instr.begin_round()
         for _, _, msg in sent:
-            bits = network.size_model.message_bits(msg)
-            round_bits += bits
-            if bits > round_max:
-                round_max = bits
-
-        stats.rounds += 1
-        stats.messages_sent += len(sent)
-        stats.bits_sent += round_bits
-        stats.max_message_bits = max(stats.max_message_bits, round_max)
-        if keep_round_stats:
-            stats.per_round.append(RoundStats(
-                round_index=round_index,
-                messages_sent=len(sent),
-                bits_sent=round_bits,
-                max_message_bits=round_max,
-                active_nodes=len(live),
-            ))
+            instr.payload(msg)
         if trace is not None:
             trace.record(round_index, "round",
-                         messages=len(sent), bits=round_bits, live=len(live))
+                         messages=instr.round_messages,
+                         bits=instr.round_bits, live=len(live))
+        instr.end_round(round_index, len(live))
 
         inboxes = network.group_by_dest(sent)
     else:
@@ -154,4 +146,4 @@ def run_protocol(network: SynchronousNetwork, *,
             f"({len(live)} node(s) still live)"
         )
 
-    return stats
+    return instr.stats

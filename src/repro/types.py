@@ -45,6 +45,14 @@ class RunStats:
     max_message_bits:
         Size of the largest single message, in bits.  The paper's claims
         require this to be ``O(log n)``.
+    control_messages:
+        Synchronizer overhead (acks, safety announcements, pulses) when
+        the run executed on an asynchronous transport; 0 for synchronous
+        and direct executions.  ``messages_sent`` counts payload traffic
+        only, so the two are directly comparable across backends.
+    virtual_time:
+        Event time of the last delivery on an asynchronous transport
+        (0.0 for synchronous and direct executions).
     per_round:
         Optional per-round breakdown (populated when tracing is enabled).
     """
@@ -53,6 +61,8 @@ class RunStats:
     messages_sent: int = 0
     bits_sent: int = 0
     max_message_bits: int = 0
+    control_messages: int = 0
+    virtual_time: float = 0.0
     per_round: list[RoundStats] = field(default_factory=list)
 
     def absorb(self, other: "RunStats") -> None:
@@ -63,6 +73,8 @@ class RunStats:
         self.messages_sent += other.messages_sent
         self.bits_sent += other.bits_sent
         self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+        self.control_messages += other.control_messages
+        self.virtual_time += other.virtual_time
         for rs in other.per_round:
             self.per_round.append(
                 RoundStats(

@@ -1,0 +1,173 @@
+"""Cross-backend equivalence: every engine-ported algorithm must compute
+the same answer on every execution backend for the same seed.
+
+This is the contract of :mod:`repro.engine`: ``mode=`` selects *how* an
+algorithm runs (vectorized, simulated rounds, event-driven asynchrony),
+never *what* it computes.  Each test runs one entry point under
+``direct`` / ``message`` / ``async`` (and ``async-beta`` where cheap) on
+fixed seeds and compares dominating sets exactly and x-vectors to float
+tolerance.  The unified ``mode`` / ``seed`` validation is covered at the
+end.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines.jrs import jrs_kmds
+from repro.core.fractional import fractional_kmds
+from repro.core.local_delta import estimate_two_hop_max_message
+from repro.core.rounding import randomized_rounding
+from repro.core.udg import solve_kmds_udg
+from repro.errors import GraphError, UnknownModeError
+from repro.graphs.properties import feasible_coverage
+from repro.graphs.udg import random_udg
+from repro.weighted.fractional import weighted_fractional_kmds
+
+MODES = ("direct", "message", "async")
+ALL_MODES = ("direct", "message", "async", "async-beta")
+SEEDS = (0, 17)
+
+
+def _graph(seed: int) -> nx.Graph:
+    return nx.gnp_random_graph(26, 0.22, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 (+ weighted variant): identical x-vectors
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", ALL_MODES[1:])
+def test_fractional_x_identical_across_modes(mode, seed):
+    g = _graph(seed)
+    cov = feasible_coverage(g, 2)
+    ref = fractional_kmds(g, coverage=cov, t=2, mode="direct", seed=seed)
+    alt = fractional_kmds(g, coverage=cov, t=2, mode=mode, seed=seed)
+    assert set(ref.x) == set(alt.x)
+    for v in ref.x:
+        assert ref.x[v] == pytest.approx(alt.x[v], abs=1e-12)
+
+
+@pytest.mark.parametrize("mode", MODES[1:])
+def test_weighted_fractional_x_identical_across_modes(mode):
+    g = _graph(3)
+    weights = {v: 1.0 + (v % 5) for v in g.nodes}
+    ref = weighted_fractional_kmds(g, weights, 1, t=2, mode="direct", seed=3)
+    alt = weighted_fractional_kmds(g, weights, 1, t=2, mode=mode, seed=3)
+    for v in ref.x:
+        assert ref.x[v] == pytest.approx(alt.x[v], abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2: identical dominating sets
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", ALL_MODES[1:])
+@pytest.mark.parametrize("policy", ("random", "highest-x", "self-first"))
+def test_rounding_members_identical_across_modes(mode, policy, seed):
+    g = _graph(seed)
+    frac = fractional_kmds(g, 1, t=2, mode="direct", seed=seed)
+    ref = randomized_rounding(g, frac.x, 1, policy=policy, mode="direct",
+                              seed=seed)
+    alt = randomized_rounding(g, frac.x, 1, policy=policy, mode=mode,
+                              seed=seed)
+    assert ref.members == alt.members
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3: identical leader sets
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", ALL_MODES[1:])
+def test_udg_members_identical_across_modes(mode, seed):
+    udg = random_udg(30, density=8.0, seed=seed)
+    ref = solve_kmds_udg(udg, k=2, mode="direct", seed=seed)
+    alt = solve_kmds_udg(udg, k=2, mode=mode, seed=seed)
+    assert ref.members == alt.members
+
+
+# ----------------------------------------------------------------------
+# JRS/LRG baseline: identical sets and phase counts
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mode", MODES[1:])
+@pytest.mark.parametrize("convention", ("closed", "open"))
+def test_jrs_members_identical_across_modes(mode, convention, seed):
+    g = _graph(seed)
+    ref = jrs_kmds(g, 1, convention=convention, mode="direct", seed=seed)
+    alt = jrs_kmds(g, 1, convention=convention, mode=mode, seed=seed)
+    assert ref.members == alt.members
+    assert ref.details["phases"] == alt.details["phases"]
+
+
+# ----------------------------------------------------------------------
+# Local-Delta estimation: identical maps
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_local_delta_estimates_identical_across_modes(mode):
+    g = _graph(5)
+    ref, _ = estimate_two_hop_max_message(g, mode="direct")
+    alt, stats = estimate_two_hop_max_message(g, mode=mode)
+    assert ref == alt
+    assert stats.rounds >= 2
+
+
+# ----------------------------------------------------------------------
+# Async accounting: control traffic is reported, payload matches sync
+# ----------------------------------------------------------------------
+
+def test_async_stats_report_control_overhead():
+    g = _graph(1)
+    sync = fractional_kmds(g, 1, t=2, mode="message", seed=1)
+    asyn = fractional_kmds(g, 1, t=2, mode="async", seed=1)
+    assert asyn.stats.messages_sent == sync.stats.messages_sent
+    assert asyn.stats.bits_sent == sync.stats.bits_sent
+    assert asyn.stats.control_messages > 0
+    assert asyn.stats.virtual_time > 0
+    assert sync.stats.control_messages == 0
+
+
+# ----------------------------------------------------------------------
+# Unified mode / seed validation across all entry points
+# ----------------------------------------------------------------------
+
+ENTRY_POINTS = [
+    lambda g, mode, seed: fractional_kmds(g, 1, t=1, mode=mode, seed=seed),
+    lambda g, mode, seed: randomized_rounding(
+        g, {v: 1.0 for v in g.nodes}, 1, mode=mode, seed=seed),
+    lambda g, mode, seed: jrs_kmds(g, 1, mode=mode, seed=seed),
+    lambda g, mode, seed: estimate_two_hop_max_message(
+        g, mode=mode, seed=seed),
+]
+
+
+@pytest.mark.parametrize("entry", ENTRY_POINTS)
+def test_unknown_mode_rejected_uniformly(entry):
+    g = _graph(0)
+    with pytest.raises(UnknownModeError, match="unknown mode 'telepathy'"):
+        entry(g, "telepathy", 0)
+
+
+def test_unknown_mode_rejected_for_udg():
+    udg = random_udg(10, density=6.0, seed=0)
+    with pytest.raises(UnknownModeError, match="unknown mode 'telepathy'"):
+        solve_kmds_udg(udg, k=1, mode="telepathy", seed=0)
+
+
+@pytest.mark.parametrize("entry", ENTRY_POINTS)
+@pytest.mark.parametrize("bad_seed", (True, 1.5, "zero"))
+def test_bad_seed_rejected_uniformly(entry, bad_seed):
+    g = _graph(0)
+    with pytest.raises(GraphError, match="seed must be an int or None"):
+        entry(g, "direct", bad_seed)
+
+
+def test_unknown_mode_is_a_graph_error():
+    # Callers catching the old GraphError keep working.
+    assert issubclass(UnknownModeError, GraphError)
