@@ -1,0 +1,72 @@
+"""Throughput benchmarks for the repro.dynamics maintenance subsystem.
+
+Times repair-epoch throughput (epochs/second) of the maintenance loop at
+n=500 under the E22 crash workload, for each repair policy, plus the two
+substrate costs that dominate an epoch: damage detection (the verify
+oracle on the live view) and the crash-churn graph-cache path.  A
+regression here slows every dynamics experiment and the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verify import coverage_deficit
+from repro.dynamics import (
+    CrashEvent,
+    LazyRepair,
+    LocalPatchRepair,
+    MaintenanceLoop,
+    NetworkState,
+    RecomputeRepair,
+    crash_scenario,
+)
+from repro.graphs.udg import random_udg
+
+N = 500
+EPOCHS = 25
+
+
+def _scenario(k=3, seed=0):
+    return crash_scenario(N, k=k, epochs=EPOCHS, kill_fraction=0.2,
+                          target="dominators", seed=seed)
+
+
+@pytest.mark.parametrize("policy_cls", [LocalPatchRepair, RecomputeRepair,
+                                        LazyRepair])
+def test_epoch_throughput(benchmark, policy_cls):
+    """Full maintenance run; benchmark reports seconds for EPOCHS epochs
+    (epochs/sec = EPOCHS / mean)."""
+
+    def run():
+        return MaintenanceLoop(_scenario(), policy_cls()).run()
+
+    result = benchmark(run)
+    assert len(result.timeline.records) == EPOCHS
+
+
+def test_damage_detection(benchmark):
+    """The per-epoch verify-oracle call on the live topology."""
+    scenario = _scenario()
+    state = NetworkState.from_udg(scenario.initial,
+                                  members=scenario.build_members())
+    graph = state.graph()
+    benchmark(coverage_deficit, graph, state.members, 3,
+              convention="open")
+
+
+def test_crash_churn_graph_cache(benchmark):
+    """Crash + live-view refresh, the hot state transition (must stay
+    cheap: no geometric rebuild on crash-only churn)."""
+    udg = random_udg(N, density=10.0, seed=0)
+
+    def churn():
+        state = NetworkState.from_udg(udg)
+        state.graph()                       # build the base cache once
+        for v in range(50):
+            state.apply(CrashEvent(v))
+            state.graph()                   # refresh the live view
+        return state
+
+    state = benchmark(churn)
+    assert state.n_live == N - 50

@@ -1,0 +1,11 @@
+"""Benchmark E22: self-healing maintenance under dominator churn.
+
+Regenerates the E22 table of EXPERIMENTS.md and asserts the claim
+checks.  See repro/experiments/ for the implementation.
+"""
+
+from benchmarks.conftest import run_and_check
+
+
+def test_e22(benchmark):
+    run_and_check(benchmark, "e22")

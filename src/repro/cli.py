@@ -12,8 +12,10 @@ Commands
     Weighted k-MDS (random node costs) with the weighted pipeline.
 ``repro visualize --n 250 --k 3 --out ./svg``
     Render a clustered deployment and the Part I dynamics to SVG.
-``repro experiment e1 [--scale full] [--seed 0]``
-    Run one of the E1-E21 experiments and print its report.
+``repro dynamics --n 500 --k 3 --epochs 50 --policy local``
+    Maintain a k-fold dominating set under churn (repro.dynamics).
+``repro experiment e1 [--scale full] [--seed 0] [--json out.json]``
+    Run one of the E1-E22 experiments and print its report.
 ``repro report --out EXPERIMENTS.md --scale full``
     Regenerate the whole EXPERIMENTS.md.
 ``repro experiment all``
@@ -31,6 +33,7 @@ from repro.core.general import solve_kmds_general
 from repro.engine import BACKENDS
 from repro.core.udg import solve_kmds_udg
 from repro.core.verify import is_k_dominating_set, redundancy_profile
+from repro.dynamics.repair import REPAIR_POLICIES
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.graphs.generators import gnp_graph
 from repro.graphs.properties import feasible_coverage, graph_summary
@@ -82,19 +85,44 @@ def _build_parser() -> argparse.ArgumentParser:
     viz.add_argument("--out", default=".")
     viz.add_argument("--seed", type=int, default=0)
 
+    dyn = sub.add_parser("dynamics",
+                         help="self-healing maintenance under churn")
+    dyn.add_argument("--n", type=int, default=500)
+    dyn.add_argument("--density", type=float, default=10.0)
+    dyn.add_argument("--k", type=int, default=3)
+    dyn.add_argument("--epochs", type=int, default=50)
+    dyn.add_argument("--policy", choices=REPAIR_POLICIES, default="local")
+    dyn.add_argument("--kill", type=float, default=0.2,
+                     help="fraction of the initial dominators killed "
+                          "over the run")
+    dyn.add_argument("--target", choices=("dominators", "any"),
+                     default="dominators",
+                     help="whether crashes strike dominators or any node")
+    dyn.add_argument("--joins", type=float, default=0.0,
+                     help="expected node joins per epoch (Poisson)")
+    dyn.add_argument("--battery", type=float, default=0.0,
+                     help="per-epoch battery drain (dominators drain 3x)")
+    dyn.add_argument("--mobility", type=float, default=0.0,
+                     help="Gaussian-drift speed per epoch (0 = static)")
+    dyn.add_argument("--tail", type=int, default=10,
+                     help="print the last TAIL epoch records")
+    dyn.add_argument("--seed", type=int, default=0)
+
     rep = sub.add_parser("report",
                          help="regenerate EXPERIMENTS.md from scratch")
     rep.add_argument("--out", default="EXPERIMENTS.md")
     rep.add_argument("--scale", choices=("quick", "full"), default="full")
     rep.add_argument("--seed", type=int, default=0)
 
-    exp = sub.add_parser("experiment", help="run E1-E21 experiments")
+    exp = sub.add_parser("experiment", help="run E1-E22 experiments")
     exp.add_argument("experiment_id",
                      help=f"one of {sorted(EXPERIMENTS)} or 'all'")
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--markdown", action="store_true",
                      help="emit EXPERIMENTS.md-style markdown")
+    exp.add_argument("--json", dest="json_path", default=None,
+                     help="also write the report(s) as JSON to this path")
     return parser
 
 
@@ -214,6 +242,62 @@ def _cmd_visualize(args) -> int:
     return 0
 
 
+def _cmd_dynamics(args) -> int:
+    from repro.dynamics import (
+        BatteryDecay,
+        MobilityRewiring,
+        PoissonJoins,
+        crash_scenario,
+        make_policy,
+        run_scenario,
+    )
+    from repro.graphs.mobility import GaussianDrift
+
+    scenario = crash_scenario(args.n, k=args.k, epochs=args.epochs,
+                              kill_fraction=args.kill, density=args.density,
+                              target=args.target, seed=args.seed)
+    side = float(scenario.initial.points.max()) if args.n else 1.0
+    streams = list(scenario.streams)
+    if args.battery > 0:
+        streams.append(BatteryDecay(args.battery, 2 * args.battery,
+                                    seed=args.seed + 2))
+    if args.joins > 0:
+        streams.append(PoissonJoins(args.joins, side, seed=args.seed + 3))
+    if args.mobility > 0:
+        streams.append(MobilityRewiring(
+            GaussianDrift(args.mobility, seed=args.seed + 4), side))
+    scenario.streams = streams
+
+    result = run_scenario(scenario, make_policy(args.policy))
+    columns = ["epoch", "n_live", "n_members", "crashes",
+               "deficient_before", "availability_before", "repaired",
+               "rounds", "messages", "touched", "drift",
+               "fully_covered_after"]
+    rows = [
+        [f"{c:.3f}" if isinstance(c, float) else c for c in row]
+        for row in result.timeline.as_rows(columns)[-max(0, args.tail):]
+    ]
+    print(f"scenario={result.scenario} policy={result.policy} "
+          f"k={result.k} epochs={len(result.timeline)}")
+    print(format_table(columns, rows))
+    print()
+    summary = result.summary
+    print(format_table(["metric", "value"], [
+        ("mean availability", f"{summary['availability_mean']:.4f}"),
+        ("min availability", f"{summary['availability_min']:.4f}"),
+        ("epochs fully covered", f"{summary['fully_covered_fraction']:.2%}"),
+        ("uncovered epochs", summary["uncovered_epochs"]),
+        ("repairs", summary["repairs"]),
+        ("messages total", summary["messages_total"]),
+        ("rounds total", summary["rounds_total"]),
+        ("touched per repair", f"{summary['touched_per_repair']:.1f}"),
+        ("dominator drift", summary["drift_total"]),
+        ("final live / members",
+         f"{len(result.final_live)} / {len(result.final_members)}"),
+    ]))
+    return 0 if result.always_covered or args.policy == "lazy" else 1
+
+
 def _cmd_report(args) -> int:
     import pathlib
 
@@ -242,14 +326,25 @@ def _cmd_experiment(args) -> int:
     ids = sorted(EXPERIMENTS) if args.experiment_id == "all" \
         else [args.experiment_id]
     failures = 0
+    reports = []
     for eid in ids:
         report = run_experiment(eid, scale=args.scale, seed=args.seed)
+        reports.append(report)
         print(report.render_markdown() if args.markdown else report.render())
         print()
         if not report.passed:
             failures += 1
             print(f"!! {eid} failed checks: {report.failed_checks()}",
                   file=sys.stderr)
+    if args.json_path:
+        import json
+        import pathlib
+
+        payload = [r.to_dict() for r in reports]
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(payload[0] if len(payload) == 1 else payload,
+                       indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_path}")
     return 1 if failures else 0
 
 
@@ -261,6 +356,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve-general": _cmd_solve_general,
         "solve-weighted": _cmd_solve_weighted,
         "visualize": _cmd_visualize,
+        "dynamics": _cmd_dynamics,
         "report": _cmd_report,
         "experiment": _cmd_experiment,
     }

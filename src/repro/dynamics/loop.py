@@ -1,0 +1,170 @@
+"""The maintenance loop: churn in, deficits detected, repairs out.
+
+:class:`MaintenanceLoop` executes a :class:`~repro.dynamics.scenario.Scenario`
+under a :class:`~repro.dynamics.repair.RepairPolicy`.  Each epoch:
+
+1. the scenario's event streams fire and the
+   :class:`~repro.dynamics.state.NetworkState` absorbs them (crashes
+   shrink the dominator set — the damage);
+2. the coverage deficit of the live graph is measured with the
+   :mod:`repro.core.verify` oracle (open convention — live non-members
+   need ``k`` live dominator neighbors);
+3. the repair policy turns the deficit into a membership delta, charging
+   its rounds and messages on the shared engine
+   :class:`~repro.engine.instrumentation.Instrumentation`;
+4. the loop applies the delta, re-verifies, and appends an
+   :class:`~repro.dynamics.metrics.EpochRecord` to the timeline.
+
+The loop is the single writer of the state, so every transition is
+verified and any policy bug that leaves coverage broken is visible in
+``fully_covered_after`` rather than silently compounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.verify import coverage_deficit
+from repro.dynamics.metrics import DynamicsTimeline, EpochRecord
+from repro.dynamics.repair import RepairPolicy
+from repro.dynamics.scenario import Scenario
+from repro.dynamics.state import NetworkState
+from repro.engine.instrumentation import Instrumentation
+from repro.simulation.rng import spawn_named_rngs
+from repro.types import NodeId, RunStats
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of one full maintenance run."""
+
+    scenario: str
+    policy: str
+    k: int
+    timeline: DynamicsTimeline
+    final_members: Set[NodeId]
+    final_live: Set[NodeId]
+    stats: RunStats
+    #: Summary aggregates (see :meth:`DynamicsTimeline.summary`).
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def always_covered(self) -> bool:
+        """Whether every epoch ended fully k-covered."""
+        return all(r.fully_covered_after for r in self.timeline)
+
+
+class MaintenanceLoop:
+    """Drives a scenario's epochs through a repair policy.
+
+    Parameters
+    ----------
+    scenario:
+        The workload (deployment + churn script + maintenance contract).
+    policy:
+        Any :class:`~repro.dynamics.repair.RepairPolicy`.
+    instrumentation:
+        Optional externally-owned accountant; by default a fresh one is
+        built for the deployment's size, so ``result.stats`` is in the
+        same currency as any engine execution.
+    """
+
+    def __init__(self, scenario: Scenario, policy: RepairPolicy, *,
+                 instrumentation: Optional[Instrumentation] = None):
+        self.scenario = scenario
+        self.policy = policy
+        self.instr = (instrumentation if instrumentation is not None
+                      else Instrumentation.for_n(max(1, scenario.initial.n)))
+        # The repair policy's selection randomness lives on its own
+        # named stream: adding/removing churn streams (which hold their
+        # own RNGs) can never perturb repair decisions.
+        self._rng = spawn_named_rngs(["repair"], scenario.seed)["repair"]
+
+    # ------------------------------------------------------------------
+    def run(self) -> DynamicsResult:
+        scenario = self.scenario
+        state = NetworkState.from_udg(scenario.initial,
+                                      members=scenario.build_members())
+        timeline = DynamicsTimeline()
+        for epoch in range(scenario.epochs):
+            timeline.append(self._run_epoch(epoch, state))
+        result = DynamicsResult(
+            scenario=scenario.name,
+            policy=self.policy.name,
+            k=scenario.k,
+            timeline=timeline,
+            final_members=set(state.members),
+            final_live=set(state.alive),
+            stats=self.instr.stats,
+        )
+        result.summary = timeline.summary()
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, epoch: int, state: NetworkState) -> EpochRecord:
+        # (1) churn.
+        events = self.scenario.events_at(epoch, state)
+        crashes_before = state.total_crashes
+        joins_before = state.total_joins
+        moves_before = state.total_moves
+        state.apply_all(events)
+        crashes = state.total_crashes - crashes_before
+        joins = state.total_joins - joins_before
+        moved = state.total_moves > moves_before
+
+        # (2) measure the damage.
+        graph = state.graph()
+        k = self.scenario.k
+        deficit = coverage_deficit(graph, state.members, k,
+                                   convention="open")
+        shortfalls = {v: d for v, d in deficit.items() if d > 0}
+        clients = state.n_live - len(state.members)
+        availability = (1.0 if clients <= 0
+                        else 1.0 - len(shortfalls) / clients)
+
+        # (3) repair.
+        outcome = self.policy.repair(state, graph, deficit, k,
+                                     rng=self._rng, instr=self.instr)
+        if outcome.demoted:
+            state.demote(outcome.demoted)
+        if outcome.promoted:
+            state.promote(outcome.promoted)
+
+        # (4) verify the transition.
+        deficit_after = coverage_deficit(state.graph(), state.members, k,
+                                         convention="open")
+        deficient_after = sum(1 for d in deficit_after.values() if d > 0)
+
+        return EpochRecord(
+            epoch=epoch,
+            n_live=state.n_live,
+            n_members=len(state.members),
+            crashes=crashes,
+            joins=joins,
+            moved=moved,
+            deficient_before=len(shortfalls),
+            worst_deficit_before=max(shortfalls.values(), default=0),
+            uncovered_before=sum(1 for d in shortfalls.values() if d >= k),
+            availability_before=availability,
+            repaired=outcome.repaired,
+            iterations=outcome.iterations,
+            rounds=outcome.rounds,
+            messages=outcome.messages,
+            touched=len(outcome.touched),
+            locality=(len(outcome.touched) / state.n_live
+                      if state.n_live else 0.0),
+            promoted=len(outcome.promoted),
+            demoted=len(outcome.demoted),
+            deferred_deficit=outcome.deferred_deficit,
+            deficient_after=deficient_after,
+            fully_covered_after=deficient_after == 0,
+        )
+
+
+def run_scenario(scenario: Scenario, policy: RepairPolicy, *,
+                 instrumentation: Optional[Instrumentation] = None
+                 ) -> DynamicsResult:
+    """Convenience wrapper: build a loop and run it to completion."""
+    return MaintenanceLoop(scenario, policy,
+                           instrumentation=instrumentation).run()

@@ -1,0 +1,143 @@
+"""Time-series instrumentation for maintained clusterings.
+
+One :class:`EpochRecord` per maintenance epoch, collected into a
+:class:`DynamicsTimeline`.  The timeline answers the questions the
+fault-tolerance story turns on:
+
+- **coverage availability** — what fraction of live client nodes kept
+  their required coverage *before* repair ran (the k-fold redundancy
+  headroom at work), and was full coverage restored after;
+- **repair latency** — rounds the repair protocol needed;
+- **repair locality** — how much of the network a repair touched;
+- **repair traffic** — messages per repair (local patch vs recompute);
+- **dominator drift** — how much the maintained set churns over time.
+
+Aggregate round/message/bit accounting additionally flows through the
+engine's :class:`~repro.engine.instrumentation.Instrumentation`, so a
+whole maintenance run reports a :class:`~repro.types.RunStats` in the
+same currency as any single algorithm execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything measured in one epoch of the maintenance loop."""
+
+    epoch: int
+    n_live: int
+    n_members: int
+    crashes: int
+    joins: int
+    moved: bool
+    #: Deficit picture after churn, before repair.
+    deficient_before: int
+    worst_deficit_before: int
+    #: Clients left with *zero* live dominators (the failure k-fold
+    #: redundancy exists to prevent; deficit == k means coverage 0).
+    uncovered_before: int
+    availability_before: float
+    #: Repair action and cost.
+    repaired: bool
+    iterations: int
+    rounds: int
+    messages: int
+    touched: int
+    locality: float
+    promoted: int
+    demoted: int
+    deferred_deficit: int
+    #: Deficit picture after repair.
+    deficient_after: int
+    fully_covered_after: bool
+
+    @property
+    def drift(self) -> int:
+        """Membership churn this epoch (symmetric-difference size)."""
+        return self.promoted + self.demoted
+
+
+@dataclass
+class DynamicsTimeline:
+    """The per-epoch series of one maintenance run."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> List[Any]:
+        """One column of the timeline as a list (e.g. ``"messages"``)."""
+        if not self.records:
+            return []
+        if name == "drift":
+            return [r.drift for r in self.records]
+        if not hasattr(self.records[0], name):
+            raise KeyError(
+                f"unknown epoch field {name!r}; known: "
+                f"{sorted(asdict(self.records[0]))}"
+            )
+        return [getattr(r, name) for r in self.records]
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregates over the whole run (the E22 table's currency)."""
+        if not self.records:
+            return {
+                "epochs": 0, "repairs": 0, "availability_mean": 1.0,
+                "availability_min": 1.0, "fully_covered_fraction": 1.0,
+                "messages_total": 0, "rounds_total": 0,
+                "messages_per_repair": 0.0, "rounds_per_repair": 0.0,
+                "touched_per_repair": 0.0, "locality_mean": 0.0,
+                "drift_total": 0, "deferred_epochs": 0,
+                "uncovered_epochs": 0,
+            }
+        repairs = [r for r in self.records if r.repaired]
+        availability = [r.availability_before for r in self.records]
+
+        def per_repair(name: str) -> float:
+            if not repairs:
+                return 0.0
+            return float(np.mean([getattr(r, name) for r in repairs]))
+
+        return {
+            "epochs": len(self.records),
+            "repairs": len(repairs),
+            "availability_mean": float(np.mean(availability)),
+            "availability_min": float(np.min(availability)),
+            "fully_covered_fraction": float(np.mean(
+                [r.fully_covered_after for r in self.records])),
+            "messages_total": int(sum(r.messages for r in self.records)),
+            "rounds_total": int(sum(r.rounds for r in self.records)),
+            "messages_per_repair": per_repair("messages"),
+            "rounds_per_repair": per_repair("rounds"),
+            "touched_per_repair": per_repair("touched"),
+            "locality_mean": per_repair("locality"),
+            "drift_total": int(sum(r.drift for r in self.records)),
+            "deferred_epochs": sum(
+                1 for r in self.records
+                if not r.repaired and r.deferred_deficit > 0),
+            "uncovered_epochs": sum(
+                1 for r in self.records if r.uncovered_before > 0),
+        }
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready per-epoch rows (for reports and CI artifacts)."""
+        return [asdict(r) for r in self.records]
+
+    def as_rows(self, columns: Sequence[str]) -> List[List[Any]]:
+        """Tabular projection for the reporting helpers."""
+        return [[getattr(r, c) if c != "drift" else r.drift
+                 for c in columns] for r in self.records]

@@ -1,0 +1,332 @@
+"""Repair policies: how a damaged k-fold dominating set heals.
+
+Three policies, all driven by the same deficit signal from
+:mod:`repro.core.verify`:
+
+- :class:`LocalPatchRepair` — the paper's Algorithm 3 Part II adoption
+  rule applied *incrementally*: only the deficient nodes' 2-hop balls
+  participate.  Each patch iteration mirrors one Part II iteration of
+  the message protocol (help broadcast, adoption, leader announcement),
+  so its round/message accounting is directly comparable to a fresh run;
+- :class:`RecomputeRepair` — the from-scratch baseline: re-run
+  Algorithm 3 on the live graph and swap in the result;
+- :class:`LazyRepair` — defer an inner policy until the damage crosses a
+  severity threshold (trade availability for repair traffic).
+
+Message accounting uses the same information-theoretic currency as the
+simulator (:mod:`repro.simulation.messages`), charged through
+:class:`~repro.engine.instrumentation.Instrumentation`.  For the
+recompute baseline only the Part II status/adoption traffic of the
+re-run is charged and Part I elections are charged one message per
+active node per round — a deliberate *undercount* of the true cost, so
+the local-vs-recompute comparison is conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.udg import SELECTION_POLICIES, _pick, solve_kmds_udg
+from repro.engine.instrumentation import Instrumentation
+from repro.errors import GraphError
+from repro.simulation.messages import Message
+from repro.types import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx as nx
+
+    from repro.dynamics.state import NetworkState
+
+REPAIR_POLICIES = ("local", "recompute", "lazy")
+
+
+# ----------------------------------------------------------------------
+# Messages of the patch protocol (bit accounting only)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HelpMsg(Message):
+    """A deficient node broadcasts its shortfall to its neighbors."""
+    deficit: int = 0
+    SCHEMA = (("deficit", "count"),)
+
+
+@dataclass(frozen=True)
+class AdoptMsg(Message):
+    """A leader promotes a deficient neighbor (Part II line 21)."""
+    SCHEMA = ()
+
+
+@dataclass(frozen=True)
+class LeaderAnnounceMsg(Message):
+    """A freshly promoted node announces its new leader status."""
+    leader: bool = True
+    SCHEMA = (("leader", "flag"),)
+
+
+# ----------------------------------------------------------------------
+# Outcome record
+# ----------------------------------------------------------------------
+
+@dataclass
+class RepairOutcome:
+    """What one epoch's repair did and what it cost.
+
+    ``touched`` is the *locality* measure: every node that had to
+    execute protocol steps or update state for this repair (for a local
+    patch, the deficient nodes' 2-hop balls; for a recompute, every live
+    node).
+    """
+
+    promoted: Set[NodeId] = field(default_factory=set)
+    demoted: Set[NodeId] = field(default_factory=set)
+    touched: Set[NodeId] = field(default_factory=set)
+    rounds: int = 0
+    messages: int = 0
+    iterations: int = 0
+    #: Whether the policy actually acted (False for a no-op epoch or a
+    #: lazy deferral).
+    repaired: bool = False
+    #: Deficit the policy chose to leave in place (lazy deferrals).
+    deferred_deficit: int = 0
+
+
+class RepairPolicy:
+    """Base class; ``repair`` maps a deficit signal to an outcome.
+
+    Policies never mutate ``state`` — they return the membership delta
+    in the outcome and the :class:`~repro.dynamics.loop.MaintenanceLoop`
+    applies it (single writer, so policies compose and the loop can
+    verify every transition).
+    """
+
+    name = "base"
+
+    def repair(self, state: "NetworkState", graph: "nx.Graph",
+               deficit: Dict[NodeId, int], k: int, *,
+               rng: np.random.Generator,
+               instr: Instrumentation) -> RepairOutcome:
+        raise NotImplementedError
+
+
+class LocalPatchRepair(RepairPolicy):
+    """Incremental Part II adoption confined to the damage's 2-hop ball.
+
+    Per iteration (3 rounds, exactly the shape of one Part II iteration
+    of :class:`~repro.core.udg.UDGNode`):
+
+    1. every still-deficient node broadcasts :class:`HelpMsg` to its
+       neighbors;
+    2. each dominator that heard a help request picks up to ``k``
+       deficient neighbors (the paper's adoption rule, same selection
+       policies as Algorithm 3) and unicasts :class:`AdoptMsg`;
+       a deficient node with *no* live dominator neighbor promotes
+       itself (the distributed timeout rule — nobody can adopt it);
+    3. every promoted node broadcasts :class:`LeaderAnnounceMsg`; its
+       neighbors update coverage counts locally.
+
+    Promoting a deficient node always clears its own deficit (open
+    convention: members are exempt) and never creates new deficits, so
+    the patch terminates in at most ``#deficient`` iterations and
+    restores full k-coverage.
+    """
+
+    name = "local"
+
+    def __init__(self, selection_policy: str = "random"):
+        if selection_policy not in SELECTION_POLICIES:
+            raise GraphError(
+                f"unknown selection policy {selection_policy!r}; "
+                f"expected one of {SELECTION_POLICIES}"
+            )
+        self.selection_policy = selection_policy
+
+    def repair(self, state, graph, deficit, k, *, rng, instr):
+        outcome = RepairOutcome()
+        deficient: Dict[NodeId, int] = {v: d for v, d in deficit.items()
+                                        if d > 0}
+        if not deficient:
+            return outcome
+        outcome.repaired = True
+        members = set(state.members)
+        promoted: Set[NodeId] = set()
+        touched: Set[NodeId] = set()
+
+        def nbrs(v) -> List[NodeId]:
+            return sorted(graph.neighbors(v))
+
+        while deficient:
+            outcome.iterations += 1
+            picks: Set[NodeId] = set()
+            # (1) help broadcasts: deficient nodes and their 1-hop ball
+            # participate from here on.
+            for u in sorted(deficient):
+                neighborhood = nbrs(u)
+                touched.add(u)
+                touched.update(neighborhood)
+                instr.charge_messages(len(neighborhood),
+                                      HelpMsg(deficit=deficient[u]))
+                outcome.messages += len(neighborhood)
+            # (2) adoption: each dominator adjacent to a deficient node
+            # picks up to k of its deficient neighbors.
+            helpers = sorted({w for u in deficient for w in nbrs(u)
+                              if w in members})
+            for leader in helpers:
+                candidates = [u for u in nbrs(leader) if u in deficient]
+                if not candidates:
+                    continue  # pragma: no cover — helper implies one
+                chosen = _pick(rng, candidates, k, self.selection_policy)
+                picks.update(chosen)
+                instr.charge_messages(len(chosen), AdoptMsg())
+                outcome.messages += len(chosen)
+            # Orphaned deficient nodes (no live dominator neighbor) heard
+            # no adoption offer: they time out and self-promote.
+            for u in sorted(deficient):
+                if not any(w in members for w in nbrs(u)):
+                    picks.add(u)
+            # (3) promotion announcements + local coverage updates.
+            for p in sorted(picks):
+                members.add(p)
+                promoted.add(p)
+                deficient.pop(p, None)  # members are exempt (open conv.)
+                neighborhood = nbrs(p)
+                touched.add(p)
+                touched.update(neighborhood)
+                instr.charge_messages(len(neighborhood), LeaderAnnounceMsg())
+                outcome.messages += len(neighborhood)
+                for w in neighborhood:
+                    if w in deficient:
+                        deficient[w] -= 1
+                        if deficient[w] <= 0:
+                            del deficient[w]
+            instr.charge_rounds(3)
+            outcome.rounds += 3
+
+        outcome.promoted = promoted
+        outcome.touched = touched
+        return outcome
+
+
+class RecomputeRepair(RepairPolicy):
+    """From-scratch baseline: re-run Algorithm 3 on the live graph.
+
+    Every live node participates (``touched`` is the whole network),
+    rounds are the re-run's full schedule, and messages charge the Part
+    II status exchange plus one message per active node per Part I round
+    (an intentional undercount — see the module docstring).
+    """
+
+    name = "recompute"
+
+    def __init__(self, selection_policy: str = "random"):
+        if selection_policy not in SELECTION_POLICIES:
+            raise GraphError(
+                f"unknown selection policy {selection_policy!r}; "
+                f"expected one of {SELECTION_POLICIES}"
+            )
+        self.selection_policy = selection_policy
+
+    def repair(self, state, graph, deficit, k, *, rng, instr):
+        outcome = RepairOutcome()
+        if not any(d > 0 for d in deficit.values()):
+            return outcome
+        outcome.repaired = True
+        udg, to_global = state.live_udg()
+        seed = int(rng.integers(0, 2 ** 31))
+        ds = solve_kmds_udg(udg, k=k, mode="direct",
+                            selection_policy=self.selection_policy,
+                            seed=seed)
+        new_members = {to_global[i] for i in ds.members}
+        outcome.promoted = new_members - state.members
+        outcome.demoted = state.members - new_members
+        outcome.touched = set(state.alive)
+        outcome.iterations = int(ds.details.get("part2_iterations", 0))
+        outcome.rounds = ds.stats.rounds
+        instr.charge_rounds(ds.stats.rounds)
+
+        degree_sum = sum(d for _, d in graph.degree())
+        # Part I elections: >= 1 message per active node per round.
+        part1 = sum(ds.details.get("active_per_round", []))
+        instr.charge_messages(part1, HelpMsg())
+        # Part II prologue (leader-status + deficit broadcasts by every
+        # node) and per-iteration refreshes.
+        status = degree_sum * 2 * (1 + outcome.iterations)
+        instr.charge_messages(status, LeaderAnnounceMsg())
+        adoptions = int(ds.details.get("part2_adopted", 0))
+        instr.charge_messages(adoptions, AdoptMsg())
+        outcome.messages = part1 + status + adoptions
+        return outcome
+
+
+class LazyRepair(RepairPolicy):
+    """Defer repair until the damage is severe enough to matter.
+
+    Availability-for-traffic trade-off: small deficits ride on the
+    k-fold redundancy headroom (a node that lost one of its three
+    dominators is still doubly covered), and the inner policy only runs
+    when either trigger fires:
+
+    - some node's *remaining* coverage fell below ``min_coverage``, or
+    - more than ``max_deficient_fraction`` of the live nodes are
+      deficient.
+
+    Parameters
+    ----------
+    inner:
+        The policy that performs the actual repair when triggered
+        (default: a :class:`LocalPatchRepair`).
+    min_coverage:
+        Hard floor on per-node live coverage; ``deficit >= k -
+        min_coverage + 1`` fires the trigger.  The default of 1 never
+        lets any node become fully uncovered.
+    max_deficient_fraction:
+        Maximum tolerated fraction of deficient live nodes.
+    """
+
+    name = "lazy"
+
+    def __init__(self, inner: RepairPolicy | None = None, *,
+                 min_coverage: int = 1,
+                 max_deficient_fraction: float = 0.1):
+        if min_coverage < 0:
+            raise GraphError(
+                f"min_coverage must be non-negative, got {min_coverage}")
+        if not 0.0 <= max_deficient_fraction <= 1.0:
+            raise GraphError(
+                "max_deficient_fraction must be in [0, 1], got "
+                f"{max_deficient_fraction}"
+            )
+        self.inner = inner if inner is not None else LocalPatchRepair()
+        self.min_coverage = int(min_coverage)
+        self.max_deficient_fraction = float(max_deficient_fraction)
+
+    def repair(self, state, graph, deficit, k, *, rng, instr):
+        shortfalls = [d for d in deficit.values() if d > 0]
+        if not shortfalls:
+            return RepairOutcome()
+        worst = max(shortfalls)
+        uncovered_soon = worst >= k - self.min_coverage + 1
+        widespread = (len(shortfalls)
+                      > self.max_deficient_fraction * max(1, state.n_live))
+        if not (uncovered_soon or widespread):
+            return RepairOutcome(deferred_deficit=sum(shortfalls))
+        return self.inner.repair(state, graph, deficit, k, rng=rng,
+                                 instr=instr)
+
+
+def make_policy(name: str, *, selection_policy: str = "random",
+                **kwargs) -> RepairPolicy:
+    """Factory used by the CLI and experiments (``local`` / ``recompute``
+    / ``lazy``)."""
+    if name == "local":
+        return LocalPatchRepair(selection_policy)
+    if name == "recompute":
+        return RecomputeRepair(selection_policy)
+    if name == "lazy":
+        return LazyRepair(LocalPatchRepair(selection_policy), **kwargs)
+    raise GraphError(
+        f"unknown repair policy {name!r}; expected one of {REPAIR_POLICIES}"
+    )

@@ -1,0 +1,112 @@
+"""Scenario: a deployment, a maintained structure, and a churn script.
+
+A :class:`Scenario` is the declarative half of the dynamics subsystem —
+it composes an initial deployment with any number of
+:class:`~repro.dynamics.events.EventStream` drivers and fixes the
+maintenance contract (the ``k`` to maintain, how many epochs to run,
+the root seed).  The imperative half is the
+:class:`~repro.dynamics.loop.MaintenanceLoop`, which executes a
+scenario under a repair policy.
+
+:func:`crash_scenario` builds the canonical E22 script — kill a
+fraction of the current dominators, spread over the run — and is the
+reference example for composing richer ones (add
+:class:`~repro.dynamics.events.BatteryDecay`,
+:class:`~repro.dynamics.events.PoissonJoins`, or
+:class:`~repro.dynamics.events.MobilityRewiring` to taste).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.core.udg import solve_kmds_udg
+from repro.dynamics.events import EventStream, RandomCrashes
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph, random_udg
+from repro.types import NodeId
+
+
+@dataclass
+class Scenario:
+    """A maintained-clustering workload.
+
+    Parameters
+    ----------
+    initial:
+        The starting deployment.
+    k:
+        Coverage requirement to maintain (open convention, as in
+        Section 1: every live non-member needs ``k`` live dominator
+        neighbors).
+    epochs:
+        Number of maintenance epochs to run.
+    streams:
+        Churn drivers, applied in order each epoch.
+    seed:
+        Root seed: derives the initial solution's seed and the repair
+        policies' selection randomness (streams carry their own seeds).
+    initial_members:
+        Optional explicit starting structure; by default Algorithm 3 is
+        run once on ``initial`` (direct mode) to build it.
+    name:
+        Label used in reports.
+    """
+
+    initial: UnitDiskGraph
+    k: int = 1
+    epochs: int = 50
+    streams: Sequence[EventStream] = field(default_factory=list)
+    seed: Optional[int] = None
+    initial_members: Optional[Set[NodeId]] = None
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise GraphError(f"k must be at least 1, got {self.k}")
+        if self.epochs < 0:
+            raise GraphError(
+                f"epochs must be non-negative, got {self.epochs}")
+
+    def build_members(self) -> Set[NodeId]:
+        """The structure the maintenance loop starts from."""
+        if self.initial_members is not None:
+            return set(self.initial_members)
+        ds = solve_kmds_udg(self.initial, k=self.k, mode="direct",
+                            seed=self.seed)
+        return set(ds.members)
+
+    def events_at(self, epoch: int, state) -> List:
+        """All streams' events for one epoch, in stream order."""
+        events: List = []
+        for stream in self.streams:
+            events.extend(stream.events_at(epoch, state))
+        return events
+
+
+def crash_scenario(n: int = 500, *, k: int = 3, epochs: int = 50,
+                   kill_fraction: float = 0.2, density: float = 10.0,
+                   target: str = "dominators",
+                   seed: int | None = None) -> Scenario:
+    """The E22 reference script: crash-stop churn against the dominators.
+
+    Kills ``kill_fraction`` of the *initial* dominator count, spread
+    uniformly over the run, sampling victims from the current dominator
+    set (or uniformly from the live nodes with ``target="any"``).
+    Deterministic per seed.
+    """
+    if not 0.0 <= kill_fraction <= 1.0:
+        raise GraphError(
+            f"kill_fraction must be in [0, 1], got {kill_fraction}")
+    udg = random_udg(n, density=density, seed=seed)
+    scenario = Scenario(udg, k=k, epochs=epochs, seed=seed,
+                        name=f"crash-{target}")
+    members = scenario.build_members()
+    scenario.initial_members = members
+    total_kills = kill_fraction * len(members)
+    per_epoch = total_kills / max(1, epochs)
+    stream_seed = None if seed is None else seed + 1
+    scenario.streams = [RandomCrashes(per_epoch, target=target,
+                                      seed=stream_seed)]
+    return scenario

@@ -1,0 +1,222 @@
+"""Mutable network state for the maintenance loop.
+
+:class:`NetworkState` is the ground truth a long-running clustering
+evolves against: node positions, liveness, battery levels, and the
+currently maintained dominator set.  It interprets the event records of
+:mod:`repro.dynamics.events` and lazily materializes graph views:
+
+- :meth:`graph` — the live topology as a ``networkx`` view (what
+  :mod:`repro.core.verify` and the repair policies consume).  Built from
+  a cached full unit-disk graph and an induced-subgraph view, so pure
+  crash churn never pays a geometric rebuild;
+- :meth:`live_udg` — a fresh :class:`~repro.graphs.udg.UnitDiskGraph`
+  over only the live nodes (what a full recompute needs), plus the
+  local-id -> global-id mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.dynamics.events import (
+    CrashEvent,
+    DrainEvent,
+    Event,
+    JoinEvent,
+    MoveEvent,
+)
+from repro.errors import GraphError
+from repro.graphs.udg import UnitDiskGraph
+from repro.types import NodeId
+
+
+class NetworkState:
+    """The evolving network a maintained clustering lives on.
+
+    Parameters
+    ----------
+    positions:
+        Initial node positions (one entry per deployed node).
+    radius:
+        Communication radius (edges connect nodes within it).
+    members:
+        The initially maintained dominator set.
+    battery_capacity:
+        Initial battery level of every node (joins start full too).
+    """
+
+    def __init__(self, positions: Dict[NodeId, Tuple[float, float]],
+                 radius: float = 1.0, *,
+                 members: Iterable[NodeId] = (),
+                 battery_capacity: float = 1.0):
+        if radius <= 0:
+            raise GraphError(f"radius must be positive, got {radius}")
+        if battery_capacity <= 0:
+            raise GraphError(
+                f"battery_capacity must be positive, got {battery_capacity}")
+        self.radius = float(radius)
+        self.battery_capacity = float(battery_capacity)
+        self.positions: Dict[NodeId, Tuple[float, float]] = {
+            v: (float(p[0]), float(p[1])) for v, p in positions.items()
+        }
+        self.alive: Set[NodeId] = set(self.positions)
+        self.battery: Dict[NodeId, float] = {
+            v: self.battery_capacity for v in self.positions
+        }
+        self.members: Set[NodeId] = set(members)
+        unknown = self.members - self.alive
+        if unknown:
+            raise GraphError(
+                f"members contains {len(unknown)} unknown node(s), "
+                f"e.g. {next(iter(unknown))!r}"
+            )
+        #: Cumulative event counters (inspected by the metrics layer).
+        self.total_crashes = 0
+        self.total_joins = 0
+        self.total_moves = 0
+        # Graph cache: _base_nx spans every node ever positioned (the
+        # live view filters); rebuilt only when geometry changes.
+        self._base_nx: nx.Graph | None = None
+        self._live_view: nx.Graph | None = None
+
+    @classmethod
+    def from_udg(cls, udg: UnitDiskGraph, *,
+                 members: Iterable[NodeId] = (),
+                 battery_capacity: float = 1.0) -> "NetworkState":
+        """Start from an existing deployment (ids ``0..n-1``)."""
+        positions = {i: (float(x), float(y))
+                     for i, (x, y) in enumerate(udg.points)}
+        return cls(positions, udg.radius, members=members,
+                   battery_capacity=battery_capacity)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_live(self) -> int:
+        return len(self.alive)
+
+    def next_id(self) -> int:
+        """Smallest fresh integer id for a joining node."""
+        ints = [v for v in self.positions if isinstance(v, int)]
+        return max(ints) + 1 if ints else 0
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply(self, event: Event) -> None:
+        """Interpret one churn event (see :mod:`repro.dynamics.events`)."""
+        if isinstance(event, CrashEvent):
+            self._crash(event.node)
+        elif isinstance(event, JoinEvent):
+            self._join(event.node, event.pos)
+        elif isinstance(event, DrainEvent):
+            self._drain(event.node, event.amount)
+        elif isinstance(event, MoveEvent):
+            self._move(event.positions)
+        else:
+            raise GraphError(
+                f"unknown event type {type(event).__name__}"
+            )
+
+    def apply_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.apply(event)
+
+    def _crash(self, node: NodeId) -> None:
+        if node not in self.alive:
+            return  # already dead (e.g. battery ran out the same epoch)
+        self.alive.discard(node)
+        self.members.discard(node)
+        self.total_crashes += 1
+        self._live_view = None
+
+    def _join(self, node: NodeId, pos: Tuple[float, float]) -> None:
+        if node in self.positions and node in self.alive:
+            raise GraphError(f"joining node {node!r} already exists")
+        self.positions[node] = (float(pos[0]), float(pos[1]))
+        self.alive.add(node)
+        self.battery[node] = self.battery_capacity
+        self.total_joins += 1
+        self._base_nx = None  # geometry changed
+        self._live_view = None
+
+    def _drain(self, node: NodeId, amount: float) -> None:
+        if node not in self.alive:
+            return
+        self.battery[node] = self.battery.get(node, 0.0) - float(amount)
+        if self.battery[node] <= 0.0:
+            self.battery[node] = 0.0
+            self._crash(node)
+
+    def _move(self, positions) -> None:
+        for v, p in positions.items():
+            self.positions[v] = (float(p[0]), float(p[1]))
+        self.total_moves += 1
+        self._base_nx = None
+        self._live_view = None
+
+    # ------------------------------------------------------------------
+    # Membership maintenance (called by repair policies via the loop)
+    # ------------------------------------------------------------------
+    def promote(self, nodes: Iterable[NodeId]) -> None:
+        nodes = set(nodes)
+        dead = nodes - self.alive
+        if dead:
+            raise GraphError(
+                f"cannot promote dead node(s), e.g. {next(iter(dead))!r}")
+        self.members |= nodes
+
+    def demote(self, nodes: Iterable[NodeId]) -> None:
+        self.members -= set(nodes)
+
+    # ------------------------------------------------------------------
+    # Graph views
+    # ------------------------------------------------------------------
+    def _ordered_ids(self) -> List[NodeId]:
+        try:
+            return sorted(self.positions)
+        except TypeError:
+            return sorted(self.positions, key=repr)
+
+    def _rebuild_base(self) -> None:
+        ids = self._ordered_ids()
+        points = np.array([self.positions[v] for v in ids], dtype=float)
+        udg = UnitDiskGraph(points.reshape(len(ids), 2), radius=self.radius)
+        self._base_nx = nx.relabel_nodes(
+            udg.nx, dict(enumerate(ids)), copy=True)
+
+    def graph(self) -> nx.Graph:
+        """The live topology (induced subgraph view on the live nodes).
+
+        The view is cached between calls and invalidated by any event
+        that changes liveness or geometry; pure crash churn reuses the
+        cached geometry and only narrows the view.
+        """
+        if self._base_nx is None:
+            self._rebuild_base()
+            self._live_view = None
+        if self._live_view is None:
+            self._live_view = self._base_nx.subgraph(set(self.alive))
+        return self._live_view
+
+    def live_udg(self) -> Tuple[UnitDiskGraph, List[NodeId]]:
+        """A fresh :class:`UnitDiskGraph` over only the live nodes.
+
+        Returns the graph (local ids ``0..m-1``) and ``to_global`` such
+        that local node ``i`` is global node ``to_global[i]``.  Used by
+        recompute-style repair, which genuinely pays this rebuild.
+        """
+        to_global = [v for v in self._ordered_ids() if v in self.alive]
+        points = np.array([self.positions[v] for v in to_global],
+                          dtype=float)
+        udg = UnitDiskGraph(points.reshape(len(to_global), 2),
+                            radius=self.radius)
+        return udg, to_global
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"<NetworkState live={self.n_live} "
+                f"members={len(self.members)} radius={self.radius}>")

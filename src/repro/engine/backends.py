@@ -24,7 +24,7 @@ same message shape everywhere.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -70,7 +70,8 @@ def validate_seed(seed) -> Optional[int]:
 def execute(program: RoundProgram, mode: str = "direct", *,
             seed: int | None = None,
             delay: Callable[[np.random.Generator], float] | None = None,
-            delay_seed: int | None = None):
+            delay_seed: int | None = None,
+            injectors: Iterable = ()):
     """Run ``program`` on the backend selected by ``mode``.
 
     Parameters
@@ -88,11 +89,27 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         ``seed``).  Delays live on a separate RNG stream, so they never
         perturb protocol coin flips — asynchronous results equal
         synchronous ones for the same ``seed``.
+    injectors:
+        :class:`~repro.simulation.faults.FaultInjector` instances.  The
+        ``message`` backend supports all of them; the asynchronous
+        backends support message-dropping injectors (applied per payload
+        at delivery time) but reject crash injectors
+        (``kills_nodes = True``) — see
+        :mod:`repro.simulation.faults` for the support matrix.  The
+        vectorized ``direct`` backend has no messages to inject into and
+        rejects any injector.
     """
     backend = resolve_backend(mode)
     seed = validate_seed(seed)
+    injectors = list(injectors)
 
     if backend == "direct":
+        if injectors:
+            raise UnknownModeError(
+                "mode 'direct' does not support fault injectors "
+                "(vectorized evaluation has no message traffic); "
+                f"expected one of {MESSAGE_BACKENDS}"
+            )
         return program.direct(program.instrumentation())
 
     # Imported lazily: the simulation layer itself imports the engine
@@ -106,7 +123,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
     if backend == "message":
         from repro.simulation.runner import run_protocol
 
-        stats = run_protocol(net, max_rounds=program.max_rounds())
+        stats = run_protocol(net, max_rounds=program.max_rounds(),
+                             injectors=injectors)
     else:
         if backend == "async":
             from repro.simulation.asynchrony import run_protocol_async as runner
@@ -114,7 +132,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
             from repro.simulation.beta import run_protocol_beta as runner
         astats = runner(net, delay=delay,
                         delay_seed=seed if delay_seed is None else delay_seed,
-                        max_rounds=program.max_rounds())
+                        max_rounds=program.max_rounds(),
+                        injectors=injectors)
         stats = astats.as_run_stats()
     assert isinstance(stats, RunStats)
     return program.collect(processes, stats)

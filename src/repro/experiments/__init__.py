@@ -1,4 +1,4 @@
-"""Experiment implementations E1-E21 (see DESIGN.md section 3).
+"""Experiment implementations E1-E22 (see DESIGN.md section 3).
 
 The paper is a theory paper — its "results" are theorems.  Each experiment
 module empirically validates one claim and regenerates one table of
@@ -6,8 +6,10 @@ EXPERIMENTS.md.  E1-E13 cover the paper's theorems and figure; E14-E21
 cover the extensions the paper sketches (weighted version, unknown
 Delta, asynchronous execution), the Section 1 application claims, and
 robustness studies the motivation calls for (message loss, non-uniform
-deployments, ranging error, quasi-UDG radios).  The same functions back the ``benchmarks/`` suite and the
-``repro`` CLI, so every reported number is reproducible from either.
+deployments, ranging error, quasi-UDG radios); E22 runs the
+:mod:`repro.dynamics` maintenance loop under continuous churn.  The same
+functions back the ``benchmarks/`` suite and the ``repro`` CLI, so every
+reported number is reproducible from either.
 
 Usage::
 
@@ -40,6 +42,7 @@ from repro.experiments import (
     e19_deployments,
     e20_noisy_sensing,
     e21_qudg,
+    e22_self_healing,
 )
 
 #: Registry: experiment id -> (title, run callable).
@@ -65,12 +68,13 @@ EXPERIMENTS = {
     "e19": e19_deployments.run,
     "e20": e20_noisy_sensing.run,
     "e21": e21_qudg.run,
+    "e22": e22_self_healing.run,
 }
 
 
 def run_experiment(experiment_id: str, *, scale: str = "quick",
                    seed: int = 0) -> ExperimentReport:
-    """Run one registered experiment by id (``"e1"`` .. ``"e21"``)."""
+    """Run one registered experiment by id (``"e1"`` .. ``"e22"``)."""
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
         raise KeyError(

@@ -69,6 +69,19 @@ class ExperimentReport:
             lines.append(f"Notes: {self.notes}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (CI artifacts, archival)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "checks": dict(self.checks),
+            "passed": self.passed,
+            "notes": self.notes,
+        }
+
     def render_markdown(self) -> str:
         """Markdown fragment for EXPERIMENTS.md."""
         lines = [

@@ -1,0 +1,145 @@
+"""E22 — self-healing maintenance under crash churn (Section 1's premise).
+
+The paper motivates k-fold dominating sets with continuously *operating*
+networks: "Hierarchical structures ... are prone to fail unless they
+provide enough fault-tolerance or redundancy."  E9 measured the damage
+of a one-shot failure burst; this experiment closes the loop with the
+:mod:`repro.dynamics` subsystem — a scripted adversary kills a fraction
+of the current dominators, spread over many epochs, and a repair policy
+keeps the clustering alive.  Three claims:
+
+1. **Local repair suffices**: the Part II adoption rule applied in the
+   deficient nodes' 2-hop balls (:class:`LocalPatchRepair`) restores
+   full k-coverage every epoch;
+2. **Local beats recompute**: it sends far fewer messages and touches
+   far fewer nodes than re-running Algorithm 3 from scratch — even with
+   the recompute's message bill deliberately undercounted;
+3. **Redundancy headroom**: while a repair is pending, k = 3 keeps every
+   client at least 1-covered, which k = 1 cannot.
+
+Deterministic per seed (asserted by re-running the headline cell).
+"""
+
+from __future__ import annotations
+
+from repro.dynamics import (
+    LazyRepair,
+    LocalPatchRepair,
+    RandomCrashes,
+    RecomputeRepair,
+    Scenario,
+    crash_scenario,
+    run_scenario,
+)
+from repro.experiments.base import ExperimentReport, check_scale
+
+
+def _headroom_scenario(reference: Scenario, k: int) -> Scenario:
+    """Same deployment and the same absolute per-epoch kill rate as the
+    k=3 reference, with a smaller maintained k: rows compare equal
+    damage against different redundancy (scaling kills by each k's own
+    dominator count would hand k=1 a far weaker adversary)."""
+    rate = reference.streams[0].per_epoch
+    seed = reference.seed
+    scenario = Scenario(reference.initial, k=k, epochs=reference.epochs,
+                        seed=seed, name=reference.name)
+    scenario.streams = [RandomCrashes(
+        rate, target="dominators",
+        seed=None if seed is None else seed + 1)]
+    return scenario
+
+
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    if scale == "quick":
+        n, epochs = 150, 15
+    else:
+        n, epochs = 500, 50
+    kill_fraction = 0.2
+    k_values = (1, 2, 3)
+
+    reference = crash_scenario(n, k=3, epochs=epochs,
+                               kill_fraction=kill_fraction,
+                               target="dominators", seed=seed)
+
+    def _run_cell(k, policy):
+        scenario = (crash_scenario(n, k=3, epochs=epochs,
+                                   kill_fraction=kill_fraction,
+                                   target="dominators", seed=seed)
+                    if k == 3 else _headroom_scenario(reference, k))
+        return run_scenario(scenario, policy)
+
+    rows = []
+    results = {}
+    for k in k_values:
+        policies = ([LocalPatchRepair(), RecomputeRepair(), LazyRepair()]
+                    if k == 3 else [LocalPatchRepair()])
+        for policy in policies:
+            res = _run_cell(k, policy)
+            results[(k, policy.name)] = res
+            s = res.summary
+            rows.append((
+                k, policy.name,
+                round(100 * s["availability_mean"], 2),
+                round(100 * s["fully_covered_fraction"], 1),
+                s["uncovered_epochs"],
+                s["messages_total"],
+                round(s["touched_per_repair"], 1),
+                s["drift_total"],
+            ))
+
+    local3 = results[(3, "local")].summary
+    recompute3 = results[(3, "recompute")].summary
+    lazy3 = results[(3, "lazy")].summary
+
+    # Determinism: the headline cell re-run bit-for-bit.
+    rerun = _run_cell(3, LocalPatchRepair())
+    deterministic = (rerun.timeline.to_dicts()
+                     == results[(3, "local")].timeline.to_dicts())
+
+    checks = {
+        "local patch restores full k-coverage every epoch (k=3)":
+            results[(3, "local")].always_covered,
+        "recompute baseline also restores full coverage (sanity)":
+            results[(3, "recompute")].always_covered,
+        "local patch sends measurably fewer messages than recompute":
+            local3["messages_total"] * 4 <= recompute3["messages_total"],
+        "local patch touches fewer nodes per repair than recompute":
+            local3["touched_per_repair"] < recompute3["touched_per_repair"],
+        "local patch churns the dominator set less than recompute":
+            local3["drift_total"] <= recompute3["drift_total"],
+        "k=3 headroom: no client ever drops to zero live dominators":
+            local3["uncovered_epochs"] == 0,
+        "k=1 offers no headroom: some client loses all coverage":
+            results[(1, "local")].summary["uncovered_epochs"] > 0,
+        "lazy repair trades availability for fewer repairs":
+            lazy3["repairs"] <= local3["repairs"],
+        "same seed reproduces the identical epoch timeline":
+            deterministic,
+    }
+
+    return ExperimentReport(
+        experiment_id="e22",
+        title="Self-healing maintenance under dominator churn",
+        claim=("A maintained k-fold dominating set survives continuous "
+               "crash-stop churn: the Part II adoption rule applied "
+               "locally in the damage's 2-hop ball restores full "
+               "k-coverage every epoch at a tiny fraction of a full "
+               "recompute's traffic and footprint, while k-fold "
+               "redundancy keeps every client covered in the meantime."),
+        headers=["k", "policy", "mean avail %", "% epochs healed",
+                 "uncovered epochs", "messages", "touched/repair",
+                 "drift"],
+        rows=rows,
+        checks=checks,
+        notes=(f"UDG n={n}, density 10; the adversary kills "
+               f"{int(100 * kill_fraction)}% of the k=3 dominator count "
+               f"spread over {epochs} epochs, sampling from the *current* "
+               "dominators; the same absolute kill rate is applied at "
+               "every k, so rows compare equal damage against different "
+               "redundancy (seeded, deterministic).  'mean avail %' is "
+               "pre-repair k-coverage availability; 'uncovered epochs' "
+               "counts epochs where some client had zero live dominators "
+               "before repair.  Recompute message counts are a "
+               "conservative undercount (see repro.dynamics.repair)."),
+    )

@@ -37,12 +37,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.engine.instrumentation import Instrumentation
 from repro.errors import SimulationError
+from repro.simulation.faults import FaultInjector
 from repro.simulation.messages import Message
 from repro.simulation.network import SynchronousNetwork
 from repro.types import NodeId, RunStats
@@ -134,6 +135,20 @@ class EventDrivenTransport:
         randomness, so delays never perturb protocol coin flips).
     max_rounds:
         Safety valve on synchronizer rounds.
+    injectors:
+        Message-dropping :class:`~repro.simulation.faults.FaultInjector`
+        instances.  Each *payload* is passed through every injector's
+        ``filter_messages`` individually at delivery time; a dropped
+        payload is never buffered into the receiver's inbox and never
+        charged as payload traffic (matching the synchronous runner,
+        which only accounts surviving messages).  The acknowledgment is
+        sent either way: the synchronizer's control plane (acks, safety
+        announcements, pulses) is assumed reliable — an unacknowledged
+        payload would deadlock the transformation, not model loss.
+        Injectors with ``kills_nodes = True`` (crash faults) are
+        rejected here: silently removing a node would likewise deadlock
+        its neighbors' safety detection.  Use the synchronous runner
+        (``mode="message"``) for crash faults.
     """
 
     #: Subclass label used in error messages.
@@ -142,11 +157,22 @@ class EventDrivenTransport:
     def __init__(self, network: SynchronousNetwork, *,
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
-                 max_rounds: int = 100_000):
+                 max_rounds: int = 100_000,
+                 injectors: Iterable[FaultInjector] = ()):
         self.network = network
         self.delay = delay if delay is not None else exponential_delays(1.0)
         self.delay_rng = np.random.default_rng(delay_seed)
         self.max_rounds = max_rounds
+        self.injectors = list(injectors)
+        for inj in self.injectors:
+            if getattr(inj, "kills_nodes", False):
+                raise SimulationError(
+                    f"{type(inj).__name__} kills nodes, which the "
+                    f"{self.NAME} transport does not support (a silent "
+                    "crash deadlocks the synchronizer's ack-based safety "
+                    "detection); expected one of ('message',) for crash "
+                    "faults"
+                )
         self.instr = Instrumentation(network.size_model)
 
         self._queue: List[_Event] = []
@@ -224,7 +250,9 @@ class EventDrivenTransport:
                 raise SimulationError("outbox contamination")
             mid = next(self._msg_counter)
             self.pending_acks[v].add(mid)
-            self.instr.async_payload(msg)
+            # Payload accounting happens at delivery (see run()), so a
+            # message dropped by an injector is never charged — the same
+            # only-survivors convention as the synchronous runner.
             self._push(v, dest, "payload", self.round_of[v], payload=msg,
                        msg_id=mid)
         if not self.pending_acks[v]:
@@ -280,10 +308,22 @@ class EventDrivenTransport:
             self.now = ev.time
             self.instr.advance_time(ev.time)
             if ev.kind == "payload":
-                # Buffer for the receiver's round r+1; ack immediately.
-                self.inbox_buffer.setdefault(
-                    (ev.dest, ev.round_index + 1), []
-                ).append((ev.src, ev.payload))
+                # Fault injectors act on each payload at delivery time.
+                surviving = [(ev.src, ev.dest, ev.payload)]
+                for inj in self.injectors:
+                    if not surviving:
+                        break
+                    surviving = inj.filter_messages(ev.round_index,
+                                                    surviving)
+                if surviving:
+                    # Buffer for the receiver's round r+1.
+                    self.instr.async_payload(ev.payload)
+                    self.inbox_buffer.setdefault(
+                        (ev.dest, ev.round_index + 1), []
+                    ).append((ev.src, ev.payload))
+                # Ack even a dropped payload: the synchronizer's control
+                # plane is reliable (see class docstring), only the
+                # payload content is lost.
                 self.instr.control()
                 self._push(ev.dest, ev.src, "ack", ev.round_index,
                            msg_id=ev.msg_id)
@@ -319,9 +359,10 @@ class AlphaSynchronizer(EventDrivenTransport):
     def __init__(self, network: SynchronousNetwork, *,
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
-                 max_rounds: int = 100_000):
+                 max_rounds: int = 100_000,
+                 injectors: Iterable[FaultInjector] = ()):
         super().__init__(network, delay=delay, delay_seed=delay_seed,
-                         max_rounds=max_rounds)
+                         max_rounds=max_rounds, injectors=injectors)
         #: neighbors' highest announced safe round
         self.safe_round: Dict[NodeId, Dict[NodeId, int]] = {}
         #: Safety round announced by a node that has finished its protocol
@@ -368,11 +409,12 @@ class AlphaSynchronizer(EventDrivenTransport):
 def run_protocol_async(network: SynchronousNetwork, *,
                        delay: Callable[[np.random.Generator], float] | None = None,
                        delay_seed: int | None = None,
-                       max_rounds: int = 100_000) -> AsyncStats:
+                       max_rounds: int = 100_000,
+                       injectors: Iterable[FaultInjector] = ()) -> AsyncStats:
     """Convenience wrapper: run ``network``'s processes asynchronously
     under an alpha synchronizer.  Node state afterwards is identical to a
     synchronous :func:`repro.simulation.runner.run_protocol` run with the
     same network seed."""
     sync = AlphaSynchronizer(network, delay=delay, delay_seed=delay_seed,
-                             max_rounds=max_rounds)
+                             max_rounds=max_rounds, injectors=injectors)
     return sync.run()

@@ -28,7 +28,7 @@ module supplies only the tree-based safety detection.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 import networkx as nx
 import numpy as np
@@ -39,6 +39,7 @@ from repro.simulation.asynchrony import (
     EventDrivenTransport,
     _Event,
 )
+from repro.simulation.faults import FaultInjector
 from repro.simulation.network import SynchronousNetwork
 from repro.types import NodeId
 
@@ -56,9 +57,10 @@ class BetaSynchronizer(EventDrivenTransport):
     def __init__(self, network: SynchronousNetwork, *,
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
-                 max_rounds: int = 100_000):
+                 max_rounds: int = 100_000,
+                 injectors: Iterable[FaultInjector] = ()):
         super().__init__(network, delay=delay, delay_seed=delay_seed,
-                         max_rounds=max_rounds)
+                         max_rounds=max_rounds, injectors=injectors)
         self._build_trees()
         #: per node: rounds for which each child's subtree reported safe
         self.child_safe: Dict[NodeId, Dict[NodeId, int]] = {}
@@ -149,8 +151,9 @@ class BetaSynchronizer(EventDrivenTransport):
 def run_protocol_beta(network: SynchronousNetwork, *,
                       delay: Callable[[np.random.Generator], float] | None = None,
                       delay_seed: int | None = None,
-                      max_rounds: int = 100_000) -> AsyncStats:
+                      max_rounds: int = 100_000,
+                      injectors: Iterable[FaultInjector] = ()) -> AsyncStats:
     """Convenience wrapper around :class:`BetaSynchronizer`."""
     sync = BetaSynchronizer(network, delay=delay, delay_seed=delay_seed,
-                            max_rounds=max_rounds)
+                            max_rounds=max_rounds, injectors=injectors)
     return sync.run()

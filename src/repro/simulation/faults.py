@@ -10,6 +10,19 @@ Two fault classes relevant to the paper's motivation (Section 1):
 Injectors are composable: the runner applies every injector's
 ``filter_messages`` to each round's traffic and asks ``crashes_at`` for the
 set of nodes to kill at each round boundary.
+
+Backend support
+---------------
+Message-dropping injectors work on every message-passing backend: the
+synchronous runner filters each round's traffic in batch, the
+event-driven transports (``mode="async"`` / ``"async-beta"``) filter
+each payload individually at *delivery* time.  Crash injectors
+(``kills_nodes = True``) are supported only by the synchronous runner —
+the synchronizers' safety detection assumes acknowledgments from every
+neighbor, so a silently crashed node would deadlock the transformation
+rather than model a crash.  The event-driven transports therefore
+reject them at construction, and the vectorized ``mode="direct"``
+backend (no messages at all) rejects any injector.
 """
 
 from __future__ import annotations
@@ -24,6 +37,12 @@ from repro.types import NodeId
 
 class FaultInjector:
     """Base class; the default injector is a no-op."""
+
+    #: Whether this injector removes nodes from the execution (via
+    #: :meth:`crashes_at`).  Transports that cannot honor node removal —
+    #: the event-driven synchronizers — check this flag and refuse such
+    #: injectors up front instead of deadlocking.
+    kills_nodes = False
 
     def crashes_at(self, round_index: int) -> Set[NodeId]:
         """Nodes that crash at the *start* of ``round_index`` (0-based)."""
@@ -46,7 +65,26 @@ class CrashFaultInjector(FaultInjector):
         Maps a 0-based round index to the node ids that crash at the start
         of that round.  A crashed node stops executing, sends nothing, and
         silently drops anything addressed to it.
+
+    In-flight delivery semantics (pinned — tests rely on these):
+
+    - A node crashing at the start of round ``r`` completed round
+      ``r - 1`` normally: its round-``(r-1)`` transmissions were drained,
+      filtered, and delivered *before* the crash took effect, so
+      neighbors still receive them in their round-``r`` inboxes.
+    - The victim's own round-``r`` inbox is discarded (its generator is
+      closed before being advanced); from round ``r`` on it executes
+      nothing and sends nothing.
+    - From round ``r`` on, every message **to or from** the victim is
+      dropped by :meth:`filter_messages` — a crashed node is silent in
+      both directions, exactly the paper's crash-stop model.
+    - ``schedule={0: [...]}`` is well-defined: the victim crashes before
+      its first generator step, i.e. it never executes at all and
+      contributes nothing to the run (as if absent from the deployment,
+      except that neighbors still count it in their static degree).
     """
+
+    kills_nodes = True
 
     def __init__(self, schedule: Mapping[int, Iterable[NodeId]]):
         self.schedule: Dict[int, Set[NodeId]] = {
@@ -72,7 +110,22 @@ class MessageLossInjector(FaultInjector):
     """Drop each message independently with probability ``loss_rate``.
 
     Uses its own RNG stream so enabling loss does not perturb the protocol
-    nodes' random draws.
+    nodes' random draws: for a fixed seed, the protocol's coin flips —
+    and hence its output — are identical with and without loss, and two
+    runs with the same (protocol seed, injector seed) drop the *same*
+    messages and report the same ``dropped`` count.
+
+    Boundary cases are well-defined: ``loss_rate=0.0`` passes every
+    message through without consuming injector randomness, and
+    ``loss_rate=1.0`` drops every message — protocols written for this
+    repository still terminate under total loss because their round
+    loops are bounded and advance on empty inboxes (they degrade to
+    their zero-information behavior rather than hang; see E17).
+
+    On the event-driven backends this injector is applied per message at
+    delivery time, so the drop *decisions* differ from the synchronous
+    runner's batch filtering for the same injector seed; determinism per
+    (backend, seed) still holds.
     """
 
     def __init__(self, loss_rate: float, seed: int | None = None):

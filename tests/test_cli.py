@@ -55,6 +55,45 @@ class TestExperimentCommand:
         with pytest.raises(KeyError):
             main(["experiment", "e42"])
 
+    def test_json_artifact(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "e11.json"
+        rc = main(["experiment", "e11", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "e11"
+        assert data["passed"] is True
+        assert data["rows"]
+        assert all(isinstance(ok, bool) for ok in data["checks"].values())
+
+
+class TestDynamicsCommand:
+    def test_dynamics_runs(self, capsys):
+        rc = main(["dynamics", "--n", "120", "--epochs", "8",
+                   "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "policy=local" in out
+        assert "mean availability" in out
+        assert "fully_covered_after" in out
+
+    def test_dynamics_recompute_policy(self, capsys):
+        rc = main(["dynamics", "--n", "100", "--epochs", "6",
+                   "--policy", "recompute"])
+        assert rc == 0
+        assert "policy=recompute" in capsys.readouterr().out
+
+    def test_dynamics_composed_streams(self, capsys):
+        rc = main(["dynamics", "--n", "100", "--epochs", "6",
+                   "--joins", "0.5", "--battery", "0.02",
+                   "--mobility", "0.003"])
+        assert rc == 0
+
+    def test_dynamics_bad_policy(self):
+        with pytest.raises(SystemExit):
+            main(["dynamics", "--policy", "frantic"])
+
 
 class TestParser:
     def test_requires_command(self):
@@ -100,6 +139,6 @@ class TestReportCommand:
         rc = main(["report", "--out", str(out_file), "--scale", "quick"])
         assert rc == 0
         text = out_file.read_text()
-        for i in range(1, 22):
+        for i in range(1, 23):
             assert f"### E{i} " in text or f"### E{i} —" in text, i
         assert "❌" not in text

@@ -4,7 +4,15 @@ from dataclasses import dataclass
 
 import networkx as nx
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.core.udg import UDGProgram
+from repro.engine import execute
+from repro.errors import SimulationError, UnknownModeError
+from repro.graphs.udg import random_udg
+from repro.simulation.asynchrony import run_protocol_async
+from repro.simulation.beta import run_protocol_beta
 from repro.simulation.faults import CrashFaultInjector, MessageLossInjector
 from repro.simulation.messages import Message
 from repro.simulation.network import SynchronousNetwork
@@ -122,3 +130,172 @@ class TestMessageLoss:
         stats = run_protocol(net, injectors=[MessageLossInjector(1.0, seed=0)])
         assert stats.messages_sent == 0
         assert all(h == [] for p in procs.values() for h in p.heard)
+
+
+class CoinFlipper(NodeProcess):
+    """Draws from its private RNG stream every round and records the
+    draws — the canary for injector/protocol RNG isolation."""
+
+    def __init__(self, node_id, rounds=3):
+        super().__init__(node_id)
+        self.rounds = rounds
+        self.draws = []
+
+    def run(self, ctx):
+        for _ in range(self.rounds):
+            self.draws.append(int(ctx.rng.integers(0, 2**30)))
+            ctx.broadcast(Beat())
+            yield
+
+
+def _run_heartbeats(g, *, net_seed, injectors, rounds=4):
+    procs = {v: Heartbeat(v, rounds=rounds) for v in g.nodes}
+    net = SynchronousNetwork(g, procs.values(), seed=net_seed)
+    stats = run_protocol(net, injectors=injectors)
+    return procs, stats
+
+
+class TestLossDeterminism:
+    """Same (protocol seed, injector seed) ⇒ bit-identical executions."""
+
+    def test_same_seed_same_drops_and_survivors(self):
+        g = nx.complete_graph(6)
+        runs = []
+        for _ in range(2):
+            inj = MessageLossInjector(0.4, seed=17)
+            procs, stats = _run_heartbeats(g, net_seed=3, injectors=[inj])
+            runs.append((inj.dropped,
+                         {v: p.heard for v, p in procs.items()},
+                         stats.messages_sent))
+        assert runs[0] == runs[1]
+        assert runs[0][0] > 0          # some messages actually dropped
+
+    def test_different_injector_seed_different_survivors(self):
+        g = nx.complete_graph(6)
+        inj_a = MessageLossInjector(0.4, seed=17)
+        procs_a, _ = _run_heartbeats(g, net_seed=3, injectors=[inj_a])
+        inj_b = MessageLossInjector(0.4, seed=18)
+        procs_b, _ = _run_heartbeats(g, net_seed=3, injectors=[inj_b])
+        assert ({v: p.heard for v, p in procs_a.items()}
+                != {v: p.heard for v, p in procs_b.items()})
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(loss_rate=st.floats(min_value=0.0, max_value=1.0),
+           injector_seed=st.integers(min_value=0, max_value=2**16))
+    def test_loss_never_perturbs_protocol_rng(self, loss_rate,
+                                              injector_seed):
+        """The injector's randomness lives on its own stream: whatever it
+        drops, every node's private coin flips are unchanged."""
+        g = nx.complete_graph(5)
+
+        def draws(injectors):
+            procs = {v: CoinFlipper(v) for v in g.nodes}
+            net = SynchronousNetwork(g, procs.values(), seed=42)
+            run_protocol(net, injectors=injectors)
+            return {v: p.draws for v, p in procs.items()}
+
+        baseline = draws([])
+        lossy = draws([MessageLossInjector(loss_rate, seed=injector_seed)])
+        assert lossy == baseline
+
+
+class TestAsyncInjectors:
+    """Message-dropping injectors on the event-driven backends."""
+
+    def _net(self, g, rounds=3):
+        procs = {v: Heartbeat(v, rounds=rounds) for v in g.nodes}
+        return procs, SynchronousNetwork(g, procs.values(), seed=0)
+
+    @pytest.mark.parametrize("runner", [run_protocol_async,
+                                        run_protocol_beta])
+    def test_full_loss_drops_every_payload(self, runner):
+        g = nx.complete_graph(4)
+        inj = MessageLossInjector(1.0, seed=0)
+        procs, net = self._net(g)
+        stats = runner(net, delay_seed=1, injectors=[inj])
+        # Dropped at delivery ⇒ never buffered, never charged as payload.
+        assert stats.payload_messages == 0
+        assert inj.dropped == 3 * 12        # 3 rounds x K4's 12 directed
+        assert all(h == [] for proc in procs.values() for h in proc.heard)
+
+    @pytest.mark.parametrize("runner", [run_protocol_async,
+                                        run_protocol_beta])
+    def test_partial_loss_accounting(self, runner):
+        g = nx.complete_graph(5)
+        inj = MessageLossInjector(0.3, seed=5)
+        _, net = self._net(g)
+        stats = runner(net, delay_seed=2, injectors=[inj])
+        total = 3 * 20                      # 3 rounds x K5's 20 directed
+        assert 0 < inj.dropped < total
+        assert stats.payload_messages == total - inj.dropped
+
+    @pytest.mark.parametrize("runner", [run_protocol_async,
+                                        run_protocol_beta])
+    def test_crash_injector_rejected(self, runner):
+        g = nx.complete_graph(4)
+        _, net = self._net(g)
+        with pytest.raises(SimulationError, match="kills nodes"):
+            runner(net, injectors=[CrashFaultInjector({1: [0]})])
+
+    def test_no_injectors_unchanged(self):
+        """Delivery-time accounting without injectors matches the old
+        send-time accounting (every payload is eventually delivered)."""
+        g = nx.complete_graph(4)
+        _, net = self._net(g)
+        stats = run_protocol_async(net, delay_seed=1)
+        assert stats.payload_messages == 3 * 12
+
+
+class TestExecuteInjectors:
+    """`execute(..., injectors=)` threading across the backends."""
+
+    def _program(self, n=40, seed=0):
+        udg = random_udg(n, density=8.0, seed=seed)
+        return udg, UDGProgram(udg, 1, "random", seed)
+
+    def test_direct_rejects_injectors(self):
+        _, program = self._program()
+        with pytest.raises(UnknownModeError, match="does not support"):
+            execute(program, "direct",
+                    injectors=[MessageLossInjector(0.1, seed=0)])
+
+    def test_direct_without_injectors_unaffected(self):
+        udg, program = self._program()
+        result = execute(program, "direct", seed=0)
+        assert result.members
+
+    @pytest.mark.parametrize("mode", ["message", "async", "async-beta"])
+    def test_loss_threads_through(self, mode):
+        _, program = self._program()
+        inj = MessageLossInjector(0.2, seed=11)
+        result = execute(program, mode, seed=0, injectors=[inj])
+        assert inj.dropped > 0
+        # The protocol still terminates and emits a nonempty set under
+        # loss (coverage may degrade — that is E17's subject).
+        assert result.members
+
+    @pytest.mark.parametrize("mode", ["async", "async-beta"])
+    def test_crash_rejected_on_async_modes(self, mode):
+        _, program = self._program()
+        with pytest.raises(SimulationError, match="kills nodes"):
+            execute(program, mode, seed=0,
+                    injectors=[CrashFaultInjector({1: [0]})])
+
+    def test_crash_supported_on_message_mode(self):
+        udg, program = self._program()
+        result = execute(program, "message", seed=0,
+                         injectors=[CrashFaultInjector({0: [0]})])
+        # Node 0 crashed before its first step; the rest completed.
+        assert 0 not in result.members
+        assert result.members
+
+    def test_lossy_execution_deterministic(self):
+        outputs = []
+        for _ in range(2):
+            _, program = self._program()
+            inj = MessageLossInjector(0.2, seed=11)
+            result = execute(program, "message", seed=0, injectors=[inj])
+            outputs.append((result.members, inj.dropped))
+        assert outputs[0] == outputs[1]
+        assert outputs[0][1] > 0
