@@ -50,6 +50,26 @@ def test_artifacts_cached(benchmark, gnp500):
     assert cache_stats()["hits"] > before
 
 
+def test_artifacts_delta_patch(benchmark, gnp500):
+    """Patching one node in/out beats a from-scratch rebuild."""
+    g, _ = gnp500
+    art = graph_artifacts(g)
+    victim = art.nodes[0]
+    neighbors = list(art.sorted_neighbors[0])
+    delta = art.delta_patcher()
+
+    def patch():
+        delta.remove_node(victim)
+        delta.add_node(victim, neighbors)
+
+    before = cache_stats()
+    benchmark(patch)
+    after = cache_stats()
+    assert after["delta_patches"] > before["delta_patches"]
+    # The whole benchmark loop never paid a single rebuild.
+    assert after["full_rebuilds"] == before["full_rebuilds"]
+
+
 def test_algorithm1_cold_artifacts(benchmark, gnp500):
     g, cov = gnp500
 

@@ -1,0 +1,188 @@
+"""Scaling benchmark: the self-healing loop at 10^3..10^5 nodes.
+
+Compares two executions of the same crash-churn maintenance workload:
+
+- **baseline** — the rebuild-per-epoch loop (``incremental=False``,
+  unsharded): every epoch re-derives coverage with the pure-Python
+  verify loop over the live subgraph view, exactly the pre-scaling
+  behavior;
+- **fast** — incremental :class:`~repro.engine.artifacts.GraphArtifacts`
+  delta-patched per churn event, vectorized CSR-matvec deficit
+  detection, and sharded repair over independent damage units.
+
+Both runs use ``selection_policy="by-id"`` so their repair decisions
+are deterministic and the final memberships must be *identical* — the
+benchmark asserts it, so a speedup number from a diverged run can never
+be reported.  Churn intensity (expected crashes per epoch) is equal in
+both runs by construction: they share the deployment, the initial
+structure, and the crash stream seed.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --scale smoke \
+        --out BENCH_scaling.json
+
+``--scale full`` sweeps to n=10^5 (the baseline is capped at n=5*10^4,
+where the acceptance threshold — fast >= 10x baseline — is checked).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.dynamics import LocalPatchRepair, MaintenanceLoop, Scenario
+from repro.dynamics.events import PoissonJoins, RandomCrashes
+from repro.graphs.udg import random_udg
+
+SCALES = {
+    # sizes swept; epochs per run; largest n the baseline still runs at.
+    "smoke": {"sizes": (500, 2000), "epochs": 5, "baseline_cap": 2000},
+    "full": {"sizes": (1_000, 10_000, 50_000, 100_000), "epochs": 10,
+             "baseline_cap": 50_000},
+}
+#: The acceptance threshold is checked at this n (full scale only).
+ACCEPTANCE_N = 50_000
+ACCEPTANCE_SPEEDUP = 10.0
+
+
+def build_scenario(udg, members, *, k: int, epochs: int,
+                   kill_fraction: float, seed: int) -> Scenario:
+    """A fresh scenario per run (streams hold RNG state) with shared
+    deployment + initial structure, so churn is identical across runs.
+
+    Mixed churn — dominator crashes plus Poisson joins at the same
+    per-epoch rate (network size stays roughly stable).  Joins are the
+    events the rebuild-per-epoch baseline pays full geometric rebuilds
+    for; the incremental state absorbs them as O(1)-expected spatial-
+    hash patches.
+    """
+    scenario = Scenario(udg, k=k, epochs=epochs, seed=seed,
+                        initial_members=set(members), name="bench-churn")
+    per_epoch = kill_fraction * len(members) / max(1, epochs)
+    side = float(udg.points.max()) if len(udg.points) else 1.0
+    scenario.streams = [
+        RandomCrashes(per_epoch, target="dominators", seed=seed + 1),
+        PoissonJoins(per_epoch, side, seed=seed + 2),
+    ]
+    return scenario
+
+
+def timed_run(loop: MaintenanceLoop):
+    t0 = time.perf_counter()
+    result = loop.run()
+    return time.perf_counter() - t0, result
+
+
+def measure(n: int, *, k: int, epochs: int, kill_fraction: float,
+            shards: int, workers: int, seed: int,
+            run_baseline: bool) -> dict:
+    udg = random_udg(n, density=10.0, seed=seed)
+    members = Scenario(udg, k=k, epochs=0, seed=seed).build_members()
+
+    def scenario():
+        return build_scenario(udg, members, k=k, epochs=epochs,
+                              kill_fraction=kill_fraction, seed=seed)
+
+    fast_secs, fast = timed_run(MaintenanceLoop(
+        scenario(), LocalPatchRepair("by-id"),
+        shards=shards, workers=workers, incremental=True))
+    patches = fast.summary["delta_patches_total"]
+    rebuilds = fast.summary["full_rebuilds_total"]
+    row = {
+        "n": n,
+        "epochs": epochs,
+        "initial_members": len(members),
+        "fast": {
+            "seconds": round(fast_secs, 4),
+            "epochs_per_sec": round(epochs / fast_secs, 3),
+            "shards": shards,
+            "workers": workers,
+            "delta_patches": patches,
+            "full_rebuilds": rebuilds,
+            "patch_vs_rebuild_ratio": (round(patches / rebuilds, 2)
+                                       if rebuilds else float(patches)),
+            "fully_covered_fraction":
+                fast.summary["fully_covered_fraction"],
+        },
+        "baseline": None,
+        "speedup": None,
+    }
+    if run_baseline:
+        base_secs, base = timed_run(MaintenanceLoop(
+            scenario(), LocalPatchRepair("by-id"), incremental=False))
+        if base.final_members != fast.final_members:
+            raise AssertionError(
+                f"n={n}: fast and baseline runs diverged — speedup "
+                "numbers would be meaningless")
+        row["baseline"] = {
+            "seconds": round(base_secs, 4),
+            "epochs_per_sec": round(epochs / base_secs, 3),
+            "full_rebuilds": base.summary["full_rebuilds_total"],
+        }
+        row["speedup"] = round(base_secs / fast_secs, 2)
+    return row
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--kill", type=float, default=0.2,
+                        help="fraction of initial dominators killed "
+                             "over the run")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_scaling.json")
+    args = parser.parse_args(argv)
+
+    cfg = SCALES[args.scale]
+    results = []
+    for n in cfg["sizes"]:
+        print(f"n={n}: solving + running "
+              f"({cfg['epochs']} epochs)...", flush=True)
+        row = measure(n, k=args.k, epochs=cfg["epochs"],
+                      kill_fraction=args.kill, shards=args.shards,
+                      workers=args.workers, seed=args.seed,
+                      run_baseline=n <= cfg["baseline_cap"])
+        results.append(row)
+        fast, base = row["fast"], row["baseline"]
+        line = (f"  fast: {fast['seconds']:.2f}s "
+                f"({fast['epochs_per_sec']:.1f} ep/s, "
+                f"{fast['delta_patches']} patches / "
+                f"{fast['full_rebuilds']} rebuilds)")
+        if base is not None:
+            line += (f" | baseline: {base['seconds']:.2f}s "
+                     f"-> speedup {row['speedup']:.1f}x")
+        print(line, flush=True)
+
+    payload = {
+        "benchmark": "bench_scaling",
+        "scale": args.scale,
+        "config": {"k": args.k, "kill_fraction": args.kill,
+                   "shards": args.shards, "workers": args.workers,
+                   "seed": args.seed},
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = 0
+    for row in results:
+        if row["n"] >= ACCEPTANCE_N and row["speedup"] is not None \
+                and row["speedup"] < ACCEPTANCE_SPEEDUP:
+            print(f"!! n={row['n']}: speedup {row['speedup']}x below the "
+                  f"{ACCEPTANCE_SPEEDUP}x acceptance threshold",
+                  file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

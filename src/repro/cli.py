@@ -104,6 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-epoch battery drain (dominators drain 3x)")
     dyn.add_argument("--mobility", type=float, default=0.0,
                      help="Gaussian-drift speed per epoch (0 = static)")
+    dyn.add_argument("--shards", type=int, default=None,
+                     help="decompose repair into damage units on an "
+                          "NxN shard grid (requires a shardable policy)")
+    dyn.add_argument("--workers", type=int, default=1,
+                     help="thread-pool size for sharded repair dispatch")
     dyn.add_argument("--tail", type=int, default=10,
                      help="print the last TAIL epoch records")
     dyn.add_argument("--seed", type=int, default=0)
@@ -268,7 +273,8 @@ def _cmd_dynamics(args) -> int:
             GaussianDrift(args.mobility, seed=args.seed + 4), side))
     scenario.streams = streams
 
-    result = run_scenario(scenario, make_policy(args.policy))
+    result = run_scenario(scenario, make_policy(args.policy),
+                          shards=args.shards, workers=args.workers)
     columns = ["epoch", "n_live", "n_members", "crashes",
                "deficient_before", "availability_before", "repaired",
                "rounds", "messages", "touched", "drift",

@@ -53,11 +53,13 @@ from repro.dynamics.repair import (
     make_policy,
 )
 from repro.dynamics.scenario import Scenario, crash_scenario
+from repro.dynamics.sharding import DamageUnit, assign_shards, damage_units
 from repro.dynamics.state import NetworkState
 
 __all__ = [
     "BatteryDecay",
     "CrashEvent",
+    "DamageUnit",
     "DrainEvent",
     "DynamicsResult",
     "DynamicsTimeline",
@@ -80,7 +82,9 @@ __all__ = [
     "RepairPolicy",
     "Scenario",
     "ScheduledCrashes",
+    "assign_shards",
     "crash_scenario",
+    "damage_units",
     "make_policy",
     "run_scenario",
 ]

@@ -8,12 +8,28 @@ under a :class:`~repro.dynamics.repair.RepairPolicy`.  Each epoch:
    shrink the dominator set — the damage);
 2. the coverage deficit of the live graph is measured with the
    :mod:`repro.core.verify` oracle (open convention — live non-members
-   need ``k`` live dominator neighbors);
+   need ``k`` live dominator neighbors).  On an incremental state this
+   is one CSR matvec over the live
+   :class:`~repro.engine.artifacts.GraphArtifacts` instead of a Python
+   loop over every adjacency;
 3. the repair policy turns the deficit into a membership delta, charging
    its rounds and messages on the shared engine
    :class:`~repro.engine.instrumentation.Instrumentation`;
 4. the loop applies the delta, re-verifies, and appends an
    :class:`~repro.dynamics.metrics.EpochRecord` to the timeline.
+
+Sharded repair
+--------------
+With ``shards=S`` the deficit is decomposed into independent **damage
+units** (:func:`~repro.dynamics.sharding.damage_units` — overlapping
+2-hop balls merge into one unit, so units never interact), bucketed
+onto an ``S x S`` grid, and repaired unit-by-unit, optionally on a
+``workers``-thread pool.  Every unit draws from a private RNG derived
+from ``(seed, epoch, unit rank)`` and charges a private accountant, so
+the membership outcome — and the whole timeline — is **bit-identical
+for every (shards, workers) configuration**.  Rounds merge as ``max``
+over units (independent balls repair concurrently, exactly the paper's
+locality argument); messages and touched sets merge by sum/union.
 
 The loop is the single writer of the state, so every transition is
 verified and any policy bug that leaves coverage broken is visible in
@@ -22,17 +38,44 @@ verified and any policy bug that leaves coverage broken is visible in
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.verify import coverage_deficit
+import numpy as np
+
+from repro.core.verify import coverage_deficit, coverage_deficit_vector
 from repro.dynamics.metrics import DynamicsTimeline, EpochRecord
-from repro.dynamics.repair import RepairPolicy
+from repro.dynamics.repair import RepairOutcome, RepairPolicy
 from repro.dynamics.scenario import Scenario
+from repro.dynamics.sharding import assign_shards, damage_units
 from repro.dynamics.state import NetworkState
 from repro.engine.instrumentation import Instrumentation
+from repro.errors import ShardingError
 from repro.simulation.rng import spawn_named_rngs
 from repro.types import NodeId, RunStats
+
+
+class _ArtifactGraphView:
+    """Minimal read-only graph interface over live artifacts.
+
+    Repair policies only query ``neighbors`` / ``degree``; serving them
+    from the patched :class:`GraphArtifacts` avoids the networkx
+    subgraph view's per-edge filter overhead (a large constant factor
+    in the repair hot path at n >= 10^4).  Neighbor order matches the
+    live view's sorted order, so policy decisions are identical.
+    """
+
+    __slots__ = ("_art",)
+
+    def __init__(self, art):
+        self._art = art
+
+    def neighbors(self, v):
+        return iter(self._art.sorted_neighbors[v])
+
+    def degree(self):
+        return zip(self._art.nodes, self._art.degrees.tolist())
 
 
 @dataclass
@@ -68,24 +111,68 @@ class MaintenanceLoop:
         Optional externally-owned accountant; by default a fresh one is
         built for the deployment's size, so ``result.stats`` is in the
         same currency as any engine execution.
+    shards:
+        Decompose each epoch's damage into independent units and bucket
+        them onto a ``shards x shards`` grid (``None`` = the classic
+        global repair call).  Requires a ``shardable`` policy.
+    workers:
+        Thread-pool size for shard dispatch (only with ``shards``).
+        Outcomes are bit-identical for every worker count.
+    incremental:
+        Maintain live :class:`~repro.engine.artifacts.GraphArtifacts`
+        delta-patched per churn event, enabling the vectorized deficit
+        path.  ``False`` restores the rebuild-per-epoch baseline
+        (benchmark reference; results are identical either way).
     """
 
     def __init__(self, scenario: Scenario, policy: RepairPolicy, *,
-                 instrumentation: Optional[Instrumentation] = None):
+                 instrumentation: Optional[Instrumentation] = None,
+                 shards: Optional[int] = None, workers: int = 1,
+                 incremental: bool = True):
         self.scenario = scenario
         self.policy = policy
+        if shards is not None:
+            if shards < 1:
+                raise ShardingError(
+                    f"shards must be at least 1, got {shards}")
+            if not getattr(policy, "shardable", False):
+                raise ShardingError(
+                    f"repair policy {policy.name!r} cannot be sharded; "
+                    "sharding requires a damage-local policy "
+                    "(e.g. 'local')"
+                )
+        if workers < 1:
+            raise ShardingError(f"workers must be at least 1, got {workers}")
+        if workers > 1 and shards is None:
+            raise ShardingError(
+                f"workers={workers} requires shards; pass shards>=1 to "
+                "enable the sharded repair plan"
+            )
+        self.shards = shards
+        self.workers = int(workers)
+        self.incremental = bool(incremental)
         self.instr = (instrumentation if instrumentation is not None
                       else Instrumentation.for_n(max(1, scenario.initial.n)))
         # The repair policy's selection randomness lives on its own
         # named stream: adding/removing churn streams (which hold their
         # own RNGs) can never perturb repair decisions.
         self._rng = spawn_named_rngs(["repair"], scenario.seed)["repair"]
+        self._seed_root = scenario.seed if scenario.seed is not None else 0
+        pts = scenario.initial.points
+        self._side = float(pts.max()) if len(pts) else 1.0
 
     # ------------------------------------------------------------------
     def run(self) -> DynamicsResult:
         scenario = self.scenario
         state = NetworkState.from_udg(scenario.initial,
-                                      members=scenario.build_members())
+                                      members=scenario.build_members(),
+                                      incremental=self.incremental)
+        if self.incremental:
+            # Arm the live artifacts while the topology still equals the
+            # deployment: the bundle builds from the concrete base graph
+            # (no subgraph-view overhead) and churn patches it from the
+            # first event on.
+            state.artifacts()
         timeline = DynamicsTimeline()
         for epoch in range(scenario.epochs):
             timeline.append(self._run_epoch(epoch, state))
@@ -102,7 +189,83 @@ class MaintenanceLoop:
         return result
 
     # ------------------------------------------------------------------
+    # Deficit measurement (vectorized on incremental states)
+    # ------------------------------------------------------------------
+    def _shortfalls(self, state: NetworkState, k) -> Dict[NodeId, int]:
+        """Deficient node -> shortfall over the live topology."""
+        if state.incremental:
+            art = state.artifacts()
+            vec, nodes = coverage_deficit_vector(art, state.members, k,
+                                                 convention="open")
+            return {nodes[i]: int(vec[i]) for i in np.nonzero(vec)[0]}
+        deficit = coverage_deficit(state.graph(), state.members, k,
+                                   convention="open")
+        return {v: d for v, d in deficit.items() if d > 0}
+
+    # ------------------------------------------------------------------
+    # Sharded repair plan
+    # ------------------------------------------------------------------
+    def _repair_sharded(self, epoch: int, state: NetworkState, graph,
+                        shortfalls: Dict[NodeId, int], k: int
+                        ) -> Tuple[RepairOutcome, int, int]:
+        """Repair unit-by-unit; returns (merged outcome, units, shards)."""
+        if not shortfalls:
+            return RepairOutcome(), 0, 0
+        if state.incremental:
+            art = state.artifacts()
+
+            def neighbors_of(u):
+                i = art.index[u]
+                return [art.nodes[j] for j in art.closed_nbrs[i]]
+        else:
+            def neighbors_of(u):
+                return graph.neighbors(u)
+
+        units = damage_units(shortfalls, neighbors_of)
+        plan = assign_shards(units, self.shards,
+                             position_of=lambda v: state.positions[v],
+                             side=self._side)
+        shard_keys = sorted(plan)
+
+        def run_shard(key) -> List[Tuple[RepairOutcome, RunStats]]:
+            results = []
+            for unit in plan[key]:
+                rng = np.random.default_rng(
+                    [self._seed_root, epoch, unit.rank])
+                unit_instr = Instrumentation(self.instr.size_model)
+                out = self.policy.repair(state, graph, unit.deficits, k,
+                                         rng=rng, instr=unit_instr)
+                results.append((out, unit_instr.stats))
+            return results
+
+        if self.workers == 1 or len(shard_keys) <= 1:
+            shard_results = [run_shard(key) for key in shard_keys]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                shard_results = list(pool.map(run_shard, shard_keys))
+
+        merged = RepairOutcome()
+        for results in shard_results:
+            for out, stats in results:
+                merged.promoted |= out.promoted
+                merged.demoted |= out.demoted
+                merged.touched |= out.touched
+                merged.messages += out.messages
+                merged.rounds = max(merged.rounds, out.rounds)
+                merged.iterations = max(merged.iterations, out.iterations)
+                merged.repaired = merged.repaired or out.repaired
+                merged.deferred_deficit += out.deferred_deficit
+                self.instr.absorb(stats, include_rounds=False)
+        # Independent damage balls repair concurrently: the epoch's
+        # round cost is the slowest unit, not the sum.
+        self.instr.charge_rounds(merged.rounds)
+        return merged, len(units), len(plan)
+
+    # ------------------------------------------------------------------
     def _run_epoch(self, epoch: int, state: NetworkState) -> EpochRecord:
+        patches_before = state.artifact_patches
+        rebuilds_before = state.artifact_rebuilds
+
         # (1) churn.
         events = self.scenario.events_at(epoch, state)
         crashes_before = state.total_crashes
@@ -114,27 +277,29 @@ class MaintenanceLoop:
         moved = state.total_moves > moves_before
 
         # (2) measure the damage.
-        graph = state.graph()
+        graph = (_ArtifactGraphView(state.artifacts())
+                 if state.incremental else state.graph())
         k = self.scenario.k
-        deficit = coverage_deficit(graph, state.members, k,
-                                   convention="open")
-        shortfalls = {v: d for v, d in deficit.items() if d > 0}
+        shortfalls = self._shortfalls(state, k)
         clients = state.n_live - len(state.members)
         availability = (1.0 if clients <= 0
                         else 1.0 - len(shortfalls) / clients)
 
         # (3) repair.
-        outcome = self.policy.repair(state, graph, deficit, k,
-                                     rng=self._rng, instr=self.instr)
+        if self.shards is not None:
+            outcome, units, shards_active = self._repair_sharded(
+                epoch, state, graph, shortfalls, k)
+        else:
+            outcome = self.policy.repair(state, graph, shortfalls, k,
+                                         rng=self._rng, instr=self.instr)
+            units, shards_active = (1 if shortfalls else 0), 0
         if outcome.demoted:
             state.demote(outcome.demoted)
         if outcome.promoted:
             state.promote(outcome.promoted)
 
         # (4) verify the transition.
-        deficit_after = coverage_deficit(state.graph(), state.members, k,
-                                         convention="open")
-        deficient_after = sum(1 for d in deficit_after.values() if d > 0)
+        deficient_after = len(self._shortfalls(state, k))
 
         return EpochRecord(
             epoch=epoch,
@@ -159,12 +324,18 @@ class MaintenanceLoop:
             deferred_deficit=outcome.deferred_deficit,
             deficient_after=deficient_after,
             fully_covered_after=deficient_after == 0,
+            units=units,
+            shards_active=shards_active,
+            delta_patches=state.artifact_patches - patches_before,
+            full_rebuilds=state.artifact_rebuilds - rebuilds_before,
         )
 
 
 def run_scenario(scenario: Scenario, policy: RepairPolicy, *,
-                 instrumentation: Optional[Instrumentation] = None
-                 ) -> DynamicsResult:
+                 instrumentation: Optional[Instrumentation] = None,
+                 shards: Optional[int] = None, workers: int = 1,
+                 incremental: bool = True) -> DynamicsResult:
     """Convenience wrapper: build a loop and run it to completion."""
-    return MaintenanceLoop(scenario, policy,
-                           instrumentation=instrumentation).run()
+    return MaintenanceLoop(scenario, policy, instrumentation=instrumentation,
+                           shards=shards, workers=workers,
+                           incremental=incremental).run()

@@ -56,6 +56,13 @@ class EpochRecord:
     #: Deficit picture after repair.
     deficient_after: int
     fully_covered_after: bool
+    #: Sharded-repair execution plan (0 when repair ran unsharded).
+    units: int = 0
+    shards_active: int = 0
+    #: Incremental-artifact accounting: delta patches applied vs.
+    #: from-scratch artifact rebuilds paid during this epoch.
+    delta_patches: int = 0
+    full_rebuilds: int = 0
 
     @property
     def drift(self) -> int:
@@ -103,6 +110,7 @@ class DynamicsTimeline:
                 "touched_per_repair": 0.0, "locality_mean": 0.0,
                 "drift_total": 0, "deferred_epochs": 0,
                 "uncovered_epochs": 0,
+                "delta_patches_total": 0, "full_rebuilds_total": 0,
             }
         repairs = [r for r in self.records if r.repaired]
         availability = [r.availability_before for r in self.records]
@@ -131,6 +139,10 @@ class DynamicsTimeline:
                 if not r.repaired and r.deferred_deficit > 0),
             "uncovered_epochs": sum(
                 1 for r in self.records if r.uncovered_before > 0),
+            "delta_patches_total": int(sum(r.delta_patches
+                                           for r in self.records)),
+            "full_rebuilds_total": int(sum(r.full_rebuilds
+                                           for r in self.records)),
         }
 
     def to_dicts(self) -> List[Dict[str, Any]]:

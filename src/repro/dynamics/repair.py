@@ -104,6 +104,10 @@ class RepairPolicy:
     """
 
     name = "base"
+    #: Whether the policy's repair is confined to the deficit's damage
+    #: balls, so the sharded loop may run it per damage unit.  Global
+    #: policies (recompute, lazy triggers) must stay unsharded.
+    shardable = False
 
     def repair(self, state: "NetworkState", graph: "nx.Graph",
                deficit: Dict[NodeId, int], k: int, *,
@@ -135,6 +139,7 @@ class LocalPatchRepair(RepairPolicy):
     """
 
     name = "local"
+    shardable = True
 
     def __init__(self, selection_policy: str = "random"):
         if selection_policy not in SELECTION_POLICIES:

@@ -6,16 +6,33 @@ currently maintained dominator set.  It interprets the event records of
 :mod:`repro.dynamics.events` and lazily materializes graph views:
 
 - :meth:`graph` — the live topology as a ``networkx`` view (what
-  :mod:`repro.core.verify` and the repair policies consume).  Built from
-  a cached full unit-disk graph and an induced-subgraph view, so pure
-  crash churn never pays a geometric rebuild;
+  the repair policies consume).  Built from a cached full unit-disk
+  graph and an induced-subgraph view, so pure crash churn never pays a
+  geometric rebuild;
+- :meth:`artifacts` — incrementally patched
+  :class:`~repro.engine.artifacts.GraphArtifacts` over the live
+  topology (what the vectorized :mod:`repro.core.verify` oracle and the
+  sharded loop consume);
 - :meth:`live_udg` — a fresh :class:`~repro.graphs.udg.UnitDiskGraph`
   over only the live nodes (what a full recompute needs), plus the
   local-id -> global-id mapping.
+
+Scaling model
+-------------
+A uniform-grid spatial hash (cell size = radius) over every positioned
+node is kept **alive across events**, so a join or a small move is an
+O(1)-expected local query instead of an O(n) geometric rebuild: the
+event patches the grid, the cached base graph, and the live artifacts
+(through :class:`~repro.engine.artifacts.ArtifactDelta`) in time
+proportional to the touched 1-hop ball.  Only a bulk move (full-network
+mobility, more than ``_MOVE_PATCH_FRACTION`` of the nodes) falls back to
+a from-scratch rebuild.  ``incremental=False`` restores the PR-2
+rebuild-on-change behavior (kept as the scaling benchmark's baseline).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Set, Tuple
 
 import networkx as nx
@@ -28,9 +45,17 @@ from repro.dynamics.events import (
     JoinEvent,
     MoveEvent,
 )
+from repro.engine.artifacts import ArtifactDelta, GraphArtifacts, touch
 from repro.errors import GraphError
 from repro.graphs.udg import UnitDiskGraph
 from repro.types import NodeId
+
+#: Moves touching more than this fraction of the positioned nodes are
+#: served by a full rebuild — patching every node's ball one by one
+#: would do the same work with per-node overhead on top.
+_MOVE_PATCH_FRACTION = 0.25
+
+Cell = Tuple[int, int]
 
 
 class NetworkState:
@@ -46,12 +71,17 @@ class NetworkState:
         The initially maintained dominator set.
     battery_capacity:
         Initial battery level of every node (joins start full too).
+    incremental:
+        Keep the spatial hash and live artifacts alive across events,
+        patching per-event 1-hop balls (default).  ``False`` restores
+        the rebuild-on-change baseline behavior.
     """
 
     def __init__(self, positions: Dict[NodeId, Tuple[float, float]],
                  radius: float = 1.0, *,
                  members: Iterable[NodeId] = (),
-                 battery_capacity: float = 1.0):
+                 battery_capacity: float = 1.0,
+                 incremental: bool = True):
         if radius <= 0:
             raise GraphError(f"radius must be positive, got {radius}")
         if battery_capacity <= 0:
@@ -59,6 +89,7 @@ class NetworkState:
                 f"battery_capacity must be positive, got {battery_capacity}")
         self.radius = float(radius)
         self.battery_capacity = float(battery_capacity)
+        self.incremental = bool(incremental)
         self.positions: Dict[NodeId, Tuple[float, float]] = {
             v: (float(p[0]), float(p[1])) for v, p in positions.items()
         }
@@ -77,20 +108,46 @@ class NetworkState:
         self.total_crashes = 0
         self.total_joins = 0
         self.total_moves = 0
+        #: Incremental-maintenance counters (surfaced per epoch by the
+        #: maintenance loop next to engine ``cache_stats()``).
+        self.artifact_patches = 0
+        self.artifact_rebuilds = 0
         # Graph cache: _base_nx spans every node ever positioned (the
-        # live view filters); rebuilt only when geometry changes.
+        # live view filters); rebuilt only when geometry changes beyond
+        # what incremental patching covers.  A base seeded from a
+        # caller-owned graph (``from_udg``) is shared until the first
+        # mutating event copies it (copy-on-write).
         self._base_nx: nx.Graph | None = None
+        self._base_shared = False
+        # Nodes whose base-graph adjacency is stale (deferred join/move
+        # patches; flushed lazily by graph() so the artifacts-only fast
+        # path never pays nx mutation costs).
+        self._base_dirty: Set[NodeId] = set()
         self._live_view: nx.Graph | None = None
+        # Spatial hash over *all* positioned nodes (alive and dead),
+        # mirroring the base graph's universe.  Kept alive across events.
+        self._grid: Dict[Cell, Set[NodeId]] | None = None
+        # Live-topology artifacts, patched per event via ArtifactDelta.
+        self._live_art: GraphArtifacts | None = None
+        self._live_delta: ArtifactDelta | None = None
 
     @classmethod
     def from_udg(cls, udg: UnitDiskGraph, *,
                  members: Iterable[NodeId] = (),
-                 battery_capacity: float = 1.0) -> "NetworkState":
+                 battery_capacity: float = 1.0,
+                 incremental: bool = True) -> "NetworkState":
         """Start from an existing deployment (ids ``0..n-1``)."""
         positions = {i: (float(x), float(y))
                      for i, (x, y) in enumerate(udg.points)}
-        return cls(positions, udg.radius, members=members,
-                   battery_capacity=battery_capacity)
+        state = cls(positions, udg.radius, members=members,
+                    battery_capacity=battery_capacity,
+                    incremental=incremental)
+        # The deployment's graph (ids are already 0..n-1) *is* the base
+        # graph — adopt it copy-on-write instead of rebuilding the
+        # geometry from scratch on the first graph() call.
+        state._base_nx = udg.nx
+        state._base_shared = True
+        return state
 
     # ------------------------------------------------------------------
     # Introspection
@@ -103,6 +160,62 @@ class NetworkState:
         """Smallest fresh integer id for a joining node."""
         ints = [v for v in self.positions if isinstance(v, int)]
         return max(ints) + 1 if ints else 0
+
+    # ------------------------------------------------------------------
+    # Spatial hash
+    # ------------------------------------------------------------------
+    def _cell_of(self, pos: Tuple[float, float]) -> Cell:
+        cell = self.radius
+        return (int(math.floor(pos[0] / cell)),
+                int(math.floor(pos[1] / cell)))
+
+    def _ensure_grid(self) -> Dict[Cell, Set[NodeId]]:
+        if self._grid is None:
+            grid: Dict[Cell, Set[NodeId]] = {}
+            for v, p in self.positions.items():
+                grid.setdefault(self._cell_of(p), set()).add(v)
+            self._grid = grid
+        return self._grid
+
+    def _own_base(self) -> nx.Graph:
+        """The base graph, privately owned (copy-on-write for a base
+        adopted from a caller's deployment)."""
+        if self._base_shared:
+            self._base_nx = self._base_nx.copy()
+            self._base_shared = False
+        return self._base_nx
+
+    def _grid_move(self, node: NodeId, old: Tuple[float, float],
+                   new: Tuple[float, float]) -> None:
+        if self._grid is None:
+            return
+        c_old, c_new = self._cell_of(old), self._cell_of(new)
+        if c_old != c_new:
+            bucket = self._grid.get(c_old)
+            if bucket is not None:
+                bucket.discard(node)
+                if not bucket:
+                    del self._grid[c_old]
+            self._grid.setdefault(c_new, set()).add(node)
+
+    def _nearby(self, node: NodeId, pos: Tuple[float, float], *,
+                live_only: bool) -> List[Tuple[NodeId, float]]:
+        """Positioned nodes within the radius of ``pos`` (O(1) expected:
+        one 3x3 cell-block query on the spatial hash)."""
+        grid = self._ensure_grid()
+        cx, cy = self._cell_of(pos)
+        r2 = self.radius * self.radius
+        out: List[Tuple[NodeId, float]] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for w in grid.get((cx + dx, cy + dy), ()):
+                    if w == node or (live_only and w not in self.alive):
+                        continue
+                    qx, qy = self.positions[w]
+                    d2 = (pos[0] - qx) ** 2 + (pos[1] - qy) ** 2
+                    if d2 <= r2:
+                        out.append((w, math.sqrt(d2)))
+        return out
 
     # ------------------------------------------------------------------
     # Event application
@@ -133,16 +246,42 @@ class NetworkState:
         self.members.discard(node)
         self.total_crashes += 1
         self._live_view = None
+        if self._live_delta is not None:
+            self._live_delta.remove_node(node)
+            self.artifact_patches += 1
 
     def _join(self, node: NodeId, pos: Tuple[float, float]) -> None:
         if node in self.positions and node in self.alive:
             raise GraphError(f"joining node {node!r} already exists")
-        self.positions[node] = (float(pos[0]), float(pos[1]))
+        pos = (float(pos[0]), float(pos[1]))
+        rejoin = node in self.positions
+        if not self.incremental:
+            self.positions[node] = pos
+            self._base_nx = None  # geometry changed
+            self._base_shared = False
+            self._base_dirty.clear()
+        elif rejoin:
+            # A dead node re-appearing at a (possibly) new position: a
+            # grid move plus a (deferred) base-graph rewire of its ball.
+            old = self.positions[node]
+            self.positions[node] = pos
+            self._grid_move(node, old, pos)
+            if self._base_nx is not None:
+                self._base_dirty.add(node)
+        else:
+            self.positions[node] = pos
+            if self._grid is not None:
+                self._grid.setdefault(self._cell_of(pos), set()).add(node)
+            if self._base_nx is not None:
+                self._base_dirty.add(node)
         self.alive.add(node)
         self.battery[node] = self.battery_capacity
         self.total_joins += 1
-        self._base_nx = None  # geometry changed
         self._live_view = None
+        if self._live_delta is not None:
+            nbrs = [w for w, _ in self._nearby(node, pos, live_only=True)]
+            self._live_delta.add_node(node, nbrs)
+            self.artifact_patches += 1
 
     def _drain(self, node: NodeId, amount: float) -> None:
         if node not in self.alive:
@@ -152,11 +291,57 @@ class NetworkState:
             self.battery[node] = 0.0
             self._crash(node)
 
+    def _patch_base_rewire(self, moved: Iterable[NodeId]) -> None:
+        """Re-derive the base-graph edges of ``moved`` from the grid
+        (positions must already be current)."""
+        if self._base_nx is None:
+            return
+        base = self._own_base()
+        for v in moved:
+            pos = self.positions[v]
+            if v in base:
+                base.remove_edges_from(list(base.edges(v)))
+                base.nodes[v]["pos"] = pos
+            else:
+                base.add_node(v, pos=pos)
+            for w, d in self._nearby(v, pos, live_only=False):
+                base.add_edge(v, w, dist=d)
+        # An exact rewiring can preserve (n, m): bump the version token
+        # so cached artifacts keyed on the base graph are never stale.
+        touch(base)
+
     def _move(self, positions) -> None:
-        for v, p in positions.items():
-            self.positions[v] = (float(p[0]), float(p[1]))
+        moved = {v: (float(p[0]), float(p[1]))
+                 for v, p in positions.items()}
+        bulk = (not self.incremental
+                or len(moved) > _MOVE_PATCH_FRACTION * max(1, len(self.positions)))
+        if bulk:
+            self.positions.update(moved)
+            self._base_nx = None
+            self._base_shared = False
+            self._base_dirty.clear()
+            self._grid = None
+            self._drop_live_artifacts()
+        else:
+            for v, p in moved.items():
+                old = self.positions.get(v)
+                self.positions[v] = p
+                if old is None:
+                    if self._grid is not None:
+                        self._grid.setdefault(self._cell_of(p), set()).add(v)
+                else:
+                    self._grid_move(v, old, p)
+            if self._base_nx is not None:
+                self._base_dirty.update(moved)
+            if self._live_delta is not None:
+                for v in moved:
+                    if v in self.alive:
+                        nbrs = [w for w, _ in
+                                self._nearby(v, self.positions[v],
+                                             live_only=True)]
+                        self._live_delta.rewire(v, nbrs)
+                        self.artifact_patches += 1
         self.total_moves += 1
-        self._base_nx = None
         self._live_view = None
 
     # ------------------------------------------------------------------
@@ -198,10 +383,50 @@ class NetworkState:
         """
         if self._base_nx is None:
             self._rebuild_base()
+            self._base_dirty.clear()
+            self._live_view = None
+        elif self._base_dirty:
+            # Flush join/move patches deferred while only the artifacts
+            # fast path was consuming the topology.
+            self._patch_base_rewire(self._base_dirty)
+            self._base_dirty.clear()
             self._live_view = None
         if self._live_view is None:
             self._live_view = self._base_nx.subgraph(set(self.alive))
         return self._live_view
+
+    def _drop_live_artifacts(self) -> None:
+        self._live_art = None
+        self._live_delta = None
+
+    def artifacts(self) -> GraphArtifacts:
+        """Incrementally maintained :class:`GraphArtifacts` of the live
+        topology (the vectorized verify oracle's input).
+
+        Built from scratch once, then patched per event through an
+        :class:`~repro.engine.artifacts.ArtifactDelta` in time
+        proportional to each event's 1-hop ball.  With
+        ``incremental=False`` every call rebuilds (baseline behavior).
+        The bundle's node order is maintenance order, not insertion
+        order — consume it through ``index`` / ``nodes``.
+        """
+        if not self.incremental:
+            self.artifact_rebuilds += 1
+            return GraphArtifacts(self.graph())
+        if self._live_art is None:
+            # With every positioned node alive and no deferred patches,
+            # the live topology *is* the base graph — building from the
+            # concrete graph skips the subgraph view's per-edge filter
+            # overhead (a large constant factor at n >= 10^4).
+            if (self._base_nx is not None and not self._base_dirty
+                    and len(self.alive) == len(self.positions)):
+                source = self._base_nx
+            else:
+                source = self.graph()
+            self._live_art = GraphArtifacts(source)
+            self._live_delta = self._live_art.delta_patcher()
+            self.artifact_rebuilds += 1
+        return self._live_art
 
     def live_udg(self) -> Tuple[UnitDiskGraph, List[NodeId]]:
         """A fresh :class:`UnitDiskGraph` over only the live nodes.

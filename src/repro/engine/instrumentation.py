@@ -163,3 +163,21 @@ class Instrumentation:
         s.bits_sent += count * bits
         if bits > s.max_message_bits:
             s.max_message_bits = bits
+
+    def absorb(self, other: RunStats, *, include_rounds: bool = True) -> None:
+        """Fold another execution's totals into this accountant.
+
+        Used by the sharded maintenance loop: each damage unit repairs
+        under its own private :class:`Instrumentation` (thread-safe by
+        construction) and the loop merges message/bit totals afterwards.
+        Rounds are merged only when ``include_rounds`` — concurrent units
+        share rounds, so the loop charges ``max`` over units separately.
+        """
+        s = self.stats
+        if include_rounds:
+            s.rounds += other.rounds
+        s.messages_sent += other.messages_sent
+        s.bits_sent += other.bits_sent
+        s.control_messages += other.control_messages
+        if other.max_message_bits > s.max_message_bits:
+            s.max_message_bits = other.max_message_bits

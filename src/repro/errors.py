@@ -27,6 +27,17 @@ class UnknownModeError(GraphError):
     """
 
 
+class ShardingError(GraphError):
+    """An invalid sharded-maintenance configuration was requested.
+
+    Raised by :class:`repro.dynamics.MaintenanceLoop` (and the CLI) for
+    combinations the sharded repair plan cannot honor — e.g. ``workers``
+    without ``shards``, non-positive counts, or a repair policy that is
+    not shardable.  Mirrors the :class:`UnknownModeError` shape: the
+    message names the offending value and the accepted alternatives.
+    """
+
+
 class GeometryError(GraphError):
     """A geometric graph operation was requested on a non-geometric graph.
 

@@ -175,6 +175,10 @@ class QuasiUnitDiskGraph(UnitDiskGraph):
                     and rng.random() >= self.p_gray:
                 doomed.append((u, v))
         self.nx.remove_edges_from(doomed)
+        # In-place mutation after construction: bump the mutation token so
+        # any artifact bundle cached against the pristine graph is dropped.
+        from repro.engine.artifacts import touch  # deferred: avoids cycle
+        touch(self.nx)
         # Rebuild the distance-sorted neighbor lists over the new edges.
         self._sorted_by_dist = {}
         for v in range(self.n):
