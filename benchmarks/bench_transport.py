@@ -1,0 +1,244 @@
+"""Transport benchmark: columnar broadcast-native delivery vs the
+legacy per-edge outbox.
+
+Runs Algorithm 1 (``FractionalProgram``, ``mode="message"``) on random
+unit-disk graphs and times the same execution two ways:
+
+- **legacy flag** — ``execute(..., legacy_transport=True)``: the
+  original per-edge data plane (one tuple per edge per round, one
+  ``Instrumentation.payload()`` call per delivered copy), running
+  in-tree.  Asserted bit-identical to the columnar run (same ``x``,
+  same ``RunStats``) before any speedup is reported.
+- **columnar** — the default broadcast-native path: one record per
+  ``broadcast()`` call, lazy fan-out over cached neighbor order, the
+  full-broadcast gather fast path, and per-class bit accounting.
+
+The in-tree flag ratio *understates* the end-to-end win because the
+legacy flag path shares this tree's other optimizations (interned
+message sizes, the rewritten protocol hot loop).  Pass ``--before
+PATH/src`` pointing at a checkout of the pre-columnar tree (e.g. ``git
+worktree add .bench-before <base>``) to measure the true before/after
+ratio in a subprocess; the acceptance threshold — columnar >= 5x the
+pre-columnar tree at n=2000 — is checked only then.  Without
+``--before``, the in-tree flag ratio is held to a softer regression
+guard (>= 2x at n=2000).
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_transport.py --scale smoke \
+        --out BENCH_transport.json
+
+``--scale full`` sweeps n in {500, 2000, 10000} (the legacy flag path
+is skipped above ``legacy_cap`` and its ratio reported as ``null``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Optional
+
+from repro.core.fractional import FractionalProgram, _resolve_instance
+from repro.engine import execute
+from repro.graphs import feasible_coverage
+from repro.graphs.udg import random_udg
+
+SCALES = {
+    # sizes swept; legacy flag path skipped above the cap (too slow).
+    "smoke": {"sizes": (500, 2000), "legacy_cap": 2000},
+    "full": {"sizes": (500, 2000, 10_000), "legacy_cap": 10_000},
+}
+#: Acceptance thresholds, checked at this n when present in the sweep.
+ACCEPTANCE_N = 2000
+ACCEPTANCE_SPEEDUP = 5.0      # vs the pre-columnar tree (--before)
+INTREE_GUARD_SPEEDUP = 2.0    # vs the in-tree legacy flag (always)
+
+#: UDG radius per size — chosen so the instance is connected enough to
+#: be interesting but the legacy path stays runnable.
+RADIUS = {500: 0.11, 2000: 0.05, 10_000: 0.022}
+
+#: The scenario, as a standalone script: also run under the pre-columnar
+#: tree's PYTHONPATH (which predates the legacy_transport flag), so it
+#: uses only the original execute() signature.
+_SUBPROCESS_SCRIPT = r'''
+import json, time
+from repro.core.fractional import FractionalProgram, _resolve_instance
+from repro.engine import execute
+from repro.graphs import feasible_coverage
+from repro.graphs.udg import random_udg
+udg = random_udg({n}, radius={radius}, seed={seed})
+cov = feasible_coverage(udg, 2)
+lp = _resolve_instance(udg, None, cov)
+prog = FractionalProgram(lp, t={t}, compute_duals=False)
+sol = execute(prog, "message", seed=0)
+times = []
+for _ in range({repeats}):
+    t0 = time.perf_counter()
+    sol = execute(prog, "message", seed=0)
+    times.append(time.perf_counter() - t0)
+print(json.dumps({{"seconds": min(times), "x_checksum": sum(sol.x.values()),
+                   "messages": sol.stats.messages_sent,
+                   "rounds": sol.stats.rounds,
+                   "bits": sol.stats.bits_sent}}))
+'''
+
+
+def build_program(n: int, *, t: int, seed: int) -> FractionalProgram:
+    udg = random_udg(n, radius=RADIUS.get(n, 0.05), seed=seed)
+    cov = feasible_coverage(udg, 2)
+    lp = _resolve_instance(udg, None, cov)
+    return FractionalProgram(lp, t=t, compute_duals=False)
+
+
+def timed_execute(program, *, seed: int, legacy: bool, repeats: int):
+    """Best-of-``repeats`` wall time plus the (identical) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = execute(program, "message", seed=seed,
+                         legacy_transport=legacy)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def assert_equivalent(legacy_sol, columnar_sol) -> None:
+    """Solutions and RunStats must match exactly — bit-identical floats
+    and identical rounds/messages/bits."""
+    if legacy_sol.x != columnar_sol.x:
+        raise AssertionError("columnar x diverged from legacy x")
+    ls, cs = legacy_sol.stats, columnar_sol.stats
+    for field in ("rounds", "messages_sent", "bits_sent", "max_message_bits"):
+        lv, cv = getattr(ls, field), getattr(cs, field)
+        if lv != cv:
+            raise AssertionError(
+                f"RunStats.{field} diverged: legacy={lv} columnar={cv}")
+
+
+def run_before(before_src: str, *, n: int, t: int, seed: int,
+               repeats: int) -> dict:
+    """Time the same scenario under the pre-columnar tree in a
+    subprocess (its own import universe)."""
+    script = _SUBPROCESS_SCRIPT.format(
+        n=n, radius=RADIUS.get(n, 0.05), seed=seed, t=t, repeats=repeats)
+    env = dict(os.environ, PYTHONPATH=before_src)
+    out = subprocess.run([sys.executable, "-c", script],
+                         capture_output=True, text=True, env=env)
+    if out.returncode != 0:
+        raise RuntimeError(f"--before run failed:\n{out.stderr}")
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def measure(n: int, *, t: int, seed: int, repeats: int, run_legacy: bool,
+            before_src: Optional[str]) -> dict:
+    program = build_program(n, t=t, seed=seed)
+    # Warm once (artifact caches, class-bit interning) before timing.
+    execute(program, "message", seed=seed)
+    col_time, col_sol = timed_execute(program, seed=seed, legacy=False,
+                                      repeats=repeats)
+    row = {
+        "n": n,
+        "t": t,
+        "rounds": col_sol.stats.rounds,
+        "messages": col_sol.stats.messages_sent,
+        "total_bits": col_sol.stats.bits_sent,
+        "columnar_seconds": col_time,
+        "legacy_flag_seconds": None,
+        "flag_speedup": None,
+        "before_seconds": None,
+        "speedup_vs_before": None,
+    }
+    if run_legacy:
+        leg_time, leg_sol = timed_execute(program, seed=seed, legacy=True,
+                                          repeats=repeats)
+        assert_equivalent(leg_sol, col_sol)
+        row["legacy_flag_seconds"] = leg_time
+        row["flag_speedup"] = leg_time / col_time if col_time > 0 else None
+    if before_src is not None:
+        before = run_before(before_src, n=n, t=t, seed=seed, repeats=repeats)
+        if before["x_checksum"] != sum(col_sol.x.values()):
+            raise AssertionError("columnar x diverged from pre-columnar tree")
+        if (before["messages"], before["rounds"], before["bits"]) != (
+                col_sol.stats.messages_sent, col_sol.stats.rounds,
+                col_sol.stats.bits_sent):
+            raise AssertionError(
+                "RunStats diverged from pre-columnar tree")
+        row["before_seconds"] = before["seconds"]
+        row["speedup_vs_before"] = (before["seconds"] / col_time
+                                    if col_time > 0 else None)
+    return row
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    ap.add_argument("--out", default=None, help="write JSON results here")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per configuration (best-of)")
+    ap.add_argument("--t", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--before", default=None, metavar="SRC",
+                    help="src/ directory of a pre-columnar checkout; "
+                         "enables the 5x acceptance check")
+    args = ap.parse_args(argv)
+
+    cfg = SCALES[args.scale]
+    rows = []
+    for n in cfg["sizes"]:
+        row = measure(n, t=args.t, seed=args.seed, repeats=args.repeats,
+                      run_legacy=n <= cfg["legacy_cap"],
+                      before_src=args.before)
+        rows.append(row)
+        flag = (f"{row['flag_speedup']:.2f}x" if row["flag_speedup"]
+                else "skipped")
+        before = (f"{row['speedup_vs_before']:.2f}x"
+                  if row["speedup_vs_before"] else "n/a")
+        print(f"n={n:>6}  columnar {row['columnar_seconds']:.3f}s  "
+              f"vs legacy flag: {flag}  vs pre-columnar tree: {before}  "
+              f"({row['messages']} msgs / {row['rounds']} rounds)")
+
+    report = {
+        "benchmark": "transport",
+        "scale": args.scale,
+        "acceptance": {
+            "n": ACCEPTANCE_N,
+            "threshold_vs_before": ACCEPTANCE_SPEEDUP,
+            "intree_guard": INTREE_GUARD_SPEEDUP,
+        },
+        "rows": rows,
+    }
+    failed = False
+    for row in rows:
+        if row["n"] != ACCEPTANCE_N:
+            continue
+        if row["speedup_vs_before"] is not None:
+            ok = row["speedup_vs_before"] >= ACCEPTANCE_SPEEDUP
+            report["acceptance"]["speedup_vs_before"] = row["speedup_vs_before"]
+            report["acceptance"]["passed"] = ok
+            print(f"acceptance at n={ACCEPTANCE_N}: "
+                  f"{'PASS' if ok else 'FAIL'} "
+                  f"({row['speedup_vs_before']:.2f}x vs "
+                  f">={ACCEPTANCE_SPEEDUP}x pre-columnar)")
+            failed |= not ok
+        elif row["flag_speedup"] is not None:
+            ok = row["flag_speedup"] >= INTREE_GUARD_SPEEDUP
+            report["acceptance"]["flag_speedup"] = row["flag_speedup"]
+            report["acceptance"]["guard_passed"] = ok
+            print(f"in-tree guard at n={ACCEPTANCE_N}: "
+                  f"{'PASS' if ok else 'FAIL'} "
+                  f"({row['flag_speedup']:.2f}x vs "
+                  f">={INTREE_GUARD_SPEEDUP}x legacy flag)")
+            failed |= not ok
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ Commands
 ``repro dynamics --n 500 --k 3 --epochs 50 --policy local``
     Maintain a k-fold dominating set under churn (repro.dynamics).
 ``repro experiment e1 [--scale full] [--seed 0] [--json out.json]``
-    Run one of the E1-E22 experiments and print its report.
+    Run one of the E1-E23 experiments and print its report.
 ``repro report --out EXPERIMENTS.md --scale full``
     Regenerate the whole EXPERIMENTS.md.
 ``repro experiment all``
@@ -119,7 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--scale", choices=("quick", "full"), default="full")
     rep.add_argument("--seed", type=int, default=0)
 
-    exp = sub.add_parser("experiment", help="run E1-E22 experiments")
+    exp = sub.add_parser("experiment", help="run E1-E23 experiments")
     exp.add_argument("experiment_id",
                      help=f"one of {sorted(EXPERIMENTS)} or 'all'")
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")

@@ -100,6 +100,13 @@ class ColorMsg(Message):
     SCHEMA = (("gray", "flag"),)
 
 
+#: The two possible color announcements, interned: frozen messages are
+#: value objects, so every node shares these instances instead of
+#: constructing one per broadcast.
+_COLOR_WHITE = ColorMsg(gray=False)
+_COLOR_GRAY = ColorMsg(gray=True)
+
+
 @dataclass(frozen=True)
 class DualShareMsg(Message):
     """Final exchange for Line 27: the neighbor's share
@@ -143,7 +150,17 @@ class FractionalNode(NodeProcess):
         big_e = base * (self.w_max / self.w_min)
         self.alpha = {j: 0.0 for j in closed}
         self.beta = {j: 0.0 for j in closed}
-        col_of = {j: False for j in closed}  # True = gray
+        # Members of the closed neighborhood still white.  Gray is
+        # monotone (a covered node never reverts), so tracking the
+        # shrinking white set replaces re-summing a color map; under
+        # loss, a missed ColorMsg just leaves the sender in the set —
+        # the same stale view the color map kept.
+        white_set = set(closed)
+        # Hot-loop locals (this generator body runs 2 t^2 times per node).
+        broadcast = ctx.broadcast
+        discard = white_set.discard
+        alpha, beta = self.alpha, self.beta
+        k_i, weight = self.k_i, self.weight
 
         for p in range(t - 1, -1, -1):
             thr = base ** (p / t)                  # dual threshold
@@ -151,34 +168,54 @@ class FractionalNode(NodeProcess):
             for q in range(t - 1, -1, -1):
                 inc = 1.0 / (base ** (q / t))
                 x_plus = 0.0
-                if x < 1.0 and dyn >= thr_raise * self.weight:
+                if x < 1.0 and dyn >= thr_raise * weight:
                     x_plus = min(inc, 1.0 - x)
                     x += x_plus
-                ctx.broadcast(XUpdateMsg(x=x, x_plus=x_plus, dyn=dyn))
+                broadcast(XUpdateMsg(x=x, x_plus=x_plus, dyn=dyn))
                 inbox = yield
 
-                plus_of = {src: msg.x_plus for src, msg in inbox}
-                plus_of[me] = x_plus
                 if white:
-                    c_plus = sum(plus_of.get(j, 0.0) for j in closed)
+                    # The inbox is sender-sorted (delivery-order contract)
+                    # and ``closed`` is me followed by the id-sorted
+                    # neighbors, so summing me-then-inbox reproduces the
+                    # closed-neighborhood summation order exactly; senders
+                    # absent under loss would contribute +0.0 terms, and
+                    # zero shares are skipped below — adding +0.0 to the
+                    # non-negative alpha/beta accumulators is an exact
+                    # no-op, so the skips are bit-identical.
+                    c_plus = x_plus
+                    for _, msg in inbox:
+                        c_plus += msg.x_plus
                     if c_plus > 0:
-                        lam = min(1.0, max(0.0, (self.k_i - c) / c_plus))
+                        lam = min(1.0, max(0.0, (k_i - c) / c_plus))
                     else:
                         lam = 1.0
                     c += c_plus
-                    for j in closed:
-                        share = lam * plus_of.get(j, 0.0)
-                        self.beta[j] += share / thr
-                        self.alpha[j] += share
-                    if c >= self.k_i:
+                    if lam:
+                        if x_plus:
+                            share = lam * x_plus
+                            beta[me] += share / thr
+                            alpha[me] += share
+                        for src, msg in inbox:
+                            xp = msg.x_plus
+                            if xp:
+                                share = lam * xp
+                                beta[src] += share / thr
+                                alpha[src] += share
+                    if c >= k_i:
                         white = False
                         self.y = 1.0 / thr
-                ctx.broadcast(ColorMsg(gray=not white))
+                broadcast(_COLOR_WHITE if white else _COLOR_GRAY)
                 inbox = yield
-                for src, msg in inbox:
-                    col_of[src] = msg.gray
-                col_of[me] = not white
-                dyn = float(sum(1 for j in closed if not col_of[j]))
+                if white_set:
+                    for src, msg in inbox:
+                        if msg.gray:
+                            discard(src)
+                    if not white:
+                        discard(me)
+                    dyn = float(len(white_set))  # |{j in N_i^+ : white}|
+                else:
+                    dyn = 0.0
 
         self.x = x
 

@@ -328,6 +328,7 @@ class MaintenanceLoop:
             shards_active=shards_active,
             delta_patches=state.artifact_patches - patches_before,
             full_rebuilds=state.artifact_rebuilds - rebuilds_before,
+            repair_transport=getattr(self.policy, "transport", "analytic"),
         )
 
 

@@ -63,6 +63,10 @@ class EpochRecord:
     #: from-scratch artifact rebuilds paid during this epoch.
     delta_patches: int = 0
     full_rebuilds: int = 0
+    #: How the repair's messages were realized: ``"analytic"`` charges
+    #: the traffic as if sent; ``"message"`` executes it on the
+    #: simulator data plane (rounds then inflate under message loss).
+    repair_transport: str = "analytic"
 
     @property
     def drift(self) -> int:

@@ -33,6 +33,7 @@ from repro.core.udg import SELECTION_POLICIES, _pick, solve_kmds_udg
 from repro.engine.instrumentation import Instrumentation
 from repro.errors import GraphError
 from repro.simulation.messages import Message
+from repro.simulation.node import NodeProcess
 from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -136,20 +137,70 @@ class LocalPatchRepair(RepairPolicy):
     convention: members are exempt) and never creates new deficits, so
     the patch terminates in at most ``#deficient`` iterations and
     restores full k-coverage.
+
+    Transports
+    ----------
+    ``transport="analytic"`` (default) runs the loop above as plain
+    Python with accounting *charged as if* the messages were sent —
+    fast, deterministic, shardable.  ``transport="message"`` actually
+    executes the patch as :class:`PatchNode` processes on the
+    simulator's broadcast-native columnar data plane
+    (:func:`~repro.simulation.runner.run_protocol`), optionally behind a
+    :class:`~repro.simulation.faults.MessageLossInjector` with rate
+    ``loss_rate``.  Lost adoption offers and announcements then cost
+    real extra rounds: a deficient node retries for ``patience``
+    iterations before the distributed timeout self-promotes it, so the
+    repair still terminates and restores full coverage at *any* loss
+    rate (including 1.0), but its latency — ``EpochRecord.rounds`` —
+    inflates with loss.  Message-transport repairs run the whole patch
+    as one protocol instance, so they are not shardable.
     """
 
     name = "local"
-    shardable = True
 
-    def __init__(self, selection_policy: str = "random"):
+    #: Valid ``transport`` arguments.
+    TRANSPORTS = ("analytic", "message")
+
+    def __init__(self, selection_policy: str = "random", *,
+                 transport: str = "analytic", loss_rate: float = 0.0,
+                 patience: int = 3, max_iterations: int | None = None):
         if selection_policy not in SELECTION_POLICIES:
             raise GraphError(
                 f"unknown selection policy {selection_policy!r}; "
                 f"expected one of {SELECTION_POLICIES}"
             )
+        if transport not in self.TRANSPORTS:
+            raise GraphError(
+                f"unknown repair transport {transport!r}; "
+                f"expected one of {self.TRANSPORTS}"
+            )
+        if not 0.0 <= loss_rate <= 1.0:
+            raise GraphError(
+                f"loss_rate must be in [0, 1], got {loss_rate}")
+        if patience < 1:
+            raise GraphError(f"patience must be at least 1, got {patience}")
         self.selection_policy = selection_policy
+        self.transport = transport
+        self.loss_rate = float(loss_rate)
+        self.patience = int(patience)
+        self.max_iterations = max_iterations
+        # The sharded loop runs one repair call per damage unit; the
+        # message transport spins up a simulator instance per call, so
+        # only the analytic transport participates in sharding.
+        self.shardable = transport == "analytic"
 
     def repair(self, state, graph, deficit, k, *, rng, instr):
+        if self.transport == "message":
+            return self._repair_message(state, graph, deficit, k,
+                                        rng=rng, instr=instr)
+        return self._repair_analytic(state, graph, deficit, k,
+                                     rng=rng, instr=instr)
+
+    # ------------------------------------------------------------------
+    # Analytic transport: the loop below *is* the protocol, with the
+    # message traffic charged rather than sent.
+    # ------------------------------------------------------------------
+    def _repair_analytic(self, state, graph, deficit, k, *, rng, instr):
         outcome = RepairOutcome()
         deficient: Dict[NodeId, int] = {v: d for v, d in deficit.items()
                                         if d > 0}
@@ -213,6 +264,175 @@ class LocalPatchRepair(RepairPolicy):
         outcome.promoted = promoted
         outcome.touched = touched
         return outcome
+
+    # ------------------------------------------------------------------
+    # Message transport: the same protocol executed on the simulator's
+    # data plane, under optional message loss.
+    # ------------------------------------------------------------------
+    def _repair_message(self, state, graph, deficit, k, *, rng, instr):
+        import networkx as nx
+
+        from repro.simulation.faults import MessageLossInjector
+        from repro.simulation.network import SynchronousNetwork
+        from repro.simulation.runner import run_protocol
+
+        outcome = RepairOutcome()
+        deficient: Dict[NodeId, int] = {v: d for v, d in deficit.items()
+                                        if d > 0}
+        if not deficient:
+            return outcome
+        outcome.repaired = True
+        members = set(state.members)
+
+        # Participants: the deficient nodes and their 1-hop balls.  Every
+        # message of the patch protocol travels an edge incident to a
+        # deficient node (help out, adoption in, announcements out of a
+        # node that was deficient when promoted), so those edges form the
+        # whole communication graph and each deficient node keeps its
+        # true degree — broadcast fan-outs match the analytic charges.
+        patch = nx.Graph()
+        for u in deficient:
+            patch.add_node(u)
+            for w in graph.neighbors(u):
+                patch.add_edge(u, w)
+
+        patience = self.patience
+        # A deficient node promotes (by adoption or timeout) within
+        # ``patience + 1`` iterations at the latest; the rest is idle
+        # headroom for members winding down.
+        max_iterations = (self.max_iterations
+                          if self.max_iterations is not None
+                          else 2 * patience + 4)
+        processes = [
+            PatchNode(v, k=k, policy=self.selection_policy,
+                      deficit=deficient.get(v, 0), is_member=v in members,
+                      member_neighbors=[w for w in patch.neighbors(v)
+                                        if w in members],
+                      patience=patience, max_iterations=max_iterations)
+            for v in sorted(patch.nodes)
+        ]
+        net = SynchronousNetwork(patch, processes,
+                                 seed=int(rng.integers(0, 2 ** 31)))
+        injectors = []
+        if self.loss_rate > 0.0:
+            injectors.append(MessageLossInjector(
+                self.loss_rate, seed=int(rng.integers(0, 2 ** 31))))
+
+        # Private accountant over the *loop's* size model, folded back
+        # afterwards: bits stay in the full deployment's currency, so
+        # analytic and message repairs report comparable costs.
+        run_instr = Instrumentation(instr.size_model)
+        stats = run_protocol(net, max_rounds=3 * max_iterations + 6,
+                             injectors=injectors,
+                             instrumentation=run_instr)
+        instr.absorb(stats)
+
+        outcome.promoted = {p.node_id for p in processes if p.promoted}
+        outcome.touched = set(patch.nodes)
+        outcome.rounds = stats.rounds
+        outcome.messages = stats.messages_sent
+        outcome.iterations = max((p.iterations for p in processes),
+                                 default=0)
+        return outcome
+
+
+class PatchNode(NodeProcess):
+    """One participant of the message-transport patch protocol.
+
+    The generator mirrors one analytic iteration per three rounds
+    (exactly :class:`LocalPatchRepair`'s shape):
+
+    1. still-deficient nodes broadcast :class:`HelpMsg`;
+    2. members that heard a request adopt up to ``k`` of the requesters
+       (:class:`AdoptMsg` unicasts, same selection policies as
+       Algorithm 3);
+    3. freshly promoted nodes broadcast :class:`LeaderAnnounceMsg`;
+       neighbors decrement their deficits.
+
+    Faithfulness under loss rests on two timeout rules: a deficient node
+    with no member neighbor *at all* self-promotes immediately (nobody
+    can adopt it — the analytic orphan rule), and one whose adoption
+    offers keep getting lost self-promotes after ``patience`` unadopted
+    iterations.  Members retire after ``patience + 1`` help-free
+    iterations.  Both bounds hold at any loss rate, so the protocol
+    always terminates; loss shows up purely as extra rounds.
+    """
+
+    def __init__(self, node_id: NodeId, *, k: int, policy: str,
+                 deficit: int, is_member: bool,
+                 member_neighbors, patience: int, max_iterations: int):
+        super().__init__(node_id)
+        self.k = k
+        self.policy = policy
+        self.deficit = deficit
+        self.member = is_member
+        self.member_neighbors = set(member_neighbors)
+        self.patience = patience
+        self.max_iterations = max_iterations
+        #: Whether this node promoted itself during the run.
+        self.promoted = False
+        #: Iterations executed (the per-node repair latency in units of
+        #: analytic iterations).
+        self.iterations = 0
+
+    def run(self, ctx):
+        deficit = self.deficit if not self.member else 0
+        member = self.member
+        waited = 0  # deficient iterations without an adoption offer
+        idle = 0    # member iterations without a help request
+        for _ in range(self.max_iterations):
+            self.iterations += 1
+            # (1) help broadcasts.
+            if deficit > 0:
+                ctx.broadcast(HelpMsg(deficit=deficit))
+            inbox = yield
+            # (2) adoption — and the deficient side's timeout decision.
+            heard_help = False
+            if member:
+                candidates = [src for src, msg in inbox
+                              if type(msg) is HelpMsg]
+                if candidates:
+                    heard_help = True
+                    chosen = _pick(ctx.rng, candidates, self.k, self.policy)
+                    for u in chosen:
+                        ctx.send(u, AdoptMsg())
+            promote = False
+            if not member and deficit > 0:
+                if not self.member_neighbors:
+                    promote = True  # orphan: nobody can adopt it
+                elif waited >= self.patience:
+                    promote = True  # offers keep getting lost: time out
+            inbox = yield
+            # (3) promotion + announcements.
+            if not member and deficit > 0:
+                adopted = any(type(msg) is AdoptMsg for _, msg in inbox)
+                if adopted or promote:
+                    member = True
+                    deficit = 0  # members are exempt (open convention)
+                    self.promoted = True
+                    ctx.broadcast(LeaderAnnounceMsg())
+                else:
+                    waited += 1
+            inbox = yield
+            for src, msg in inbox:
+                if type(msg) is LeaderAnnounceMsg:
+                    self.member_neighbors.add(src)
+                    if deficit > 0:
+                        deficit -= 1
+            # Retirement: healed clients leave at once; members hang on
+            # through patience help-free iterations for late retries.
+            if member:
+                idle = 0 if heard_help else idle + 1
+                if idle > self.patience:
+                    break
+            elif deficit <= 0:
+                break
+        self.member = member
+        self.deficit = deficit
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        role = "member" if self.member else f"deficit={self.deficit}"
+        return f"<PatchNode {self.node_id!r} {role}>"
 
 
 class RecomputeRepair(RepairPolicy):
@@ -325,9 +545,10 @@ class LazyRepair(RepairPolicy):
 def make_policy(name: str, *, selection_policy: str = "random",
                 **kwargs) -> RepairPolicy:
     """Factory used by the CLI and experiments (``local`` / ``recompute``
-    / ``lazy``)."""
+    / ``lazy``).  Extra keyword arguments flow to the policy constructor
+    (``local`` accepts ``transport`` / ``loss_rate`` / ``patience``)."""
     if name == "local":
-        return LocalPatchRepair(selection_policy)
+        return LocalPatchRepair(selection_policy, **kwargs)
     if name == "recompute":
         return RecomputeRepair(selection_policy)
     if name == "lazy":

@@ -116,6 +116,7 @@ class GraphArtifacts:
         self.version: int = next(_VERSIONS)
         self._closed_adjacency: Optional[sp.csr_matrix] = None
         self._closed_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._open_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         _STATS["full_rebuilds"] += 1
 
     # ``delta`` predates the incremental API and names the paper's max
@@ -152,6 +153,30 @@ class GraphArtifacts:
                 (data, indices, indptr), shape=(self.n, self.n)
             )
         return self._closed_adjacency
+
+    def open_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Open-neighborhood CSR ``(indptr, indices)`` over node indices.
+
+        Row ``i`` lists ``index[w]`` for every neighbor ``w`` of
+        ``nodes[i]``, in the same stable (id-sorted) order as
+        ``sorted_neighbors`` — the broadcast fan-out order the columnar
+        transport and vectorized per-neighbor kernels share.  Built
+        lazily, dropped by every :class:`ArtifactDelta` patch.
+        """
+        if self._open_csr is None:
+            index = self.index
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            if self.n:
+                np.cumsum(self.degrees, out=indptr[1:])
+                indices = np.fromiter(
+                    (index[w] for v in self.nodes
+                     for w in self.sorted_neighbors[v]),
+                    dtype=np.int64, count=int(indptr[-1]),
+                )
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+            self._open_csr = (indptr, indices)
+        return self._open_csr
 
     def closed_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
         """The directed closed-neighborhood pairs ``(covered_i, contributor_j)``
@@ -202,6 +227,7 @@ class ArtifactDelta:
         art.version = next(_VERSIONS)
         art._closed_adjacency = None
         art._closed_pairs = None
+        art._open_csr = None
         self.patches += 1
         _STATS["delta_patches"] += 1
 

@@ -71,7 +71,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
             seed: int | None = None,
             delay: Callable[[np.random.Generator], float] | None = None,
             delay_seed: int | None = None,
-            injectors: Iterable = ()):
+            injectors: Iterable = (),
+            legacy_transport: bool = False):
     """Run ``program`` on the backend selected by ``mode``.
 
     Parameters
@@ -98,6 +99,11 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         :mod:`repro.simulation.faults` for the support matrix.  The
         vectorized ``direct`` backend has no messages to inject into and
         rejects any injector.
+    legacy_transport:
+        Run the message-passing backends on the pre-columnar per-edge
+        data plane (reference implementation).  Ignored by ``direct``.
+        The columnar default is pinned bit-for-bit against it by
+        ``tests/test_transport_equivalence.py``.
     """
     backend = resolve_backend(mode)
     seed = validate_seed(seed)
@@ -124,7 +130,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         from repro.simulation.runner import run_protocol
 
         stats = run_protocol(net, max_rounds=program.max_rounds(),
-                             injectors=injectors)
+                             injectors=injectors,
+                             legacy_transport=legacy_transport)
     else:
         if backend == "async":
             from repro.simulation.asynchrony import run_protocol_async as runner
@@ -133,7 +140,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         astats = runner(net, delay=delay,
                         delay_seed=seed if delay_seed is None else delay_seed,
                         max_rounds=program.max_rounds(),
-                        injectors=injectors)
+                        injectors=injectors,
+                        legacy_transport=legacy_transport)
         stats = astats.as_run_stats()
     assert isinstance(stats, RunStats)
     return program.collect(processes, stats)

@@ -87,6 +87,23 @@ class Instrumentation:
             self._round_max = bits
         return bits
 
+    def payload_class(self, message: Message, count: int) -> int:
+        """Account ``count`` delivered copies of ``message`` at once.
+
+        Message bits depend only on the class (interned ``SCHEMA``), so a
+        columnar round charges each class once with ``bits * count``
+        instead of calling :meth:`payload` per copy — same totals, one
+        size-model lookup per (round, class).
+        """
+        if count <= 0:
+            return 0
+        bits = self.message_bits(message)
+        self._round_messages += count
+        self._round_bits += bits * count
+        if bits > self._round_max:
+            self._round_max = bits
+        return bits
+
     def end_round(self, round_index: int, active_nodes: int) -> None:
         """Close the current round and fold it into the aggregate stats."""
         s = self.stats

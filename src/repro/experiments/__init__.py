@@ -1,4 +1,4 @@
-"""Experiment implementations E1-E22 (see DESIGN.md section 3).
+"""Experiment implementations E1-E23 (see DESIGN.md section 3).
 
 The paper is a theory paper — its "results" are theorems.  Each experiment
 module empirically validates one claim and regenerates one table of
@@ -7,7 +7,8 @@ cover the extensions the paper sketches (weighted version, unknown
 Delta, asynchronous execution), the Section 1 application claims, and
 robustness studies the motivation calls for (message loss, non-uniform
 deployments, ranging error, quasi-UDG radios); E22 runs the
-:mod:`repro.dynamics` maintenance loop under continuous churn.  The same
+:mod:`repro.dynamics` maintenance loop under continuous churn and E23
+executes its repair protocol on the real message transport under loss.  The same
 functions back the ``benchmarks/`` suite and the ``repro`` CLI, so every
 reported number is reproducible from either.
 
@@ -43,6 +44,7 @@ from repro.experiments import (
     e20_noisy_sensing,
     e21_qudg,
     e22_self_healing,
+    e23_repair_under_loss,
 )
 
 #: Registry: experiment id -> (title, run callable).
@@ -69,12 +71,13 @@ EXPERIMENTS = {
     "e20": e20_noisy_sensing.run,
     "e21": e21_qudg.run,
     "e22": e22_self_healing.run,
+    "e23": e23_repair_under_loss.run,
 }
 
 
 def run_experiment(experiment_id: str, *, scale: str = "quick",
                    seed: int = 0) -> ExperimentReport:
-    """Run one registered experiment by id (``"e1"`` .. ``"e22"``)."""
+    """Run one registered experiment by id (``"e1"`` .. ``"e23"``)."""
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
         raise KeyError(

@@ -1,0 +1,138 @@
+"""E23 — repair latency under message loss (the distributed patch, for real).
+
+E22 validated the *analytic* local patch: the Part II adoption rule with
+its message traffic charged as if sent.  This experiment executes the
+same patch protocol on the simulator's data plane
+(``LocalPatchRepair(transport="message")`` — :class:`PatchNode`
+processes on the broadcast-native columnar transport) and degrades it
+with a :class:`~repro.simulation.faults.MessageLossInjector`, closing
+the ROADMAP's "repair under loss" item.  Three claims:
+
+1. **Faithfulness**: at loss 0 with a deterministic selection policy the
+   message transport promotes exactly the nodes the analytic rule
+   promotes, epoch by epoch — the analytic accounting models a real
+   protocol, not a convenient fiction;
+2. **Loss costs latency, not correctness**: at every loss rate — up to
+   and including 1.0, where *no* message is ever delivered — full
+   k-coverage is restored every epoch.  Lost adoption offers are
+   absorbed by the distributed timeout (a deficient node self-promotes
+   after ``patience`` unadopted iterations), so loss shows up purely as
+   inflated repair rounds (``EpochRecord.rounds``);
+3. **Redundancy buys the slack**: the k-fold headroom keeps every
+   client covered *while* the slowed-down repair converges, so
+   pre-repair availability stays flat across the loss sweep.
+
+Deterministic per seed (asserted by re-running the headline cell).
+"""
+
+from __future__ import annotations
+
+from repro.dynamics import LocalPatchRepair, crash_scenario, run_scenario
+from repro.experiments.base import ExperimentReport, check_scale
+
+#: Sweep: drop each message independently with this probability.
+LOSS_RATES = (0.0, 0.1, 0.3, 0.5, 0.8, 1.0)
+
+
+def run(*, scale: str = "quick", seed: int = 0) -> ExperimentReport:
+    check_scale(scale)
+    if scale == "quick":
+        n, epochs = 150, 12
+    else:
+        n, epochs = 400, 40
+    k = 3
+    kill_fraction = 0.3
+    patience = 3
+
+    def _scenario():
+        return crash_scenario(n, k=k, epochs=epochs,
+                              kill_fraction=kill_fraction,
+                              target="dominators", seed=seed)
+
+    def _cell(policy):
+        return run_scenario(_scenario(), policy)
+
+    # Analytic reference (the E22 policy, deterministic selection so the
+    # loss-0 faithfulness check compares like with like).
+    analytic = _cell(LocalPatchRepair("by-id"))
+
+    rows = []
+    results = {}
+    for loss in LOSS_RATES:
+        res = _cell(LocalPatchRepair("by-id", transport="message",
+                                     loss_rate=loss, patience=patience))
+        results[loss] = res
+        s = res.summary
+        rows.append((
+            loss,
+            round(100 * s["availability_mean"], 2),
+            round(100 * s["fully_covered_fraction"], 1),
+            round(s["rounds_per_repair"], 1),
+            s["messages_total"],
+            round(s["touched_per_repair"], 1),
+            s["drift_total"],
+        ))
+    rows.append(("analytic",
+                 round(100 * analytic.summary["availability_mean"], 2),
+                 round(100 * analytic.summary["fully_covered_fraction"], 1),
+                 round(analytic.summary["rounds_per_repair"], 1),
+                 analytic.summary["messages_total"],
+                 round(analytic.summary["touched_per_repair"], 1),
+                 analytic.summary["drift_total"]))
+
+    lossless = results[0.0]
+    total_loss = results[1.0]
+
+    # Determinism: the headline cell re-run bit-for-bit.
+    rerun = _cell(LocalPatchRepair("by-id", transport="message",
+                                   loss_rate=0.3, patience=patience))
+    deterministic = (rerun.timeline.to_dicts()
+                     == results[0.3].timeline.to_dicts())
+
+    checks = {
+        "loss 0: message transport promotes exactly the analytic nodes":
+            [r.promoted for r in lossless.timeline.records]
+            == [r.promoted for r in analytic.timeline.records],
+        "full k-coverage restored every epoch at every loss rate":
+            all(res.always_covered for res in results.values()),
+        "total loss (rate 1.0) still heals via the distributed timeout":
+            total_loss.always_covered,
+        "loss inflates repair latency (rounds/repair, 1.0 vs 0.0)":
+            total_loss.summary["rounds_per_repair"]
+            > lossless.summary["rounds_per_repair"],
+        "headroom: no client fully uncovered at any loss rate":
+            all(res.summary["uncovered_epochs"] == 0
+                for res in results.values()),
+        "epoch records carry the transport tag":
+            all(r.repair_transport == "message"
+                for res in results.values() for r in res.timeline.records),
+        "same seed reproduces the identical epoch timeline":
+            deterministic,
+    }
+
+    return ExperimentReport(
+        experiment_id="e23",
+        title="Repair latency under message loss",
+        claim=("The local patch protocol executed on the real message "
+               "transport keeps healing under arbitrary message loss: "
+               "adoption offers that never arrive are absorbed by a "
+               "distributed timeout, so loss inflates repair rounds but "
+               "never breaks coverage — and at loss 0 the protocol "
+               "reproduces the analytic repair exactly."),
+        headers=["loss rate", "mean avail %", "% epochs healed",
+                 "rounds/repair", "messages", "touched/repair", "drift"],
+        rows=rows,
+        checks=checks,
+        notes=(f"UDG n={n}, density 10, k={k}; the adversary kills "
+               f"{int(100 * kill_fraction)}% of the dominator count over "
+               f"{epochs} epochs; repairs run as PatchNode processes via "
+               "run_protocol with a MessageLossInjector at the given "
+               f"rate (patience={patience}, selection 'by-id').  "
+               "'messages' counts *delivered* traffic (dropped copies "
+               "are not charged, hence the decrease with loss); "
+               "'rounds/repair' is the true distributed latency, "
+               "including the members' idle wind-down, which is why the "
+               "analytic row's 3-rounds-per-iteration figure is lower "
+               "at equal promotions.  The final row is the analytic "
+               "E22 policy on the same scenario."),
+    )

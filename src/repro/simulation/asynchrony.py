@@ -46,6 +46,7 @@ from repro.errors import SimulationError
 from repro.simulation.faults import FaultInjector
 from repro.simulation.messages import Message
 from repro.simulation.network import SynchronousNetwork
+from repro.simulation.transport import sort_inbox
 from repro.types import NodeId, RunStats
 
 
@@ -59,7 +60,9 @@ class _Event:
     dest: NodeId = field(compare=False)
     kind: str = field(compare=False)          # "payload" | "ack" | control
     round_index: int = field(compare=False)
-    payload: Optional[Message] = field(compare=False, default=None)
+    #: One Message (legacy transport) or a list of Messages (a bundle:
+    #: every payload one sender ships to one neighbor in one round).
+    payload: object = field(compare=False, default=None)
     msg_id: int = field(compare=False, default=-1)
 
 
@@ -149,6 +152,15 @@ class EventDrivenTransport:
         rejected here: silently removing a node would likewise deadlock
         its neighbors' safety detection.  Use the synchronous runner
         (``mode="message"``) for crash faults.
+    legacy_transport:
+        When true, ship every payload as its own event with its own
+        delay draw, msg-id, and acknowledgment (the pre-bundling
+        behavior).  The default bundles all payloads one sender ships to
+        one neighbor in one round into a single event acknowledged once,
+        which shrinks the event queue and the ack traffic without
+        changing payload accounting, synchronizer rounds, or protocol
+        output (delay-stream consumption and hence ``virtual_time`` and
+        ``control_messages`` do change).
     """
 
     #: Subclass label used in error messages.
@@ -158,7 +170,9 @@ class EventDrivenTransport:
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
                  max_rounds: int = 100_000,
-                 injectors: Iterable[FaultInjector] = ()):
+                 injectors: Iterable[FaultInjector] = (),
+                 legacy_transport: bool = False):
+        self.legacy_transport = legacy_transport
         self.network = network
         self.delay = delay if delay is not None else exponential_delays(1.0)
         self.delay_rng = np.random.default_rng(delay_seed)
@@ -235,6 +249,10 @@ class EventDrivenTransport:
         proc.ctx.round_index = self.round_of[v]
         gen = self.generators[v]
         inbox = self.inbox_buffer.pop((v, self.round_of[v]), [])
+        if len(inbox) > 1:
+            # Delivery-order contract: inboxes are sorted by sender id
+            # on every backend (arrival order here is delay order).
+            inbox = sort_inbox(inbox)
         try:
             if self.round_of[v] == 0:
                 next(gen)
@@ -243,18 +261,41 @@ class EventDrivenTransport:
         except StopIteration:
             proc.finished = True
             self.finished.add(v)
-        sent = net.drain_outbox()
         self.pending_acks[v] = set()
-        for src, dest, msg in sent:
-            if src != v:  # pragma: no cover — defensive
-                raise SimulationError("outbox contamination")
-            mid = next(self._msg_counter)
-            self.pending_acks[v].add(mid)
-            # Payload accounting happens at delivery (see run()), so a
-            # message dropped by an injector is never charged — the same
-            # only-survivors convention as the synchronous runner.
-            self._push(v, dest, "payload", self.round_of[v], payload=msg,
-                       msg_id=mid)
+        if self.legacy_transport:
+            for src, dest, msg in net.drain_outbox():
+                if src != v:  # pragma: no cover — defensive
+                    raise SimulationError("outbox contamination")
+                mid = next(self._msg_counter)
+                self.pending_acks[v].add(mid)
+                # Payload accounting happens at delivery (see run()), so
+                # a message dropped by an injector is never charged —
+                # the same only-survivors convention as the synchronous
+                # runner.
+                self._push(v, dest, "payload", self.round_of[v],
+                           payload=msg, msg_id=mid)
+        else:
+            batch = net.drain_batch()
+            # Bundle the round's payloads per neighbor: one event, one
+            # delay draw, one msg-id, one ack per (sender-round, dest)
+            # instead of per payload copy.  Broadcast records fan out
+            # here over the cached stable neighbor order.
+            bundles: Dict[NodeId, List[Message]] = {}
+            for rec in batch.records:
+                if rec[1] != v:  # pragma: no cover — defensive
+                    raise SimulationError("outbox contamination")
+                msg = rec[3]
+                for dest in batch.targets_of(rec):
+                    bundle = bundles.get(dest)
+                    if bundle is None:
+                        bundles[dest] = [msg]
+                    else:
+                        bundle.append(msg)
+            for dest, msgs in bundles.items():
+                mid = next(self._msg_counter)
+                self.pending_acks[v].add(mid)
+                self._push(v, dest, "payload", self.round_of[v],
+                           payload=msgs, msg_id=mid)
         if not self.pending_acks[v]:
             self._node_safe(v)
 
@@ -308,22 +349,30 @@ class EventDrivenTransport:
             self.now = ev.time
             self.instr.advance_time(ev.time)
             if ev.kind == "payload":
-                # Fault injectors act on each payload at delivery time.
-                surviving = [(ev.src, ev.dest, ev.payload)]
-                for inj in self.injectors:
-                    if not surviving:
-                        break
-                    surviving = inj.filter_messages(ev.round_index,
-                                                    surviving)
-                if surviving:
-                    # Buffer for the receiver's round r+1.
-                    self.instr.async_payload(ev.payload)
-                    self.inbox_buffer.setdefault(
-                        (ev.dest, ev.round_index + 1), []
-                    ).append((ev.src, ev.payload))
-                # Ack even a dropped payload: the synchronizer's control
-                # plane is reliable (see class docstring), only the
-                # payload content is lost.
+                payloads = (ev.payload if isinstance(ev.payload, list)
+                            else [ev.payload])
+                buffer = None
+                for msg in payloads:
+                    # Fault injectors act on each payload at delivery
+                    # time — per message even inside a bundle, so drop
+                    # decisions and `dropped` counts are per payload.
+                    surviving = [(ev.src, ev.dest, msg)]
+                    for inj in self.injectors:
+                        if not surviving:
+                            break
+                        surviving = inj.filter_messages(ev.round_index,
+                                                        surviving)
+                    if surviving:
+                        # Buffer for the receiver's round r+1.
+                        self.instr.async_payload(msg)
+                        if buffer is None:
+                            buffer = self.inbox_buffer.setdefault(
+                                (ev.dest, ev.round_index + 1), [])
+                        buffer.append((ev.src, msg))
+                # One ack per event (per bundle), even if every payload
+                # in it was dropped: the synchronizer's control plane is
+                # reliable (see class docstring), only payload content
+                # is lost.
                 self.instr.control()
                 self._push(ev.dest, ev.src, "ack", ev.round_index,
                            msg_id=ev.msg_id)
@@ -360,9 +409,11 @@ class AlphaSynchronizer(EventDrivenTransport):
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
                  max_rounds: int = 100_000,
-                 injectors: Iterable[FaultInjector] = ()):
+                 injectors: Iterable[FaultInjector] = (),
+                 legacy_transport: bool = False):
         super().__init__(network, delay=delay, delay_seed=delay_seed,
-                         max_rounds=max_rounds, injectors=injectors)
+                         max_rounds=max_rounds, injectors=injectors,
+                         legacy_transport=legacy_transport)
         #: neighbors' highest announced safe round
         self.safe_round: Dict[NodeId, Dict[NodeId, int]] = {}
         #: Safety round announced by a node that has finished its protocol
@@ -410,11 +461,13 @@ def run_protocol_async(network: SynchronousNetwork, *,
                        delay: Callable[[np.random.Generator], float] | None = None,
                        delay_seed: int | None = None,
                        max_rounds: int = 100_000,
-                       injectors: Iterable[FaultInjector] = ()) -> AsyncStats:
+                       injectors: Iterable[FaultInjector] = (),
+                       legacy_transport: bool = False) -> AsyncStats:
     """Convenience wrapper: run ``network``'s processes asynchronously
     under an alpha synchronizer.  Node state afterwards is identical to a
     synchronous :func:`repro.simulation.runner.run_protocol` run with the
     same network seed."""
     sync = AlphaSynchronizer(network, delay=delay, delay_seed=delay_seed,
-                             max_rounds=max_rounds, injectors=injectors)
+                             max_rounds=max_rounds, injectors=injectors,
+                             legacy_transport=legacy_transport)
     return sync.run()

@@ -58,9 +58,11 @@ class BetaSynchronizer(EventDrivenTransport):
                  delay: Callable[[np.random.Generator], float] | None = None,
                  delay_seed: int | None = None,
                  max_rounds: int = 100_000,
-                 injectors: Iterable[FaultInjector] = ()):
+                 injectors: Iterable[FaultInjector] = (),
+                 legacy_transport: bool = False):
         super().__init__(network, delay=delay, delay_seed=delay_seed,
-                         max_rounds=max_rounds, injectors=injectors)
+                         max_rounds=max_rounds, injectors=injectors,
+                         legacy_transport=legacy_transport)
         self._build_trees()
         #: per node: rounds for which each child's subtree reported safe
         self.child_safe: Dict[NodeId, Dict[NodeId, int]] = {}
@@ -152,8 +154,10 @@ def run_protocol_beta(network: SynchronousNetwork, *,
                       delay: Callable[[np.random.Generator], float] | None = None,
                       delay_seed: int | None = None,
                       max_rounds: int = 100_000,
-                      injectors: Iterable[FaultInjector] = ()) -> AsyncStats:
+                      injectors: Iterable[FaultInjector] = (),
+                      legacy_transport: bool = False) -> AsyncStats:
     """Convenience wrapper around :class:`BetaSynchronizer`."""
     sync = BetaSynchronizer(network, delay=delay, delay_seed=delay_seed,
-                            max_rounds=max_rounds, injectors=injectors)
+                            max_rounds=max_rounds, injectors=injectors,
+                            legacy_transport=legacy_transport)
     return sync.run()

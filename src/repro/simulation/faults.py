@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Mapping, Set, Tuple
 import numpy as np
 
 from repro.simulation.messages import Message
+from repro.simulation.transport import MULTICAST, RoundBatch, explicit_batch
 from repro.types import NodeId
 
 
@@ -54,6 +55,20 @@ class FaultInjector:
     ) -> List[Tuple[NodeId, NodeId, Message]]:
         """Return the subset of ``messages`` that survive this injector."""
         return messages
+
+    def filter_batch(self, round_index: int, batch: RoundBatch) -> RoundBatch:
+        """Batch (columnar) form of :meth:`filter_messages`.
+
+        The built-in injectors override this with fast paths that never
+        expand broadcast records.  Third-party subclasses that only
+        override the legacy per-edge :meth:`filter_messages` get a
+        compatibility fallback: the batch is expanded to the per-edge
+        list (legacy order), filtered, and re-wrapped.
+        """
+        if type(self).filter_messages is FaultInjector.filter_messages:
+            return batch
+        kept = self.filter_messages(round_index, batch.expand())
+        return explicit_batch(kept, batch.neighbors_of, nodes=batch.nodes)
 
 
 class CrashFaultInjector(FaultInjector):
@@ -105,6 +120,13 @@ class CrashFaultInjector(FaultInjector):
             if src not in self.crashed and dest not in self.crashed
         ]
 
+    def filter_batch(self, round_index, batch):
+        # Silencing the crashed set needs no expansion: drop records
+        # whose sender crashed, and mark the set as blocked destinations
+        # so lazy fan-out skips them.
+        batch.drop_sources(self.crashed)
+        return batch
+
 
 class MessageLossInjector(FaultInjector):
     """Drop each message independently with probability ``loss_rate``.
@@ -142,3 +164,44 @@ class MessageLossInjector(FaultInjector):
         kept = [m for m, keep in zip(messages, keep_mask) if keep]
         self.dropped += len(messages) - len(kept)
         return kept
+
+    def filter_batch(self, round_index, batch):
+        """Vectorized loss: one Bernoulli draw per round over the
+        expanded (src, dst) edge list.
+
+        The RNG-stream contract is pinned to the legacy per-edge path:
+        the expansion (broadcasts fanned out over the sender's stable
+        neighbor order, blocked endpoints excluded — exactly what
+        :meth:`RoundBatch.expand` yields) has the same length and order
+        as the legacy filtered message list, the round consumes exactly
+        one ``rng.random(len(edges))`` call, and an empty round consumes
+        none.  Loss patterns per (seed, round) are therefore identical
+        to the legacy path.
+        """
+        if self.loss_rate == 0.0 or batch.is_empty():
+            return batch
+        seqs = batch.target_sequences()
+        total = sum(len(s) for s in seqs)
+        if total == 0:
+            return batch
+        keep_mask = self.rng.random(total) >= self.loss_rate
+        kept_total = int(keep_mask.sum())
+        self.dropped += total - kept_total
+        if kept_total == total:
+            return batch
+        records = []
+        pos = 0
+        for rec, dests in zip(batch.records, seqs):
+            fanout = len(dests)
+            if fanout == 0:
+                continue
+            mask = keep_mask[pos:pos + fanout]
+            pos += fanout
+            if mask.all():
+                records.append(rec)
+            else:
+                survivors = tuple(w for w, keep in zip(dests, mask) if keep)
+                if survivors:
+                    records.append((MULTICAST, rec[1], survivors, rec[3]))
+        return RoundBatch(records, batch.neighbors_of, batch.blocked,
+                          nodes=batch.nodes, plan=batch.plan)

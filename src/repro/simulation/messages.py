@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import ClassVar, Dict, Tuple
 
 from repro.errors import ProtocolViolationError
 
@@ -68,6 +68,11 @@ class MessageSizeModel:
 
     A small header of ``ceil(log2(n+1))`` bits (the sender id) is charged on
     every message in addition to the declared payload fields.
+
+    Sizes depend only on the message *class* (its interned ``SCHEMA``
+    kinds), never on field values, so the model memoizes one payload
+    width per class — the transport's per-round accounting multiplies it
+    by the class's delivered count instead of re-deriving it per copy.
     """
 
     def __init__(self, n: int, *, value_bits: int | None = None):
@@ -77,18 +82,27 @@ class MessageSizeModel:
         self.value_bits = value_bits
         self.header_bits = max(1, math.ceil(math.log2(n + 1)))
         self._cache: Dict[Tuple[str, ...], int] = {}
+        self._class_cache: Dict[type, int] = {}
+
+    def class_bits(self, message_class: type) -> int:
+        """Total size in bits of any instance of ``message_class``."""
+        total = self._class_cache.get(message_class)
+        if total is None:
+            kinds = message_class.field_kinds_of_class()
+            payload = self._cache.get(kinds)
+            if payload is None:
+                payload = sum(
+                    field_bits(kind, self.n, value_bits=self.value_bits)
+                    for kind in kinds
+                )
+                self._cache[kinds] = payload
+            total = self.header_bits + payload
+            self._class_cache[message_class] = total
+        return total
 
     def message_bits(self, message: "Message") -> int:
         """Total size of ``message`` in bits under this model."""
-        kinds = message.field_kinds()
-        payload = self._cache.get(kinds)
-        if payload is None:
-            payload = sum(
-                field_bits(kind, self.n, value_bits=self.value_bits)
-                for kind in kinds
-            )
-            self._cache[kinds] = payload
-        return self.header_bits + payload
+        return self.class_bits(type(message))
 
 
 @dataclass(frozen=True)
@@ -97,12 +111,29 @@ class Message:
 
     Subclasses declare ``SCHEMA``, a tuple of ``(field_name, kind)`` pairs,
     in payload order.  The dataclass fields must match the schema names.
+    The schema's field-kind tuple is interned once per class at definition
+    time (``__init_subclass__``), so size accounting never rebuilds it per
+    message.
     """
 
-    SCHEMA: Tuple[Tuple[str, str], ...] = ()
+    # ClassVar, not a dataclass field: the schema belongs to the class,
+    # so instances neither store it nor pay a (frozen) __setattr__ for
+    # it at construction, and it can't be clobbered by a positional
+    # constructor argument.
+    SCHEMA: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+    _FIELD_KINDS: ClassVar[Tuple[str, ...]] = ()
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        cls._FIELD_KINDS = tuple(kind for _, kind in cls.SCHEMA)
+
+    @classmethod
+    def field_kinds_of_class(cls) -> Tuple[str, ...]:
+        """The interned schema kinds of this message class."""
+        return cls._FIELD_KINDS
 
     def field_kinds(self) -> Tuple[str, ...]:
-        return tuple(kind for _, kind in type(self).SCHEMA)
+        return type(self)._FIELD_KINDS
 
     def validate(self) -> None:
         """Check that all schema fields are present on the instance."""

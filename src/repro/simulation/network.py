@@ -22,6 +22,14 @@ from repro.errors import GeometryError, ProtocolViolationError, SimulationError
 from repro.simulation.messages import Message, MessageSizeModel
 from repro.simulation.node import NodeContext, NodeProcess
 from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.transport import (
+    BROADCAST,
+    MULTICAST,
+    UNICAST,
+    GatherPlan,
+    Record,
+    RoundBatch,
+)
 from repro.types import NodeId
 
 
@@ -77,7 +85,10 @@ class SynchronousNetwork:
         self.strict_message_bits = strict_message_bits
         self.rngs = spawn_node_rngs(self.graph.nodes, seed)
 
-        self._outbox: List[Tuple[NodeId, NodeId, Message]] = []
+        # Columnar outbox: one record per send *call* (a broadcast is a
+        # single record regardless of degree), expanded lazily at
+        # delivery.  See repro.simulation.transport.
+        self._outbox: List[Record] = []
         # When the graph wrapper provides its own distance sensing (e.g.
         # NoisySensingUDG), delegate range queries to it so protocols see
         # the wrapper's (possibly imperfect) sensed distances.
@@ -89,6 +100,7 @@ class SynchronousNetwork:
         # cache, shared with direct-mode kernels and repeated runs.
         self._artifacts = graph_artifacts(self.graph)
         self._edge_distance_cache: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._gather_plan: Optional[GatherPlan] = None
 
     # ------------------------------------------------------------------
     # Topology and geometry
@@ -110,12 +122,15 @@ class SynchronousNetwork:
             raise GeometryError(
                 "distance sensing requires node positions ('pos' attributes)"
             )
-        key = (u, v) if repr(u) <= repr(v) else (v, u)
-        d = self._edge_distance_cache.get(key)
+        cache = self._edge_distance_cache
+        d = cache.get((u, v))
         if d is None:
             (x1, y1), (x2, y2) = self._positions[u], self._positions[v]
             d = math.hypot(x1 - x2, y1 - y2)
-            self._edge_distance_cache[key] = d
+            # Store under both orientations: order-insensitive lookups
+            # without canonicalizing (the ids need not be comparable).
+            cache[(u, v)] = d
+            cache[(v, u)] = d
         return d
 
     def neighbors_within(self, v: NodeId, radius: float) -> Tuple[NodeId, ...]:
@@ -137,7 +152,7 @@ class SynchronousNetwork:
     # ------------------------------------------------------------------
     # Message queueing (called by NodeContext)
     # ------------------------------------------------------------------
-    def _enqueue(self, src: NodeId, dest: NodeId, message: Message) -> None:
+    def _check_message(self, src: NodeId, message: Message) -> None:
         if not isinstance(message, Message):
             raise ProtocolViolationError(
                 f"node {src!r} sent a non-Message payload: {type(message).__name__}"
@@ -150,12 +165,50 @@ class SynchronousNetwork:
                     f", exceeding the strict budget of "
                     f"{self.strict_message_bits} bits"
                 )
-        self._outbox.append((src, dest, message))
+
+    def _enqueue(self, src: NodeId, dest: NodeId, message: Message) -> None:
+        self._check_message(src, message)
+        self._outbox.append((UNICAST, src, dest, message))
+
+    def _enqueue_broadcast(self, src: NodeId, message: Message) -> None:
+        """Record a local broadcast as a single entry; the fan-out over
+        ``sorted_neighbors(src)`` happens lazily at delivery."""
+        self._check_message(src, message)
+        self._outbox.append((BROADCAST, src, None, message))
+
+    def _enqueue_multi(self, src: NodeId, dests: Tuple[NodeId, ...],
+                       message: Message) -> None:
+        if not dests:
+            return
+        self._check_message(src, message)
+        self._outbox.append((MULTICAST, src, dests, message))
+
+    def gather_plan(self) -> GatherPlan:
+        """The per-destination gather plan (built once per network)."""
+        if self._gather_plan is None:
+            art = self._artifacts
+            self._gather_plan = GatherPlan(art.nodes, art.index,
+                                           art.sorted_neighbors)
+        return self._gather_plan
+
+    def drain_batch(self) -> RoundBatch:
+        """Remove and return the round's records as a columnar batch.
+
+        Drains by copy-and-clear so ``self._outbox`` stays the *same*
+        list object for the network's lifetime — node contexts bind its
+        ``append`` method once at construction (the broadcast hot path).
+        """
+        records = self._outbox.copy()
+        self._outbox.clear()
+        return RoundBatch(records, self.sorted_neighbors,
+                          nodes=self._artifacts.nodes,
+                          plan=self.gather_plan())
 
     def drain_outbox(self) -> List[Tuple[NodeId, NodeId, Message]]:
-        """Remove and return all messages queued in the current round."""
-        out, self._outbox = self._outbox, []
-        return out
+        """Remove and return all messages queued in the current round, in
+        the legacy per-edge ``(src, dest, msg)`` form (broadcast records
+        expanded over the sender's stable neighbor order)."""
+        return self.drain_batch().expand()
 
     def make_context(self, node_id: NodeId) -> NodeContext:
         """Build the per-node context handed to ``NodeProcess.run``."""

@@ -43,6 +43,11 @@ class NodeContext:
         self._network = network
         self._neighbor_set = frozenset(neighbors)
         self.round_index = 0
+        # Hot-path bindings: the network's outbox list is stable for its
+        # lifetime (drained by copy-and-clear), so its append method can
+        # be bound once instead of resolved per broadcast.
+        self._record_append = network._outbox.append
+        self._strict = network.strict_message_bits is not None
 
     @property
     def n(self) -> int:
@@ -61,16 +66,30 @@ class NodeContext:
 
     def broadcast(self, message: Message) -> None:
         """Send ``message`` to every neighbor (a local broadcast — the
-        natural primitive on a shared wireless medium)."""
-        for w in self.neighbors:
-            self._network._enqueue(self.node_id, w, message)
+        natural primitive on a shared wireless medium).
+
+        Recorded as a *single* transport entry; the per-neighbor fan-out
+        is materialized lazily at delivery over the cached stable
+        neighbor order, so the cost of calling this is O(1) rather than
+        O(degree)."""
+        # Validation inlined from SynchronousNetwork._enqueue_broadcast:
+        # this is the hottest send primitive.
+        if not isinstance(message, Message):
+            raise ProtocolViolationError(
+                f"node {self.node_id!r} sent a non-Message payload: "
+                f"{type(message).__name__}"
+            )
+        if self._strict:
+            self._network._check_message(self.node_id, message)
+        self._record_append((1, self.node_id, None, message))  # 1 == BROADCAST
 
     def send_within(self, radius: float, message: Message) -> None:
         """Send ``message`` to every neighbor within Euclidean distance
         ``radius`` (requires a geometric graph; models the restricted
         transmission range :math:`\\theta` of Algorithm 3)."""
-        for w in self.neighbors_within(radius):
-            self._network._enqueue(self.node_id, w, message)
+        self._network._enqueue_multi(
+            self.node_id, self.neighbors_within(radius), message
+        )
 
     def neighbors_within(self, radius: float) -> Tuple[NodeId, ...]:
         """Neighbors at Euclidean distance at most ``radius`` — the paper's

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.engine.artifacts import _stable_sorted
 from repro.engine.instrumentation import Instrumentation
 from repro.errors import SimulationError
 from repro.simulation.faults import FaultInjector
@@ -32,7 +33,8 @@ def run_protocol(network: SynchronousNetwork, *,
                  injectors: Iterable[FaultInjector] = (),
                  trace: Optional[TraceRecorder] = None,
                  keep_round_stats: bool = False,
-                 instrumentation: Optional[Instrumentation] = None) -> RunStats:
+                 instrumentation: Optional[Instrumentation] = None,
+                 legacy_transport: bool = False) -> RunStats:
     """Execute all node processes on ``network`` to completion.
 
     Parameters
@@ -54,6 +56,12 @@ def run_protocol(network: SynchronousNetwork, *,
         Optional externally-owned accountant; by default a fresh
         :class:`~repro.engine.instrumentation.Instrumentation` is built
         from the network's size model.
+    legacy_transport:
+        When true, run the pre-columnar per-edge data plane: expand every
+        broadcast eagerly, apply injectors via ``filter_messages``, and
+        account each delivered copy individually.  Kept as the reference
+        implementation — ``tests/test_transport_equivalence.py`` pins the
+        columnar path to it bit-for-bit.
 
     Returns
     -------
@@ -85,6 +93,19 @@ def run_protocol(network: SynchronousNetwork, *,
 
     inboxes: Dict[NodeId, List[Tuple[NodeId, object]]] = {}
     live = set(generators)
+    # Deterministic advance order, id-sorted: enqueue order — and hence
+    # every per-destination inbox — is sorted by sender id.  This is the
+    # delivery-order contract shared by all backends (the synchronizers
+    # sort at consume time), which the columnar gather path and
+    # order-sensitive float accumulations in protocols rely on.
+    node_order = _stable_sorted(generators)
+    # Advance rows resolved once: (node_id, proc, ctx, gen, gen.send).
+    advance_rows = [
+        (node_id, network.processes[node_id],
+         network.processes[node_id].ctx, generators[node_id],
+         generators[node_id].send)
+        for node_id in node_order
+    ]
 
     for round_index in range(max_rounds + 1):
         # --- apply crash faults scheduled for this boundary -------------
@@ -103,16 +124,16 @@ def run_protocol(network: SynchronousNetwork, *,
 
         # --- advance every live generator one round ---------------------
         finished_now = []
-        for node_id in list(live):
-            proc = network.processes[node_id]
-            proc.ctx.round_index = round_index
-            gen = generators[node_id]
-            inbox = inboxes.get(node_id, [])
+        all_live = len(live) == len(advance_rows)
+        for node_id, proc, ctx, gen, send in advance_rows:
+            if not all_live and node_id not in live:
+                continue
+            ctx.round_index = round_index
             try:
                 if round_index == 0:
                     next(gen)
                 else:
-                    gen.send(inbox)
+                    send(inboxes.get(node_id, ()))
             except StopIteration:
                 proc.finished = True
                 finished_now.append(node_id)
@@ -120,26 +141,53 @@ def run_protocol(network: SynchronousNetwork, *,
             live.discard(node_id)
 
         # --- collect, filter, account, and deliver messages --------------
-        sent = network.drain_outbox()
-        # Messages from nodes that crashed mid-round never made it out;
-        # filter_messages also drops traffic to/from crashed nodes.
-        for injector in injectors:
-            sent = injector.filter_messages(round_index, sent)
+        if legacy_transport:
+            sent = network.drain_outbox()
+            # Messages from nodes that crashed mid-round never made it
+            # out; filter_messages also drops traffic to/from crashed
+            # nodes.
+            for injector in injectors:
+                sent = injector.filter_messages(round_index, sent)
 
-        if not live and not sent:
-            # Everyone finished this round and nothing is in flight.
-            break
+            if not live and not sent:
+                # Everyone finished this round and nothing is in flight.
+                break
 
-        instr.begin_round()
-        for _, _, msg in sent:
-            instr.payload(msg)
-        if trace is not None:
-            trace.record(round_index, "round",
-                         messages=instr.round_messages,
-                         bits=instr.round_bits, live=len(live))
-        instr.end_round(round_index, len(live))
+            instr.begin_round()
+            for _, _, msg in sent:
+                instr.payload(msg)
+            if trace is not None:
+                trace.record(round_index, "round",
+                             messages=instr.round_messages,
+                             bits=instr.round_bits, live=len(live))
+            instr.end_round(round_index, len(live))
 
-        inboxes = network.group_by_dest(sent)
+            inboxes = network.group_by_dest(sent)
+        else:
+            batch = network.drain_batch()
+            # Crash injectors silence records in batch form; loss draws
+            # one Bernoulli vector over the expanded edge list.
+            for injector in injectors:
+                batch = injector.filter_batch(round_index, batch)
+
+            delivered, per_class = batch.deliver()
+
+            if not live and not per_class:
+                # Everyone finished this round and nothing is in flight
+                # (records whose fan-out was entirely filtered count as
+                # nothing in flight, matching the per-edge path).
+                break
+
+            instr.begin_round()
+            for count, sample in per_class.values():
+                instr.payload_class(sample, count)
+            if trace is not None:
+                trace.record(round_index, "round",
+                             messages=instr.round_messages,
+                             bits=instr.round_bits, live=len(live))
+            instr.end_round(round_index, len(live))
+
+            inboxes = delivered
     else:
         raise SimulationError(
             f"protocol did not terminate within {max_rounds} rounds "

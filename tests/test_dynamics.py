@@ -426,3 +426,98 @@ class TestAcceptanceScenario:
         assert (runs["local"].timeline.to_dicts()
                 == runs["local2"].timeline.to_dicts())
         assert runs["local"].final_members == runs["local2"].final_members
+
+
+# ======================================================================
+# Message-transport repair (PatchNode on the simulator data plane)
+# ======================================================================
+
+class TestMessageTransportRepair:
+    """LocalPatchRepair(transport="message") runs the patch protocol as
+    real PatchNode processes through run_protocol, optionally behind a
+    MessageLossInjector."""
+
+    def _scenario(self, seed=5):
+        return crash_scenario(200, k=3, epochs=10, kill_fraction=0.3,
+                              target="dominators", seed=seed)
+
+    def test_constructor_validation(self):
+        with pytest.raises(GraphError, match="unknown repair transport"):
+            LocalPatchRepair(transport="pigeon")
+        with pytest.raises(GraphError, match="loss_rate"):
+            LocalPatchRepair(transport="message", loss_rate=1.5)
+        with pytest.raises(GraphError, match="patience"):
+            LocalPatchRepair(transport="message", patience=0)
+
+    def test_make_policy_threads_transport_kwargs(self):
+        policy = make_policy("local", transport="message", loss_rate=0.2)
+        assert policy.transport == "message"
+        assert policy.loss_rate == 0.2
+        assert not policy.shardable
+        assert make_policy("local").shardable
+
+    def test_message_transport_not_shardable(self):
+        policy = LocalPatchRepair(transport="message")
+        with pytest.raises(Exception, match="cannot be sharded"):
+            MaintenanceLoop(self._scenario(), policy, shards=2)
+
+    def test_restores_coverage(self):
+        policy = LocalPatchRepair(transport="message")
+        result = run_scenario(self._scenario(), policy)
+        assert result.always_covered
+        assert all(r.repair_transport == "message"
+                   for r in result.timeline.records)
+
+    def test_loss_zero_matches_analytic_promotions(self):
+        """With a deterministic selection policy and no loss, the real
+        protocol promotes exactly the nodes the analytic rule promotes."""
+        analytic = run_scenario(self._scenario(),
+                                LocalPatchRepair("by-id"))
+        message = run_scenario(
+            self._scenario(),
+            LocalPatchRepair("by-id", transport="message", patience=10))
+        assert ([r.promoted for r in message.timeline.records]
+                == [r.promoted for r in analytic.timeline.records])
+        assert message.final_members == analytic.final_members
+        assert (message.summary["messages_total"]
+                == analytic.summary["messages_total"])
+
+    def test_loss_inflates_rounds_but_not_coverage(self):
+        lossless = run_scenario(
+            self._scenario(),
+            LocalPatchRepair("by-id", transport="message"))
+        lossy = run_scenario(
+            self._scenario(),
+            LocalPatchRepair("by-id", transport="message", loss_rate=0.8))
+        assert lossless.always_covered and lossy.always_covered
+        assert (lossy.summary["rounds_per_repair"]
+                > lossless.summary["rounds_per_repair"])
+
+    def test_total_loss_still_terminates_and_heals(self):
+        """At loss 1.0 nothing is ever delivered: orphans and timed-out
+        nodes self-promote, so repair still restores full coverage."""
+        policy = LocalPatchRepair(transport="message", loss_rate=1.0)
+        result = run_scenario(self._scenario(), policy)
+        assert result.always_covered
+        assert result.summary["messages_total"] == 0  # delivered traffic
+
+    def test_stats_flow_into_loop_instrumentation(self):
+        instr = Instrumentation.for_n(200)
+        policy = LocalPatchRepair("by-id", transport="message")
+        result = MaintenanceLoop(self._scenario(), policy,
+                                 instrumentation=instr).run()
+        assert result.stats.messages_sent == result.summary["messages_total"]
+        assert result.stats.rounds >= result.summary["rounds_total"]
+
+    def test_policy_never_mutates_state(self, udg120):
+        state = _state_from(udg120)
+        graph, deficit = _damage(state)
+        members_before = set(state.members)
+        policy = LocalPatchRepair("by-id", transport="message",
+                                  loss_rate=0.5)
+        out = policy.repair(state, graph, deficit, 3,
+                            rng=np.random.default_rng(0),
+                            instr=Instrumentation.for_n(120))
+        assert state.members == members_before
+        assert out.repaired and out.promoted
+        assert out.rounds > 0 and out.iterations > 0

@@ -11,13 +11,13 @@ from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.base import ExperimentReport, ScaleError
 
 FAST = ["e2", "e3", "e5", "e7", "e8", "e11", "e12", "e13", "e15", "e16",
-        "e22"]
+        "e22", "e23"]
 HEAVY = ["e1", "e4", "e6", "e9", "e10", "e14", "e17", "e18", "e19", "e20", "e21"]
 
 
 class TestRegistry:
     def test_all_thirteen_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 23)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 24)}
 
     def test_unknown_id(self):
         with pytest.raises(KeyError, match="unknown experiment"):
