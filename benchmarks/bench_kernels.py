@@ -1,0 +1,251 @@
+"""Kernel benchmark: the vectorized direct backend of Algorithm 3 vs
+the per-node reference loop (and vs the pre-kernel tree).
+
+Runs ``solve_kmds_udg(mode="direct")`` — Part I election + Part II
+adoption on the CSR kernel layer (:mod:`repro.engine.kernels`) with
+batched PCG64 node streams (:mod:`repro.simulation.vecrng`) — on random
+unit-disk graphs, and times the same computation two ways:
+
+- **reference flag** — ``execute(..., reference_direct=True)``: the
+  per-node loops kept verbatim-faithful to the paper (the bit-exactness
+  oracle), running in-tree.  Asserted bit-identical to the kernel run
+  (same members, same ``RunStats``) before any speedup is reported.
+- **kernel** — the default direct path: scatter-max election over the
+  flattened distance CSR, matvec coverage, incremental deficient
+  frontier, and vectorized Lemire draws over all active node streams
+  at once.
+
+The in-tree flag ratio *understates* the end-to-end win because the
+reference flag path shares this tree's other fixes (the incremental
+frontier in Part II).  Pass ``--before PATH/src`` pointing at a
+checkout of the pre-kernel tree (e.g. ``git worktree add .bench-before
+<base>``) to measure the true before/after ratio in a subprocess; the
+acceptance threshold — kernel >= 10x the pre-kernel tree at n=10^4 —
+is checked only then.  Without ``--before``, the in-tree flag ratio is
+held to a regression guard (>= 5x at n=10^4) so CI fails fast if the
+kernel path decays.
+
+The largest size (n=10^5) is part of the *smoke* scale on purpose: the
+run completing at all — and bit-identically across two invocations —
+is an acceptance criterion of its own.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --scale smoke \
+        --out BENCH_kernels.json
+
+``--scale full`` adds n=500 and raises the timing repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Optional
+
+from repro.core.udg import UDGProgram, solve_kmds_udg
+from repro.engine import execute
+from repro.graphs.udg import random_udg
+
+SCALES = {
+    # sizes swept; the per-node reference path is skipped above the cap
+    # (its per-node spawn alone costs seconds there).
+    "smoke": {"sizes": (2000, 10_000, 100_000), "reference_cap": 10_000},
+    "full": {"sizes": (500, 2000, 10_000, 100_000),
+             "reference_cap": 10_000},
+}
+#: Acceptance thresholds, checked at this n when present in the sweep.
+ACCEPTANCE_N = 10_000
+ACCEPTANCE_SPEEDUP = 10.0     # vs the pre-kernel tree (--before)
+INTREE_GUARD_SPEEDUP = 5.0    # vs the in-tree reference flag (always)
+
+DENSITY = 10.0
+K = 3
+
+#: The scenario, as a standalone script: also run under the pre-kernel
+#: tree's PYTHONPATH, so it uses only the original public entry point.
+_SUBPROCESS_SCRIPT = r'''
+import json, time
+from repro.core.udg import solve_kmds_udg
+from repro.graphs.udg import random_udg
+udg = random_udg({n}, density={density}, seed={seed})
+sol = solve_kmds_udg(udg, k={k}, mode="direct", seed={seed})
+times = []
+for _ in range({repeats}):
+    t0 = time.perf_counter()
+    sol = solve_kmds_udg(udg, k={k}, mode="direct", seed={seed})
+    times.append(time.perf_counter() - t0)
+print(json.dumps({{"seconds": min(times), "members_len": len(sol.members),
+                   "members_sum": sum(sol.members),
+                   "rounds": sol.stats.rounds,
+                   "messages": sol.stats.messages_sent,
+                   "bits": sol.stats.bits_sent}}))
+'''
+
+
+def timed_solve(udg, *, seed: int, repeats: int):
+    """Best-of-``repeats`` wall time of the kernel path plus the result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = solve_kmds_udg(udg, k=K, mode="direct", seed=seed)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def timed_reference(udg, *, seed: int, repeats: int):
+    """Best-of-``repeats`` wall time of the per-node reference loops."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        program = UDGProgram(udg, K, "random", seed)
+        t0 = time.perf_counter()
+        result = execute(program, "direct", seed=seed,
+                         reference_direct=True)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def assert_equivalent(reference_sol, kernel_sol) -> None:
+    """Members and RunStats must match exactly."""
+    if reference_sol.members != kernel_sol.members:
+        raise AssertionError("kernel members diverged from reference")
+    if reference_sol.stats != kernel_sol.stats:
+        raise AssertionError(
+            f"RunStats diverged: reference={reference_sol.stats} "
+            f"kernel={kernel_sol.stats}")
+
+
+def run_before(before_src: str, *, n: int, seed: int, repeats: int) -> dict:
+    """Time the same scenario under the pre-kernel tree in a subprocess
+    (its own import universe)."""
+    script = _SUBPROCESS_SCRIPT.format(
+        n=n, density=DENSITY, seed=seed, k=K, repeats=repeats)
+    env = dict(os.environ, PYTHONPATH=before_src)
+    out = subprocess.run([sys.executable, "-c", script],
+                         capture_output=True, text=True, env=env)
+    if out.returncode != 0:
+        raise RuntimeError(f"--before run failed:\n{out.stderr}")
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def measure(n: int, *, seed: int, repeats: int, run_reference: bool,
+            before_src: Optional[str]) -> dict:
+    udg = random_udg(n, density=DENSITY, seed=seed)
+    # Warm once (distance CSR, artifact caches) before timing.
+    solve_kmds_udg(udg, k=K, mode="direct", seed=seed)
+    reps = repeats if n < 50_000 else 1
+    kern_time, kern_sol = timed_solve(udg, seed=seed, repeats=reps)
+    row = {
+        "n": n,
+        "k": K,
+        "members": len(kern_sol.members),
+        "rounds": kern_sol.stats.rounds,
+        "messages": kern_sol.stats.messages_sent,
+        "kernel_seconds": kern_time,
+        "reference_seconds": None,
+        "flag_speedup": None,
+        "before_seconds": None,
+        "speedup_vs_before": None,
+    }
+    if run_reference:
+        ref_time, ref_sol = timed_reference(udg, seed=seed, repeats=reps)
+        assert_equivalent(ref_sol, kern_sol)
+        row["reference_seconds"] = ref_time
+        row["flag_speedup"] = (ref_time / kern_time if kern_time > 0
+                               else None)
+    else:
+        # No oracle at this size: at least pin determinism (two kernel
+        # runs must agree bit-for-bit).
+        again = solve_kmds_udg(udg, k=K, mode="direct", seed=seed)
+        assert_equivalent(again, kern_sol)
+    if before_src is not None and n <= ACCEPTANCE_N:
+        before = run_before(before_src, n=n, seed=seed, repeats=reps)
+        if (before["members_len"], before["members_sum"]) != (
+                len(kern_sol.members), sum(kern_sol.members)):
+            raise AssertionError("kernel members diverged from "
+                                 "pre-kernel tree")
+        if (before["rounds"], before["messages"], before["bits"]) != (
+                kern_sol.stats.rounds, kern_sol.stats.messages_sent,
+                kern_sol.stats.bits_sent):
+            raise AssertionError("RunStats diverged from pre-kernel tree")
+        row["before_seconds"] = before["seconds"]
+        row["speedup_vs_before"] = (before["seconds"] / kern_time
+                                    if kern_time > 0 else None)
+    return row
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    ap.add_argument("--out", default=None, help="write JSON results here")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per configuration (best-of)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--before", default=None, metavar="SRC",
+                    help="src/ directory of a pre-kernel checkout; "
+                         "enables the 10x acceptance check")
+    args = ap.parse_args(argv)
+
+    cfg = SCALES[args.scale]
+    rows = []
+    for n in cfg["sizes"]:
+        row = measure(n, seed=args.seed, repeats=args.repeats,
+                      run_reference=n <= cfg["reference_cap"],
+                      before_src=args.before)
+        rows.append(row)
+        flag = (f"{row['flag_speedup']:.2f}x" if row["flag_speedup"]
+                else "skipped")
+        before = (f"{row['speedup_vs_before']:.2f}x"
+                  if row["speedup_vs_before"] else "n/a")
+        print(f"n={n:>7}  kernel {row['kernel_seconds']:.4f}s  "
+              f"vs reference flag: {flag}  vs pre-kernel tree: {before}  "
+              f"({row['members']} members / {row['rounds']} rounds)")
+
+    report = {
+        "benchmark": "kernels",
+        "scale": args.scale,
+        "scenario": {"density": DENSITY, "k": K, "seed": args.seed},
+        "acceptance": {
+            "n": ACCEPTANCE_N,
+            "threshold_vs_before": ACCEPTANCE_SPEEDUP,
+            "intree_guard": INTREE_GUARD_SPEEDUP,
+        },
+        "rows": rows,
+    }
+    failed = False
+    for row in rows:
+        if row["n"] != ACCEPTANCE_N:
+            continue
+        if row["speedup_vs_before"] is not None:
+            ok = row["speedup_vs_before"] >= ACCEPTANCE_SPEEDUP
+            report["acceptance"]["speedup_vs_before"] = row["speedup_vs_before"]
+            report["acceptance"]["passed"] = ok
+            print(f"acceptance at n={ACCEPTANCE_N}: "
+                  f"{'PASS' if ok else 'FAIL'} "
+                  f"({row['speedup_vs_before']:.2f}x vs "
+                  f">={ACCEPTANCE_SPEEDUP}x pre-kernel)")
+            failed |= not ok
+        if row["flag_speedup"] is not None:
+            ok = row["flag_speedup"] >= INTREE_GUARD_SPEEDUP
+            report["acceptance"]["flag_speedup"] = row["flag_speedup"]
+            report["acceptance"]["guard_passed"] = ok
+            print(f"in-tree guard at n={ACCEPTANCE_N}: "
+                  f"{'PASS' if ok else 'FAIL'} "
+                  f"({row['flag_speedup']:.2f}x vs "
+                  f">={INTREE_GUARD_SPEEDUP}x reference flag)")
+            failed |= not ok
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

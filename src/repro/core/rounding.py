@@ -35,11 +35,13 @@ import numpy as np
 
 from repro.core.lp import CoveringLP
 from repro.engine import Instrumentation, RoundProgram, execute, validate_seed
+from repro.engine import kernels
 from repro.errors import GraphError
 from repro.graphs.properties import as_nx
 from repro.simulation.messages import Message
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.vecrng import node_stream_pool
 from repro.types import CoverageMap, DominatingSet, NodeId, RunStats
 
 REQUEST_POLICIES = ("random", "highest-x", "self-first")
@@ -165,6 +167,62 @@ class RoundingProgram(RoundProgram):
         return 8
 
     def direct(self, instr: Instrumentation) -> DominatingSet:
+        lp, x, policy = self.lp, self.x, self.policy
+        art = self.artifacts
+        pool = node_stream_pool(lp.nodes, self.seed)
+        delta = lp.delta
+
+        # Line 1-2: independent randomized rounding.  One batched draw —
+        # one u64 per node stream — then compare against each node's
+        # probability; streams are independent, so batching in lane
+        # order consumes them exactly as the reference loop does.
+        uniforms = pool.random(np.arange(lp.n))
+        probs = np.fromiter(
+            (rounding_probability(x[v], delta) for v in lp.nodes),
+            dtype=np.float64, count=lp.n)
+        perm = np.fromiter((pool.lane[v] for v in lp.nodes),
+                           dtype=np.int64, count=lp.n)
+        member_vec = uniforms[perm] < probs
+        sampled = int(member_vec.sum())
+        is_member = dict(zip(lp.nodes, member_vec.tolist()))
+
+        # Lines 4-7: per-node closed-neighborhood member counts collapse
+        # to one CSR matvec; only the (few) deficient nodes then run the
+        # per-node selection logic, consuming their RNG streams exactly
+        # as the reference loop does.
+        counts = kernels.member_counts(art, indicator=member_vec,
+                                       convention="closed")
+        required = np.fromiter((lp.coverage[v] for v in lp.nodes),
+                               dtype=np.int64, count=lp.n)
+        nbrs_of = art.sorted_neighbors
+        requested: set = set()
+        req_messages = 0  # actual REQ sends (self-picks are local, not sent)
+        for i in np.nonzero(required > counts)[0].tolist():
+            v = art.nodes[i]
+            need = int(required[i] - counts[i])
+            candidates = ([] if is_member[v] else [v]) \
+                + [w for w in nbrs_of[v] if not is_member[w]]
+            for w in _choose_requests(pool.generator(pool.lane[v]), v,
+                                      candidates, x, need, policy):
+                requested.add(w)
+                if w != v:
+                    req_messages += 1
+        members = {v for v, m in is_member.items() if m} | requested
+
+        # Accounting implied by the two-exchange schedule.
+        instr.charge_messages(2 * self.artifacts.m,
+                              MembershipMsg(member=False), rounds=1)
+        instr.charge_messages(req_messages, ReqMsg(), rounds=1)
+        return DominatingSet(
+            members=members,
+            stats=instr.stats,
+            details={"sampled": sampled, "requested": len(requested),
+                     "policy": policy},
+        )
+
+    def direct_reference(self, instr: Instrumentation) -> DominatingSet:
+        """The per-node reference loop (bit-exactness oracle for the
+        kernel path; select with ``execute(..., reference_direct=True)``)."""
         lp, x, policy = self.lp, self.x, self.policy
         rngs = spawn_node_rngs(lp.nodes, self.seed)
         delta = lp.delta

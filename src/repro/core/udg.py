@@ -36,12 +36,14 @@ from typing import Dict, Iterator, List, Sequence, Set
 import numpy as np
 
 from repro.engine import Instrumentation, RoundProgram, execute, validate_seed
+from repro.engine import kernels
 from repro.engine.artifacts import graph_artifacts
 from repro.errors import GeometryError, GraphError
 from repro.graphs.udg import UnitDiskGraph
 from repro.simulation.messages import Message
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.vecrng import node_stream_pool
 from repro.types import DominatingSet, NodeId, RunStats
 
 #: The paper's base xi = 3/2 for the doubling schedule.
@@ -119,7 +121,12 @@ def _as_udg(graph) -> UnitDiskGraph:
 
 
 # ======================================================================
-# Direct mode
+# Direct mode — per-node reference implementation
+#
+# Kept verbatim-faithful to the paper's per-node formulation: it is the
+# bit-exactness oracle the vectorized kernel path below is pinned
+# against (``execute(..., reference_direct=True)`` and the
+# kernel-vs-reference suite in tests/test_mode_equivalence.py).
 # ======================================================================
 
 def _part_one_direct(udg: UnitDiskGraph, rngs, details: dict) -> Set[int]:
@@ -161,39 +168,120 @@ def _part_two_direct(udg: UnitDiskGraph, leaders: Set[int], k: int,
         for w in adj[v]:
             coverage[w] += 1
 
-    def deficient(u: int) -> bool:
-        return not leader_flag[u] and coverage[u] < k
+    # The deficient frontier, maintained incrementally across promotions:
+    # each while-iteration costs O(frontier ball), not O(n).  Only nodes
+    # in a promoted node's closed neighborhood can change deficiency.
+    deficient: Set[int] = {u for u in range(n)
+                           if not leader_flag[u] and coverage[u] < k}
 
     iterations = 0
     adopted_total = 0
-    while True:
-        any_deficient = any(deficient(u) for u in range(n))
-        if not any_deficient:
-            break
+    while deficient:
         iterations += 1
         picks: Set[int] = set()
-        for v in sorted(lv for lv in range(n) if leader_flag[lv]):
-            candidates = [u for u in [v] + adj[v] if deficient(u)]
-            if not candidates:
-                continue
+        # Leaders with at least one deficient closed neighbor are exactly
+        # the closed-ball leaders of the frontier; leaders outside it had
+        # empty candidate lists (no picks, no RNG draws), so skipping
+        # them is consumption- and output-identical.
+        active_leaders = sorted({w for u in deficient
+                                 for w in [u] + adj[u] if leader_flag[w]})
+        for v in active_leaders:
+            candidates = [u for u in [v] + adj[v] if u in deficient]
             picks.update(_pick(rngs[v], candidates, k, policy))
         if not picks:
             # No deficient node has a leader neighbor -- impossible after
             # Part I (Lemma 5.1) on a true UDG, but guard against livelock
             # on degenerate inputs by promoting the deficient nodes
             # themselves.
-            picks = {u for u in range(n) if deficient(u)}
+            picks = set(deficient)
         for u in picks:
             if not leader_flag[u]:
                 leader_flag[u] = True
                 adopted_total += 1
                 coverage[u] += 1
+                deficient.discard(u)  # members are exempt (open conv.)
                 for w in adj[u]:
                     coverage[w] += 1
+                    if w in deficient and coverage[w] >= k:
+                        deficient.discard(w)
 
     details["part2_iterations"] = iterations
     details["part2_adopted"] = adopted_total
     return {v for v in range(n) if leader_flag[v]}
+
+
+# ======================================================================
+# Direct mode — vectorized kernel implementation
+#
+# Same algorithm on the CSR kernel layer (repro.engine.kernels): the
+# election is two scatter-max passes over the flattened distance CSR,
+# adoption coverage is one matvec plus scatter-add frontier updates.
+# Per-node RNG draws happen in exactly the reference order, so members,
+# details, and RunStats are bit-identical to the functions above.
+# ======================================================================
+
+def _part_one_kernel(udg: UnitDiskGraph, pool, details: dict) -> Set[int]:
+    n = udg.n
+    schedule = theta_schedule(n)
+    id_hi = min(_id_space(n), _MAX_SAMPLED_ID)
+    details["theta_per_round"] = list(schedule)
+    details["active_per_round"] = [n]
+
+    _, src, nbr, dist = kernels.udg_distance_csr(udg)
+    active = np.ones(n, dtype=bool)
+    ids = np.zeros(n, dtype=np.int64)
+    for theta in schedule:
+        # One identifier per active node from the node's own stream
+        # (lane == node id here); the batched draw consumes each stream
+        # exactly as the reference's ascending per-node loop does.
+        lanes = np.nonzero(active)[0]
+        ids[lanes] = pool.draw_ints(lanes, id_hi)
+        active = kernels.elect_round(src, nbr, dist <= theta, active, ids)
+        details["active_per_round"].append(int(active.sum()))
+    return set(np.nonzero(active)[0].tolist())
+
+
+def _part_two_kernel(art, leaders: Set[int], k: int, pool, policy: str,
+                     details: dict) -> Set[int]:
+    n = art.n
+    leader = np.zeros(n, dtype=bool)
+    if leaders:
+        leader[sorted(leaders)] = True
+    coverage = kernels.member_counts(art, indicator=leader,
+                                     convention="closed")
+    deficient = (~leader) & (coverage < k)
+    closed = art.closed_nbrs
+
+    iterations = 0
+    adopted_total = 0
+    while deficient.any():
+        iterations += 1
+        frontier = np.nonzero(deficient)[0]
+        # Leaders adjacent to the frontier (closed balls are symmetric:
+        # a leader sees a deficient candidate iff it sits in one of the
+        # frontier's closed balls) — everyone else has no candidates.
+        ball = np.unique(np.concatenate([closed[u] for u in frontier]))
+        actors = ball[leader[ball]]
+        picks = np.zeros(n, dtype=bool)
+        for v in actors.tolist():
+            cand = closed[v][deficient[closed[v]]]
+            if cand.size <= k:
+                picks[cand] = True
+            else:
+                picks[_pick(pool.generator(v), cand.tolist(), k,
+                            policy)] = True
+        if not picks.any():
+            # Degenerate-input livelock guard (see reference).
+            picks = deficient.copy()
+        newly = np.nonzero(picks & ~leader)[0]
+        leader[newly] = True
+        adopted_total += int(newly.size)
+        touched = kernels.scatter_cover(coverage, art, newly)
+        deficient[touched] = (~leader[touched]) & (coverage[touched] < k)
+
+    details["part2_iterations"] = iterations
+    details["part2_adopted"] = adopted_total
+    return set(np.nonzero(leader)[0].tolist())
 
 
 # ======================================================================
@@ -360,6 +448,30 @@ class UDGProgram(RoundProgram):
 
     def direct(self, instr: Instrumentation) -> DominatingSet:
         udg, k, policy = self.udg, self.k, self.policy
+        if not kernels.supports_kernel_election(udg):
+            # A UDG subclass with bespoke sensing semantics: stay on the
+            # per-node reference path (correctness over speed).
+            return self.direct_reference(instr)
+        details: dict = {"mode": "direct", "k": k}
+        pool = node_stream_pool(
+            range(udg.n), self.seed,
+            bounded_ranges=(min(_id_space(udg.n), _MAX_SAMPLED_ID) - 1,))
+
+        leaders = _part_one_kernel(udg, pool, details)
+        details["part1_leaders"] = len(leaders)
+        members = _part_two_kernel(self.artifacts, leaders, k, pool,
+                                   policy, details)
+
+        instr.charge_rounds(2 * len(details["theta_per_round"])
+                            + 2 + 3 * details["part2_iterations"])
+        return DominatingSet(members=members, stats=instr.stats,
+                             details=details)
+
+    def direct_reference(self, instr: Instrumentation) -> DominatingSet:
+        """The per-node reference implementation (bit-exactness oracle
+        for the kernel path; select with
+        ``execute(..., reference_direct=True)``)."""
+        udg, k, policy = self.udg, self.k, self.policy
         details: dict = {"mode": "direct", "k": k}
         rngs = spawn_node_rngs(range(udg.n), self.seed)
 
@@ -402,8 +514,14 @@ def part_one_leaders(graph, *, seed: int | None = None) -> DominatingSet:
     details: dict = {"mode": "direct"}
     if udg.n == 0:
         return DominatingSet(members=set(), details=details)
-    rngs = spawn_node_rngs(range(udg.n), seed)
-    leaders = _part_one_direct(udg, rngs, details)
+    if kernels.supports_kernel_election(udg):
+        pool = node_stream_pool(
+            range(udg.n), seed,
+            bounded_ranges=(min(_id_space(udg.n), _MAX_SAMPLED_ID) - 1,))
+        leaders = _part_one_kernel(udg, pool, details)
+    else:
+        rngs = spawn_node_rngs(range(udg.n), seed)
+        leaders = _part_one_direct(udg, rngs, details)
     stats = RunStats()
     stats.rounds = 2 * len(details["theta_per_round"])
     return DominatingSet(members=set(leaders), stats=stats, details=details)

@@ -14,10 +14,12 @@ under the open convention with the same ``k``; the converse is false.
 
 Every oracle accepts either a graph (``networkx`` or any ``.nx``
 wrapper) or a :class:`~repro.engine.artifacts.GraphArtifacts` bundle.
-Given artifacts, counting becomes one sparse matvec over the cached
+Given artifacts, counting routes through the shared coverage plane in
+:mod:`repro.engine.kernels` — one sparse matvec over the cached
 closed-adjacency CSR (indicator vector in, per-node member counts out)
-instead of a Python loop over every adjacency — the fast path the
-maintenance loop uses twice per epoch at n >= 10^4.
+instead of a Python loop over every adjacency.  That is the same kernel
+the direct backends of Algorithms 2/3 and the maintenance loop use, so
+there is exactly one coverage-counting implementation in the codebase.
 :func:`coverage_deficit_vector` exposes the raw index-aligned arrays
 for callers that want to stay in numpy.
 """
@@ -28,6 +30,7 @@ from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
+from repro.engine import kernels
 from repro.engine.artifacts import GraphArtifacts
 from repro.errors import GraphError
 from repro.graphs.properties import as_nx
@@ -66,18 +69,8 @@ def _check_members(member_set, nodes) -> None:
 
 def _counts_vector(art: GraphArtifacts, member_set, *,
                    convention: str) -> np.ndarray:
-    """Index-aligned member counts via one CSR matvec.
-
-    ``A_closed @ x`` counts members in each closed neighborhood; the
-    open convention subtracts the node's own membership indicator.
-    """
-    x = np.zeros(art.n, dtype=float)
-    if member_set:
-        x[[art.index[v] for v in member_set]] = 1.0
-    counts = art.closed_adjacency().dot(x)
-    if convention == "open":
-        counts -= x
-    return counts.astype(np.int64)
+    """Index-aligned member counts via the shared CSR kernel."""
+    return kernels.member_counts(art, member_set, convention=convention)
 
 
 def coverage_counts(graph, members: Iterable[NodeId], *,
@@ -132,9 +125,10 @@ def coverage_deficit_vector(art: GraphArtifacts, members: Iterable[NodeId],
     required = (np.full(art.n, k, dtype=np.int64) if isinstance(k, int)
                 else np.asarray([k_map[v] for v in art.nodes],
                                 dtype=np.int64))
-    deficit = np.maximum(required - counts, 0)
-    if convention == "open" and member_set:
-        deficit[[art.index[v] for v in member_set]] = 0
+    member_idx = ([art.index[v] for v in member_set]
+                  if convention == "open" and member_set else None)
+    deficit = kernels.deficit_vector(art, counts, required,
+                                     member_idx=member_idx)
     return deficit, art.nodes
 
 
@@ -166,7 +160,15 @@ def coverage_deficit(graph, members: Iterable[NodeId],
 def uncovered_nodes(graph, members: Iterable[NodeId],
                     k: Union[int, CoverageMap], *,
                     convention: str = "open") -> List[NodeId]:
-    """Nodes whose coverage requirement is not met."""
+    """Nodes whose coverage requirement is not met.
+
+    On a :class:`GraphArtifacts` bundle the scan stays in numpy: the
+    kernel deficit vector's nonzero entries, no per-node dict pass.
+    """
+    if isinstance(graph, GraphArtifacts):
+        deficit_vec, nodes = coverage_deficit_vector(
+            graph, members, k, convention=convention)
+        return [nodes[i] for i in np.nonzero(deficit_vec)[0]]
     deficit = coverage_deficit(graph, members, k, convention=convention)
     return [v for v, d in deficit.items() if d > 0]
 
@@ -197,6 +199,22 @@ def redundancy_profile(graph, members: Iterable[NodeId], *,
     max coverage over non-member nodes (all nodes under ``closed``).  Used
     by the fault-tolerance experiments to compare k values."""
     member_set = set(members)
+    if isinstance(graph, GraphArtifacts):
+        # All-numpy path: kernel counts, boolean mask, vector reduction.
+        _check_members(member_set, graph.index)
+        counts_vec = kernels.member_counts(graph, member_set,
+                                           convention=convention)
+        if convention == "open" and member_set:
+            keep = np.ones(graph.n, dtype=bool)
+            keep[[graph.index[v] for v in member_set]] = False
+            counts_vec = counts_vec[keep]
+        if counts_vec.size == 0:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "min": float(counts_vec.min()),
+            "mean": float(counts_vec.mean()),
+            "max": float(counts_vec.max()),
+        }
     counts = coverage_counts(graph, member_set, convention=convention)
     if convention == "open":
         relevant = [c for v, c in counts.items() if v not in member_set]

@@ -41,6 +41,7 @@ from repro.dynamics.events import (
     RandomCrashes,
     ScheduledCrashes,
 )
+from repro.dynamics.demotion import DemotionOutcome, SurplusDemotion
 from repro.dynamics.loop import DynamicsResult, MaintenanceLoop, run_scenario
 from repro.dynamics.metrics import DynamicsTimeline, EpochRecord
 from repro.dynamics.repair import (
@@ -60,6 +61,7 @@ __all__ = [
     "BatteryDecay",
     "CrashEvent",
     "DamageUnit",
+    "DemotionOutcome",
     "DrainEvent",
     "DynamicsResult",
     "DynamicsTimeline",
@@ -82,6 +84,7 @@ __all__ = [
     "RepairPolicy",
     "Scenario",
     "ScheduledCrashes",
+    "SurplusDemotion",
     "assign_shards",
     "crash_scenario",
     "damage_units",

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.verify import coverage_deficit, coverage_deficit_vector
+from repro.dynamics.demotion import DemotionOutcome, SurplusDemotion
 from repro.dynamics.metrics import DynamicsTimeline, EpochRecord
 from repro.dynamics.repair import RepairOutcome, RepairPolicy
 from repro.dynamics.scenario import Scenario
@@ -123,12 +124,19 @@ class MaintenanceLoop:
         delta-patched per churn event, enabling the vectorized deficit
         path.  ``False`` restores the rebuild-per-epoch baseline
         (benchmark reference; results are identical either way).
+    demote:
+        Optional :class:`~repro.dynamics.demotion.SurplusDemotion` decay
+        pass, run after each epoch's repair: dominators whose removal
+        keeps every client's coverage >= ``k`` retire (the Lemma-5.5
+        density pressure that keeps a long-maintained set from growing
+        without bound under equal-intensity churn).
     """
 
     def __init__(self, scenario: Scenario, policy: RepairPolicy, *,
                  instrumentation: Optional[Instrumentation] = None,
                  shards: Optional[int] = None, workers: int = 1,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 demote: Optional[SurplusDemotion] = None):
         self.scenario = scenario
         self.policy = policy
         if shards is not None:
@@ -151,6 +159,7 @@ class MaintenanceLoop:
         self.shards = shards
         self.workers = int(workers)
         self.incremental = bool(incremental)
+        self.demoter = demote
         self.instr = (instrumentation if instrumentation is not None
                       else Instrumentation.for_n(max(1, scenario.initial.n)))
         # The repair policy's selection randomness lives on its own
@@ -298,6 +307,14 @@ class MaintenanceLoop:
         if outcome.promoted:
             state.promote(outcome.promoted)
 
+        # (3b) decay: retire dominators the restored coverage no longer
+        # needs (safe by construction — see repro.dynamics.demotion).
+        decay = DemotionOutcome()
+        if self.demoter is not None:
+            decay = self.demoter.demote(state, k, instr=self.instr)
+            if decay.demoted:
+                state.demote(decay.demoted)
+
         # (4) verify the transition.
         deficient_after = len(self._shortfalls(state, k))
 
@@ -314,13 +331,13 @@ class MaintenanceLoop:
             availability_before=availability,
             repaired=outcome.repaired,
             iterations=outcome.iterations,
-            rounds=outcome.rounds,
-            messages=outcome.messages,
-            touched=len(outcome.touched),
-            locality=(len(outcome.touched) / state.n_live
+            rounds=outcome.rounds + decay.rounds,
+            messages=outcome.messages + decay.messages,
+            touched=len(outcome.touched | decay.touched),
+            locality=(len(outcome.touched | decay.touched) / state.n_live
                       if state.n_live else 0.0),
             promoted=len(outcome.promoted),
-            demoted=len(outcome.demoted),
+            demoted=len(outcome.demoted) + len(decay.demoted),
             deferred_deficit=outcome.deferred_deficit,
             deficient_after=deficient_after,
             fully_covered_after=deficient_after == 0,
@@ -335,8 +352,9 @@ class MaintenanceLoop:
 def run_scenario(scenario: Scenario, policy: RepairPolicy, *,
                  instrumentation: Optional[Instrumentation] = None,
                  shards: Optional[int] = None, workers: int = 1,
-                 incremental: bool = True) -> DynamicsResult:
+                 incremental: bool = True,
+                 demote: Optional[SurplusDemotion] = None) -> DynamicsResult:
     """Convenience wrapper: build a loop and run it to completion."""
     return MaintenanceLoop(scenario, policy, instrumentation=instrumentation,
                            shards=shards, workers=workers,
-                           incremental=incremental).run()
+                           incremental=incremental, demote=demote).run()

@@ -31,6 +31,7 @@ from repro.engine.backends import (
     resolve_backend,
     validate_seed,
 )
+from repro.engine import kernels
 from repro.engine.instrumentation import Instrumentation
 from repro.engine.program import RoundProgram
 
@@ -44,6 +45,7 @@ __all__ = [
     "execute",
     "graph_artifacts",
     "invalidate",
+    "kernels",
     "resolve_backend",
     "validate_seed",
 ]

@@ -72,7 +72,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
             delay: Callable[[np.random.Generator], float] | None = None,
             delay_seed: int | None = None,
             injectors: Iterable = (),
-            legacy_transport: bool = False):
+            legacy_transport: bool = False,
+            reference_direct: bool = False):
     """Run ``program`` on the backend selected by ``mode``.
 
     Parameters
@@ -104,6 +105,12 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         data plane (reference implementation).  Ignored by ``direct``.
         The columnar default is pinned bit-for-bit against it by
         ``tests/test_transport_equivalence.py``.
+    reference_direct:
+        Run the ``direct`` backend on the program's per-node reference
+        implementation (:meth:`RoundProgram.direct_reference`) instead of
+        its vectorized kernels.  Ignored by the message-passing backends.
+        The kernel default is pinned bit-for-bit against it by the
+        kernel-vs-reference suite in ``tests/test_mode_equivalence.py``.
     """
     backend = resolve_backend(mode)
     seed = validate_seed(seed)
@@ -116,6 +123,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
                 "(vectorized evaluation has no message traffic); "
                 f"expected one of {MESSAGE_BACKENDS}"
             )
+        if reference_direct:
+            return program.direct_reference(program.instrumentation())
         return program.direct(program.instrumentation())
 
     # Imported lazily: the simulation layer itself imports the engine

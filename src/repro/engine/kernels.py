@@ -1,0 +1,253 @@
+"""Vectorized CSR kernels over cached :class:`GraphArtifacts`.
+
+This module is the single *coverage-counting plane* of the codebase and
+the kernel layer the ``mode="direct"`` backends of Algorithms 2 and 3
+are built on.  Everything here operates in **artifact index space**
+(``art.index[v] -> i``, ``art.nodes[i] -> v``) on numpy arrays:
+
+- :func:`member_indicator` / :func:`member_counts` — per-node dominator
+  counts as one sparse matvec over the closed-adjacency CSR (the only
+  place in the library that counts coverage; :mod:`repro.core.verify`,
+  the dynamics loop, and both direct kernels all route through it);
+- :func:`deficit_vector` / :func:`surplus_vector` — signed slack against
+  a requirement vector, the signals the maintenance loop repairs
+  (deficit) and the Lemma-5.5-style decay pass reclaims (surplus);
+- :func:`scatter_cover` — incremental coverage update for a batch of
+  promotions (scatter-add over the promoted nodes' closed balls), the
+  frontier primitive that replaces O(n)-per-iteration rescans;
+- :func:`demotion_candidates` — the vectorized safety prefilter for
+  demoting over-covering dominators (scatter-min of client coverage);
+- :func:`udg_distance_csr` / :func:`supports_kernel_election` /
+  :func:`elect_round` — the flattened distance-sorted adjacency of a
+  :class:`~repro.graphs.udg.UnitDiskGraph` and the lexicographic-argmax
+  election kernel of Algorithm 3 Part I.
+
+RNG discipline
+--------------
+Kernels never own randomness.  Callers draw from the **per-node**
+streams of :func:`repro.simulation.rng.spawn_node_rngs` in exactly the
+per-node reference order (one draw per active node per election round,
+one ``choice`` per over-subscribed leader, ...), so kernelized execution
+consumes each node's stream identically to the per-node reference
+implementation and results stay bit-identical — pinned by the
+kernel-vs-reference suite in ``tests/test_mode_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.engine.artifacts import GraphArtifacts
+
+__all__ = [
+    "member_indicator",
+    "member_counts",
+    "deficit_vector",
+    "surplus_vector",
+    "scatter_cover",
+    "demotion_candidates",
+    "udg_distance_csr",
+    "supports_kernel_election",
+    "elect_round",
+]
+
+
+# ======================================================================
+# The coverage plane
+# ======================================================================
+
+def member_indicator(art: GraphArtifacts, members: Iterable) -> np.ndarray:
+    """Index-aligned 0/1 float vector of ``members`` (matvec-ready)."""
+    x = np.zeros(art.n, dtype=float)
+    idx = [art.index[v] for v in members]
+    if idx:
+        x[idx] = 1.0
+    return x
+
+
+def member_counts(art: GraphArtifacts, members=None, *,
+                  indicator: np.ndarray | None = None,
+                  convention: str = "open") -> np.ndarray:
+    """Per-node dominator counts as one closed-adjacency CSR matvec.
+
+    ``A_closed @ x`` counts members in each closed neighborhood; the
+    open convention subtracts the node's own membership indicator.
+    Pass either a ``members`` iterable of node ids or a prebuilt
+    ``indicator`` vector (both is an error).  Returns int64.
+    """
+    if (members is None) == (indicator is None):
+        raise ValueError("pass exactly one of members / indicator")
+    x = member_indicator(art, members) if indicator is None \
+        else np.asarray(indicator, dtype=float)
+    counts = art.closed_adjacency().dot(x)
+    if convention == "open":
+        counts -= x
+    return counts.astype(np.int64)
+
+
+def deficit_vector(art: GraphArtifacts, counts: np.ndarray,
+                   required: np.ndarray | int, *,
+                   member_idx: np.ndarray | None = None) -> np.ndarray:
+    """``max(0, required - counts)`` with members exempt (open conv.).
+
+    ``member_idx`` (index array or boolean mask) zeroes the members'
+    entries — under the open convention a dominator is never deficient.
+    """
+    deficit = np.maximum(np.asarray(required, dtype=np.int64) - counts, 0)
+    if member_idx is not None:
+        deficit[member_idx] = 0
+    return deficit
+
+
+def surplus_vector(art: GraphArtifacts, counts: np.ndarray,
+                   required: np.ndarray | int) -> np.ndarray:
+    """Signed per-node slack ``counts - required`` (the decay signal:
+    a client at surplus >= 1 tolerates losing one dominator)."""
+    return counts - np.asarray(required, dtype=np.int64)
+
+
+def scatter_cover(coverage: np.ndarray, art: GraphArtifacts,
+                  promoted_idx: np.ndarray, sign: int = 1) -> np.ndarray:
+    """Add ``sign`` to every node in the closed ball of each promoted
+    index; returns the concatenated (duplicated) touched indices.
+
+    The incremental-frontier primitive: after a batch of promotions only
+    the returned ball can change deficiency, so callers refresh exactly
+    those entries instead of rescanning all ``n`` nodes.
+    """
+    if len(promoted_idx) == 0:
+        return np.zeros(0, dtype=np.int64)
+    touched = np.concatenate([art.closed_nbrs[i] for i in promoted_idx])
+    np.add.at(coverage, touched, sign)
+    return touched
+
+
+def demotion_candidates(art: GraphArtifacts, member_mask: np.ndarray,
+                        counts: np.ndarray,
+                        required: np.ndarray | int) -> np.ndarray:
+    """Indices of dominators that are *prima facie* safely removable.
+
+    A member ``v`` passes iff (a) every non-member neighbor keeps
+    coverage >= its requirement after losing ``v`` (scatter-min of
+    client coverage over ``v``'s edges >= required + 1) and (b) ``v``
+    itself, as a fresh client, would be covered (its open count of
+    member neighbors >= its requirement).  The greedy confirmation pass
+    (counts change as demotions land) lives with the caller; this is
+    the vectorized O(m) prefilter.
+    """
+    n = art.n
+    req = np.broadcast_to(np.asarray(required, dtype=np.int64), (n,))
+    indptr, indices = art.open_csr()
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    to_client = ~member_mask[indices]
+    min_client = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    if to_client.any():
+        np.minimum.at(min_client, src[to_client],
+                      counts[indices[to_client]] - req[indices[to_client]])
+    # min_client now holds min over client neighbors of (count - req);
+    # >= 1 means every client survives losing one dominator.
+    safe = member_mask & (counts >= req) & (min_client >= 1)
+    return np.nonzero(safe)[0]
+
+
+# ======================================================================
+# UDG distance kernels (Algorithm 3 Part I)
+# ======================================================================
+
+#: udg -> (indptr, src, nbr, dist) flattened distance-sorted adjacency.
+_DIST_CSR_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def supports_kernel_election(udg) -> bool:
+    """Whether Part I's election can run on the vectorized distance CSR.
+
+    True for the stock geometric classes (including QUDG, whose pruning
+    rewrites the same distance-sorted lists, and noisy sensing, whose
+    per-edge factors are fixed).  A subclass that overrides
+    ``neighbors_within`` with unknown semantics falls back to the
+    per-node reference path — correctness over speed.
+    """
+    from repro.graphs.udg import NoisySensingUDG, UnitDiskGraph
+
+    fn = type(udg).neighbors_within
+    if fn is UnitDiskGraph.neighbors_within:
+        return True
+    return (isinstance(udg, NoisySensingUDG)
+            and fn is NoisySensingUDG.neighbors_within)
+
+
+def udg_distance_csr(udg) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray]:
+    """Flattened ``(indptr, src, nbr, dist)`` of the UDG's per-node
+    distance-sorted neighbor lists (the ``neighbors_within`` order).
+
+    ``dist`` holds the distances ``neighbors_within`` filters on — the
+    stored (true) distances for plain/quasi UDGs, the *sensed* values
+    for :class:`~repro.graphs.udg.NoisySensingUDG` — so a flat
+    ``dist <= theta`` mask reproduces every ``N_v(theta)`` exactly.
+    Cached per graph object (weakref).
+    """
+    from repro.graphs.udg import NoisySensingUDG
+
+    cached = _DIST_CSR_CACHE.get(udg)
+    if cached is not None:
+        return cached
+    n = udg.n
+    lists = udg._sorted_by_dist
+    degs = np.fromiter((len(lists[v][1]) for v in range(n)),
+                       dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degs, out=indptr[1:])
+    total = int(indptr[-1])
+    nbr = np.fromiter((w for v in range(n) for w in lists[v][1]),
+                      dtype=np.int64, count=total)
+    if isinstance(udg, NoisySensingUDG):
+        dist = np.fromiter(
+            (udg.sensed_distance(v, w)
+             for v in range(n) for w in lists[v][1]),
+            dtype=np.float64, count=total)
+    else:
+        dist = np.fromiter((d for v in range(n) for d in lists[v][0]),
+                           dtype=np.float64, count=total)
+    src = np.repeat(np.arange(n, dtype=np.int64), degs)
+    out = (indptr, src, nbr, dist)
+    try:
+        _DIST_CSR_CACHE[udg] = out
+    except TypeError:  # pragma: no cover — unweakrefable graph type
+        pass
+    return out
+
+
+def elect_round(src: np.ndarray, nbr: np.ndarray, within: np.ndarray,
+                active: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """One Part I election round, vectorized.
+
+    Every active node elects the lexicographically largest ``(id, node)``
+    among itself and its active neighbors at ``within`` distance; a node
+    stays active iff somebody elected it.  Two scatter-max passes give
+    the exact lexicographic argmax without key packing (ids reach
+    ``2^62``, so ``id * n + node`` would overflow int64):
+
+    1. scatter-max of the candidate *ids* per elector;
+    2. scatter-max of the candidate *indices* among id-ties.
+
+    Returns the new active mask.
+    """
+    n = active.shape[0]
+    sel = within & active[src] & active[nbr]
+    s, d = src[sel], nbr[sel]
+    # Pass 1: the winning identifier per elector (self is a candidate).
+    best_id = np.where(active, ids, 0)
+    np.maximum.at(best_id, s, ids[d])
+    # Pass 2: the largest node index achieving it.
+    best_node = np.where(active & (ids == best_id),
+                         np.arange(n, dtype=np.int64), -1)
+    tie = ids[d] == best_id[s]
+    np.maximum.at(best_node, s[tie], d[tie])
+    elected = np.zeros(n, dtype=bool)
+    chosen = best_node[active]
+    elected[chosen[chosen >= 0]] = True
+    return active & elected

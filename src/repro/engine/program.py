@@ -62,6 +62,17 @@ class RoundProgram:
         """Vectorized execution; returns the algorithm's result object."""
         raise NotImplementedError
 
+    def direct_reference(self, instr: Instrumentation):
+        """Per-node reference implementation of :meth:`direct`.
+
+        Kernelized programs override this with the pre-vectorization
+        loop (the bit-exactness oracle behind
+        ``execute(..., reference_direct=True)``); the default simply
+        runs :meth:`direct` for programs whose direct path has no
+        separate kernel layer.
+        """
+        return self.direct(instr)
+
     def processes(self) -> List:
         """Fresh :class:`NodeProcess` instances, one per graph node."""
         raise NotImplementedError

@@ -1,0 +1,375 @@
+"""Vectorized per-node PCG64 streams, bit-identical to ``spawn_node_rngs``.
+
+:func:`repro.simulation.rng.spawn_node_rngs` gives every node an
+independent ``numpy.random.Generator`` spawned from one root
+``SeedSequence``.  That contract is perfect for reproducibility but
+ruinous for the vectorized direct backends: at n = 10^5 the spawn alone
+costs seconds, and every round of Algorithm 3's election pays one Python
+``Generator.integers`` call per active node.
+
+This module re-implements the exact numpy pipeline — SeedSequence
+entropy pooling, ``generate_state``, PCG64 seeding, the 128-bit LCG
+step, XSL-RR output, Lemire's bounded-rejection sampler, and the
+53-bit ``random()`` mapping — as elementwise numpy array operations over
+*all node streams at once*.  Per-node states live in four ``uint64``
+limb arrays; a draw for a set of lanes steps exactly those lanes, so
+every node's stream position stays equal to what the per-node reference
+loop would have left behind.  Outputs are bit-identical, not just
+statistically equivalent: the kernel-vs-reference equivalence suite
+(tests/test_mode_equivalence.py) and this module's own import-time
+self-test both compare against real ``Generator`` objects.
+
+Safety valve: :func:`node_stream_pool` runs a one-shot self-test of the
+whole vector pipeline against numpy's own generators the first time it
+is called.  If numpy's internals ever change (different SeedSequence
+mixing, a new bounded sampler), the self-test fails and every caller
+transparently gets a :class:`_FallbackPool` that wraps real per-node
+generators — slower, but still correct and still bit-identical to the
+reference.  Bounded draws additionally require Lemire's 64-bit path
+(range width > 2^32); smaller ranges use numpy's buffered 32-bit
+sampler, which keeps half-word state we do not model, so those callers
+are routed to the fallback as well via ``bounded_ranges``.
+
+Nodes that outgrow vector draws — e.g. a leader running the adoption
+rule's ``choice``-based selection — call :meth:`NodeStreamPool.generator`
+to materialize a real ``Generator`` *positioned at the lane's current
+stream state* (PCG64 accepts a raw ``(state, inc)`` assignment).  The
+lane is then owned by that generator; vector draws for it are a
+programming error and raise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.rng import _stable_order, spawn_node_rngs
+from repro.types import NodeId
+
+__all__ = ["NodeStreamPool", "node_stream_pool"]
+
+# SeedSequence pool-mixing constants (O'Neill's seed_seq_fe as adopted
+# by numpy; 32-bit arithmetic).
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = 0xCA01F9DD
+_MIX_MULT_R = 0x4973F715
+_XSHIFT = 16
+_POOL_SIZE = 4
+
+_M32 = 0xFFFFFFFF
+_M64 = (1 << 64) - 1
+
+# PCG64's 128-bit LCG multiplier, split into 64-bit halves.
+_PCG_MULT_HI = np.uint64(0x2360ED051FC65DA4)
+_PCG_MULT_LO = np.uint64(0x4385DF649FCCF645)
+
+_U32_MASK = np.uint64(_M32)
+_SHIFT32 = np.uint64(32)
+
+
+# ----------------------------------------------------------------------
+# SeedSequence emulation (scalar 32-bit arithmetic on Python ints; only
+# the spawn-key word differs across lanes, so the per-lane work is a
+# single vectorized hashmix/mix round)
+# ----------------------------------------------------------------------
+
+def _entropy_words(entropy: int) -> List[int]:
+    """``entropy`` as little-endian 32-bit words (numpy's coercion)."""
+    words = []
+    while True:
+        words.append(entropy & _M32)
+        entropy >>= 32
+        if entropy == 0:
+            return words
+
+
+def _spawn_pools(entropy: int, n: int) -> np.ndarray:
+    """Entropy pools of ``SeedSequence(entropy).spawn(n)``, shape (4, n).
+
+    The assembled entropy of child ``i`` is the root's entropy words,
+    zero-padded to the pool size, with the spawn key ``(i,)`` appended.
+    Only that final word varies per child, so the pool fill and the
+    full O(pool^2) mixing round are lane-independent scalars; each lane
+    pays one hashmix + four mixes.
+    """
+    words = _entropy_words(entropy)
+    if len(words) < _POOL_SIZE:
+        words = words + [0] * (_POOL_SIZE - len(words))
+
+    hash_const = _INIT_A
+
+    def hashmix(value: int) -> int:
+        nonlocal hash_const
+        value = (value ^ hash_const) & _M32
+        hash_const = (hash_const * _MULT_A) & _M32
+        value = (value * hash_const) & _M32
+        return value ^ (value >> _XSHIFT)
+
+    def mix(x: int, y: int) -> int:
+        result = (x * _MIX_MULT_L - y * _MIX_MULT_R) & _M32
+        return result ^ (result >> _XSHIFT)
+
+    # Pool fill + all-pairs mixing: identical for every child.
+    pool = [hashmix(words[i]) for i in range(_POOL_SIZE)]
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                pool[i_dst] = mix(pool[i_dst], hashmix(pool[i_src]))
+    # Entropy words beyond the pool size: all scalar except the spawn
+    # key, which is the final word and equals the lane index.
+    for i_src in range(_POOL_SIZE, len(words)):
+        for i_dst in range(_POOL_SIZE):
+            pool[i_dst] = mix(pool[i_dst], hashmix(words[i_src]))
+
+    # The spawn-key word (= the lane index): mixed into each pool word
+    # with a *fresh* hashmix — hash_const advances once per destination,
+    # exactly as in the scalar loop above.
+    lane = np.arange(n, dtype=np.uint64)
+    pools = np.empty((_POOL_SIZE, n), dtype=np.uint64)
+    mml = np.uint64(_MIX_MULT_L)
+    mmr = np.uint64(_MIX_MULT_R)
+    xs = np.uint64(_XSHIFT)
+    for i_dst in range(_POOL_SIZE):
+        value = (lane ^ np.uint64(hash_const)) & _U32_MASK
+        hash_const = (hash_const * _MULT_A) & _M32
+        value = (value * np.uint64(hash_const)) & _U32_MASK
+        value ^= value >> xs
+        result = (np.uint64(pool[i_dst]) * mml - value * mmr) & _U32_MASK
+        pools[i_dst] = result ^ (result >> xs)
+    return pools
+
+
+def _generate_state_words(pools: np.ndarray) -> List[np.ndarray]:
+    """``generate_state(4, uint64)`` per lane: four uint64 arrays."""
+    hash_const = _INIT_B
+    out32 = []
+    for i in range(8):
+        value = pools[i % _POOL_SIZE].copy()
+        value = (value ^ np.uint64(hash_const)) & _U32_MASK
+        hash_const = (hash_const * _MULT_B) & _M32
+        value = (value * np.uint64(hash_const)) & _U32_MASK
+        value ^= value >> np.uint64(_XSHIFT)
+        out32.append(value)
+    return [out32[2 * i] | (out32[2 * i + 1] << _SHIFT32) for i in range(4)]
+
+
+# ----------------------------------------------------------------------
+# 128-bit limb arithmetic (uint64 hi/lo pairs, wrapping)
+# ----------------------------------------------------------------------
+
+def _mul64_full(a: np.ndarray, b: np.ndarray):
+    """Full 64x64 -> 128 product via 32-bit schoolbook limbs."""
+    a0 = a & _U32_MASK
+    a1 = a >> _SHIFT32
+    b0 = b & _U32_MASK
+    b1 = b >> _SHIFT32
+    p00 = a0 * b0
+    p01 = a0 * b1
+    p10 = a1 * b0
+    mid = (p00 >> _SHIFT32) + (p01 & _U32_MASK) + (p10 & _U32_MASK)
+    lo = (p00 & _U32_MASK) | ((mid & _U32_MASK) << _SHIFT32)
+    hi = a1 * b1 + (p01 >> _SHIFT32) + (p10 >> _SHIFT32) + (mid >> _SHIFT32)
+    return hi, lo
+
+
+def _step(sh, sl, ih, il):
+    """One PCG64 LCG step: ``state = state * MULT + inc`` mod 2^128."""
+    hi, lo = _mul64_full(sl, np.broadcast_to(_PCG_MULT_LO, sl.shape))
+    hi = hi + sl * _PCG_MULT_HI + sh * _PCG_MULT_LO
+    new_lo = lo + il
+    new_hi = hi + ih + (new_lo < lo)
+    return new_hi, new_lo
+
+
+def _output(sh, sl):
+    """PCG64 XSL-RR output of a (post-step) state."""
+    rot = sh >> np.uint64(58)
+    value = sh ^ sl
+    return (value >> rot) | (value << ((np.uint64(64) - rot) & np.uint64(63)))
+
+
+# ----------------------------------------------------------------------
+# The pools
+# ----------------------------------------------------------------------
+
+class NodeStreamPool:
+    """Per-node RNG streams addressable by *lane* (stable-order index).
+
+    ``lane`` maps node id -> lane; for the common ``range(n)`` node set
+    the mapping is the identity and callers may index by node directly.
+    Obtain instances via :func:`node_stream_pool`, which picks the
+    vectorized implementation when it can guarantee bit-exactness and
+    the generator-wrapping fallback otherwise.
+    """
+
+    lane: Dict[NodeId, int]
+    nodes: List[NodeId]
+
+    def random(self, lanes: np.ndarray) -> np.ndarray:
+        """One ``Generator.random()`` draw per lane, in lane order."""
+        raise NotImplementedError
+
+    def draw_ints(self, lanes: np.ndarray, high: int) -> np.ndarray:
+        """One ``Generator.integers(1, high + 1)`` draw per lane."""
+        raise NotImplementedError
+
+    def generator(self, lane: int) -> np.random.Generator:
+        """A real ``Generator`` owning this lane's stream from here on."""
+        raise NotImplementedError
+
+
+class _VectorPool(NodeStreamPool):
+    def __init__(self, node_list: Sequence[NodeId], seed):
+        n = len(node_list)
+        self.nodes = list(node_list)
+        self.lane = {v: i for i, v in enumerate(node_list)}
+        # Reading .entropy off a real root SeedSequence handles
+        # seed=None (OS entropy) and arbitrary-width ints uniformly.
+        entropy = int(np.random.SeedSequence(seed).entropy)
+        with np.errstate(over="ignore"):
+            w0, w1, w2, w3 = _generate_state_words(_spawn_pools(entropy, n))
+            # pcg_setseq_128_srandom_r: state = step(inc + initstate).
+            one = np.uint64(1)
+            self._ih = (w2 << one) | (w3 >> np.uint64(63))
+            self._il = (w3 << one) | one
+            sl = self._il + w1
+            sh = self._ih + w0 + (sl < self._il)
+            self._sh, self._sl = _step(sh, sl, self._ih, self._il)
+        self._materialized: Dict[int, np.random.Generator] = {}
+
+    def _next64(self, lanes: np.ndarray) -> np.ndarray:
+        if self._materialized:
+            owned = [i for i in lanes.tolist() if i in self._materialized]
+            if owned:
+                raise RuntimeError(
+                    f"lanes {owned[:5]} are owned by materialized "
+                    "generators; vector draws would desynchronize them")
+        with np.errstate(over="ignore"):
+            sh, sl = _step(self._sh[lanes], self._sl[lanes],
+                           self._ih[lanes], self._il[lanes])
+            self._sh[lanes] = sh
+            self._sl[lanes] = sl
+            return _output(sh, sl)
+
+    def random(self, lanes: np.ndarray) -> np.ndarray:
+        return (self._next64(lanes) >> np.uint64(11)) * (2.0 ** -53)
+
+    def draw_ints(self, lanes: np.ndarray, high: int) -> np.ndarray:
+        # Generator.integers(1, high + 1): off = 1, inclusive range
+        # width rng = high - 1.  node_stream_pool guarantees Lemire's
+        # 64-bit path (rng > 2^32 - 1), whose acceptance threshold is
+        # ((2^64 - rng_excl) % rng_excl) on the low product half;
+        # each rejected lane consumes exactly one more raw u64.
+        rng_excl = np.uint64(high)
+        threshold = np.uint64(((1 << 64) - high) % high)
+        out = np.empty(lanes.size, dtype=np.uint64)
+        pos = np.arange(lanes.size)
+        pending = np.asarray(lanes)
+        while pending.size:
+            with np.errstate(over="ignore"):
+                hi, lo = _mul64_full(self._next64(pending),
+                                     np.broadcast_to(rng_excl, pending.shape))
+            accepted = lo >= threshold
+            out[pos[accepted]] = hi[accepted]
+            pos = pos[~accepted]
+            pending = pending[~accepted]
+        return (out + np.uint64(1)).astype(np.int64)
+
+    def generator(self, lane: int) -> np.random.Generator:
+        gen = self._materialized.get(lane)
+        if gen is None:
+            bg = np.random.PCG64()
+            bg.state = {
+                "bit_generator": "PCG64",
+                "state": {
+                    "state": (int(self._sh[lane]) << 64) | int(self._sl[lane]),
+                    "inc": (int(self._ih[lane]) << 64) | int(self._il[lane]),
+                },
+                "has_uint32": 0,
+                "uinteger": 0,
+            }
+            gen = np.random.Generator(bg)
+            self._materialized[lane] = gen
+        return gen
+
+
+class _FallbackPool(NodeStreamPool):
+    """Same interface over real per-node generators (the safety net)."""
+
+    def __init__(self, node_list: Sequence[NodeId], seed):
+        self.nodes = list(node_list)
+        self.lane = {v: i for i, v in enumerate(node_list)}
+        self._rngs = spawn_node_rngs(node_list, seed)
+
+    def random(self, lanes: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self._rngs[self.nodes[i]].random() for i in lanes.tolist()),
+            dtype=np.float64, count=len(lanes))
+
+    def draw_ints(self, lanes: np.ndarray, high: int) -> np.ndarray:
+        return np.fromiter(
+            (int(self._rngs[self.nodes[i]].integers(1, high + 1))
+             for i in lanes.tolist()),
+            dtype=np.int64, count=len(lanes))
+
+    def generator(self, lane: int) -> np.random.Generator:
+        return self._rngs[self.nodes[lane]]
+
+
+# ----------------------------------------------------------------------
+# Factory + self-test
+# ----------------------------------------------------------------------
+
+_vector_verified: Optional[bool] = None
+
+
+def _self_test() -> bool:
+    """Compare the whole vector pipeline against numpy's generators."""
+    try:
+        for seed in (12345, 0):
+            pool = _VectorPool(list(range(6)), seed)
+            ref = spawn_node_rngs(range(6), seed)
+            lanes = np.arange(6)
+            if [float(x) for x in pool.random(lanes)] != \
+                    [ref[v].random() for v in range(6)]:
+                return False
+            high = 10 ** 16
+            for _ in range(3):  # repeat to exercise rejection re-draws
+                drawn = pool.draw_ints(lanes, high)
+                want = [int(ref[v].integers(1, high + 1)) for v in range(6)]
+                if [int(x) for x in drawn] != want:
+                    return False
+            # Materialization must continue the stream in place.
+            gen = pool.generator(2)
+            if gen.random() != ref[2].random():
+                return False
+            if [int(x) for x in gen.integers(0, 2 ** 62, size=3)] != \
+                    [int(x) for x in ref[2].integers(0, 2 ** 62, size=3)]:
+                return False
+        return True
+    except Exception:
+        return False
+
+
+def node_stream_pool(nodes: Iterable[NodeId], seed,
+                     *, bounded_ranges: Sequence[int] = ()) -> NodeStreamPool:
+    """A :class:`NodeStreamPool` over ``nodes``, vectorized when exact.
+
+    ``bounded_ranges`` lists the inclusive range widths of every
+    ``integers``-style draw the caller intends to make; any width at or
+    below 2^32 - 1 selects numpy's buffered 32-bit sampler, which the
+    vector engine does not model, so such callers get the fallback.
+    """
+    global _vector_verified
+    node_list = _stable_order(nodes)
+    eligible = all(_M32 < r < _M64 for r in bounded_ranges)
+    if eligible:
+        if _vector_verified is None:
+            _vector_verified = _self_test()
+        if _vector_verified:
+            return _VectorPool(node_list, seed)
+    return _FallbackPool(node_list, seed)

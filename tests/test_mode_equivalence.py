@@ -91,6 +91,115 @@ def test_udg_members_identical_across_modes(mode, seed):
 
 
 # ----------------------------------------------------------------------
+# Kernel vs. per-node reference: the vectorized direct backends of
+# Algorithms 2 and 3 must be bit-identical to their pre-vectorization
+# per-node loops — same members, same RunStats, same details, same
+# per-node RNG consumption (execute(..., reference_direct=True) selects
+# the oracle).  This pins PR 5 the way test_transport_equivalence.py
+# pinned the columnar transport.
+# ----------------------------------------------------------------------
+
+def _assert_same_result(kernel, reference):
+    assert kernel.members == reference.members
+    assert kernel.stats == reference.stats
+    assert kernel.details == reference.details
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("k", (1, 2, 3))
+@pytest.mark.parametrize("policy", ("random", "by-id"))
+def test_udg_kernel_matches_reference(policy, k, seed):
+    from repro.core.udg import UDGProgram
+    from repro.engine import execute
+
+    udg = random_udg(120, density=9.0, seed=seed)
+    kernel = solve_kmds_udg(udg, k=k, mode="direct",
+                            selection_policy=policy, seed=seed)
+    ref = execute(UDGProgram(udg, k, policy, seed), "direct", seed=seed,
+                  reference_direct=True)
+    ref.details["mode"] = "direct"
+    _assert_same_result(kernel, ref)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("graph_kind", ("qudg", "noisy"))
+def test_udg_kernel_matches_reference_on_geometric_variants(
+        graph_kind, seed):
+    from repro.core.udg import UDGProgram
+    from repro.engine import execute
+    from repro.engine.kernels import supports_kernel_election
+    from repro.graphs.udg import NoisySensingUDG, QuasiUnitDiskGraph
+
+    base = random_udg(90, density=9.0, seed=seed)
+    if graph_kind == "qudg":
+        udg = QuasiUnitDiskGraph(base.points, alpha=0.75, seed=seed)
+    else:
+        udg = NoisySensingUDG(base.points, sigma=0.05, noise_seed=seed)
+    assert supports_kernel_election(udg)
+    kernel = solve_kmds_udg(udg, k=2, mode="direct", seed=seed)
+    ref = execute(UDGProgram(udg, 2, "random", seed), "direct", seed=seed,
+                  reference_direct=True)
+    ref.details["mode"] = "direct"
+    _assert_same_result(kernel, ref)
+
+
+def test_udg_exotic_subclass_falls_back_to_reference():
+    # A subclass with bespoke sensing semantics the distance CSR cannot
+    # express must run the per-node reference path (and still be right).
+    from repro.engine.kernels import supports_kernel_election
+    from repro.graphs.udg import UnitDiskGraph
+
+    class CustomSensing(UnitDiskGraph):
+        def neighbors_within(self, v, theta):
+            return [w for w in super().neighbors_within(v, theta)
+                    if (v + w) % 7 != 3]
+
+    base = random_udg(60, density=8.0, seed=4)
+    udg = CustomSensing(base.points)
+    assert not supports_kernel_election(udg)
+    result = solve_kmds_udg(udg, k=2, mode="direct", seed=4)
+    assert result.members  # the reference path ran and produced a set
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("k", (1, 2, 3))
+@pytest.mark.parametrize("policy", ("random", "highest-x", "self-first"))
+def test_rounding_kernel_matches_reference(policy, k, seed):
+    from repro.core.lp import CoveringLP
+    from repro.core.rounding import RoundingProgram
+    from repro.engine import execute
+
+    g = _graph(seed)
+    cov = feasible_coverage(g, k)
+    frac = fractional_kmds(g, coverage=cov, t=2, mode="direct", seed=seed)
+    kernel = randomized_rounding(g, frac.x, coverage=cov, policy=policy,
+                                 mode="direct", seed=seed)
+    lp = CoveringLP(g, cov)
+    ref = execute(RoundingProgram(lp, frac.x, policy, seed), "direct",
+                  seed=seed, reference_direct=True)
+    _assert_same_result(kernel, ref)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rounding_kernel_matches_reference_on_udg(seed):
+    from repro.core.lp import CoveringLP
+    from repro.core.rounding import RoundingProgram
+    from repro.engine import execute
+    from repro.graphs.properties import as_nx
+
+    udg = random_udg(150, density=9.0, seed=seed)
+    g = as_nx(udg)
+    cov = feasible_coverage(g, 2)
+    frac = fractional_kmds(g, coverage=cov, t=2, mode="direct", seed=seed)
+    kernel = randomized_rounding(g, frac.x, coverage=cov, mode="direct",
+                                 seed=seed)
+    ref = execute(RoundingProgram(CoveringLP(g, cov), frac.x, "random",
+                                  seed), "direct",
+                  seed=seed, reference_direct=True)
+    _assert_same_result(kernel, ref)
+
+
+# ----------------------------------------------------------------------
 # JRS/LRG baseline: identical sets and phase counts
 # ----------------------------------------------------------------------
 
