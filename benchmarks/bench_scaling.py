@@ -29,7 +29,6 @@ where the acceptance threshold — fast >= 10x baseline — is checked).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Optional
@@ -37,6 +36,11 @@ from typing import Optional
 from repro.dynamics import LocalPatchRepair, MaintenanceLoop, Scenario
 from repro.dynamics.events import PoissonJoins, RandomCrashes
 from repro.graphs.udg import random_udg
+
+try:
+    from benchmarks.bench_common import write_report
+except ImportError:  # run standalone: benchmarks/ itself is on sys.path
+    from bench_common import write_report
 
 SCALES = {
     # sizes swept; epochs per run; largest n the baseline still runs at.
@@ -168,10 +172,7 @@ def main(argv: Optional[list] = None) -> int:
                    "seed": args.seed},
         "results": results,
     }
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    write_report(payload, args.out)
 
     failures = 0
     for row in results:

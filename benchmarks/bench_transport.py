@@ -35,17 +35,20 @@ is skipped above ``legacy_cap`` and its ratio reported as ``null``).
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import subprocess
 import sys
-import time
 from typing import Optional
 
 from repro.core.fractional import FractionalProgram, _resolve_instance
 from repro.engine import execute
 from repro.graphs import feasible_coverage
 from repro.graphs.udg import random_udg
+
+try:
+    from benchmarks.bench_common import (record_check, run_before_scenario,
+                                         timed_best, write_report)
+except ImportError:  # run standalone: benchmarks/ itself is on sys.path
+    from bench_common import (record_check, run_before_scenario, timed_best,
+                              write_report)
 
 SCALES = {
     # sizes swept; legacy flag path skipped above the cap (too slow).
@@ -96,14 +99,10 @@ def build_program(n: int, *, t: int, seed: int) -> FractionalProgram:
 
 def timed_execute(program, *, seed: int, legacy: bool, repeats: int):
     """Best-of-``repeats`` wall time plus the (identical) result."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = execute(program, "message", seed=seed,
-                         legacy_transport=legacy)
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+    return timed_best(
+        lambda: execute(program, "message", seed=seed,
+                        legacy_transport=legacy),
+        repeats)
 
 
 def assert_equivalent(legacy_sol, columnar_sol) -> None:
@@ -123,14 +122,9 @@ def run_before(before_src: str, *, n: int, t: int, seed: int,
                repeats: int) -> dict:
     """Time the same scenario under the pre-columnar tree in a
     subprocess (its own import universe)."""
-    script = _SUBPROCESS_SCRIPT.format(
-        n=n, radius=RADIUS.get(n, 0.05), seed=seed, t=t, repeats=repeats)
-    env = dict(os.environ, PYTHONPATH=before_src)
-    out = subprocess.run([sys.executable, "-c", script],
-                         capture_output=True, text=True, env=env)
-    if out.returncode != 0:
-        raise RuntimeError(f"--before run failed:\n{out.stderr}")
-    return json.loads(out.stdout.strip().splitlines()[-1])
+    return run_before_scenario(before_src, _SUBPROCESS_SCRIPT, n=n,
+                               radius=RADIUS.get(n, 0.05), seed=seed, t=t,
+                               repeats=repeats)
 
 
 def measure(n: int, *, t: int, seed: int, repeats: int, run_legacy: bool,
@@ -216,27 +210,19 @@ def main(argv: Optional[list] = None) -> int:
         if row["n"] != ACCEPTANCE_N:
             continue
         if row["speedup_vs_before"] is not None:
-            ok = row["speedup_vs_before"] >= ACCEPTANCE_SPEEDUP
-            report["acceptance"]["speedup_vs_before"] = row["speedup_vs_before"]
-            report["acceptance"]["passed"] = ok
-            print(f"acceptance at n={ACCEPTANCE_N}: "
-                  f"{'PASS' if ok else 'FAIL'} "
-                  f"({row['speedup_vs_before']:.2f}x vs "
-                  f">={ACCEPTANCE_SPEEDUP}x pre-columnar)")
-            failed |= not ok
+            failed |= not record_check(
+                report, title=f"acceptance at n={ACCEPTANCE_N}",
+                key="speedup_vs_before", passed_key="passed",
+                speedup=row["speedup_vs_before"],
+                threshold=ACCEPTANCE_SPEEDUP, vs="pre-columnar")
         elif row["flag_speedup"] is not None:
-            ok = row["flag_speedup"] >= INTREE_GUARD_SPEEDUP
-            report["acceptance"]["flag_speedup"] = row["flag_speedup"]
-            report["acceptance"]["guard_passed"] = ok
-            print(f"in-tree guard at n={ACCEPTANCE_N}: "
-                  f"{'PASS' if ok else 'FAIL'} "
-                  f"({row['flag_speedup']:.2f}x vs "
-                  f">={INTREE_GUARD_SPEEDUP}x legacy flag)")
-            failed |= not ok
+            failed |= not record_check(
+                report, title=f"in-tree guard at n={ACCEPTANCE_N}",
+                key="flag_speedup", passed_key="guard_passed",
+                speedup=row["flag_speedup"],
+                threshold=INTREE_GUARD_SPEEDUP, vs="legacy flag")
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(report, fh, indent=2)
-        print(f"wrote {args.out}")
+        write_report(report, args.out)
     return 1 if failed else 0
 
 

@@ -45,6 +45,7 @@ from repro.core import (
     randomized_rounding,
     solve_kmds_general,
     solve_kmds_udg,
+    solve_kmds_udg_batch,
     theorem_45_ratio_bound,
     uncovered_nodes,
 )
@@ -82,6 +83,7 @@ __all__ = [
     # core algorithms
     "solve_kmds_general",
     "solve_kmds_udg",
+    "solve_kmds_udg_batch",
     "fractional_kmds",
     "randomized_rounding",
     "part_one_leaders",

@@ -1,0 +1,148 @@
+"""Optional compiled kernels for the replica-batched direct backend.
+
+The hot loops of the batched backend — PCG64 stream advancement and the
+per-round election scan — are memory-light, branch-heavy loops that
+NumPy can only express as dozens of full-array passes.  This package
+compiles ``kernels.c`` once with whatever plain C compiler the host has
+(``cc -O3 -shared -fPIC``), caches the shared object next to the source
+keyed by a content hash, and exposes it through :mod:`ctypes` (stdlib —
+no new dependency).  Everything here is strictly optional:
+
+* no compiler, a failed compile, or ``REPRO_NATIVE=0`` in the
+  environment all degrade to the pure-NumPy implementations, which are
+  bit-for-bit equivalent (pinned by ``tests/test_vecrng.py``);
+* the compiled path is an *implementation detail behind the existing
+  ``engine.kernels`` / ``simulation.vecrng`` surfaces* — callers never
+  see it.  This is the stepping stone layout for the planned
+  numba/GPU backend: swap the ``.so`` for a device module, keep the
+  surface.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SOURCE = _HERE / "kernels.c"
+
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+
+def _compile() -> Path | None:
+    """Compile kernels.c into a content-addressed cached .so, or return
+    the cached artifact if the source has not changed."""
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    build = _HERE / "_build"
+    target = build / f"kernels-{digest}.so"
+    if target.exists():
+        return target
+    for cc in ("cc", "gcc", "clang"):
+        try:
+            build.mkdir(exist_ok=True)
+            tmp = build / f".kernels-{digest}.{os.getpid()}.so"
+            proc = subprocess.run(
+                [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp),
+                 str(_SOURCE)],
+                capture_output=True, timeout=120)
+            if proc.returncode == 0 and tmp.exists():
+                os.replace(tmp, target)  # atomic: safe under parallel use
+                return target
+            tmp.unlink(missing_ok=True)
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+def lib() -> ctypes.CDLL | None:
+    """The loaded kernel library, or None when unavailable."""
+    global _lib, _tried
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        return None
+    path = _compile()
+    if path is None:
+        return None
+    try:
+        cdll = ctypes.CDLL(str(path))
+        u64p = ctypes.POINTER(ctypes.c_uint64)
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        cdll.repro_draw_masked.argtypes = [
+            u64p, u64p, u64p, u64p, u8p, u8p,
+            ctypes.c_int64, ctypes.c_uint64, i64p]
+        cdll.repro_draw_masked.restype = None
+        cdll.repro_elect_batch.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            i64p, i64p, i64p, i64p, i64p, u8p, u8p, i64p]
+        cdll.repro_elect_batch.restype = None
+        u32p = ctypes.POINTER(ctypes.c_uint32)
+        cdll.repro_seed_lanes.argtypes = [
+            u32p, u32p, ctypes.c_int64, ctypes.c_int64,
+            u64p, u64p, u64p, u64p]
+        cdll.repro_seed_lanes.restype = None
+    except (OSError, AttributeError):
+        return None
+    _lib = cdll
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled kernels are usable on this host."""
+    return lib() is not None
+
+
+def _ptr(arr, ctype):
+    return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+
+def draw_masked(sh, sl, ih, il, mask, need, high: int, out) -> None:
+    """Native masked bounded draw; see repro_draw_masked in kernels.c.
+
+    All arrays must be C-contiguous; ``need`` may be None.  States in
+    ``sh``/``sl`` advance in place.
+    """
+    cdll = lib()
+    assert cdll is not None
+    nullp = ctypes.POINTER(ctypes.c_uint8)()
+    cdll.repro_draw_masked(
+        _ptr(sh, ctypes.c_uint64), _ptr(sl, ctypes.c_uint64),
+        _ptr(ih, ctypes.c_uint64), _ptr(il, ctypes.c_uint64),
+        _ptr(mask, ctypes.c_uint8),
+        nullp if need is None else _ptr(need, ctypes.c_uint8),
+        ctypes.c_int64(mask.size), ctypes.c_uint64(high),
+        _ptr(out, ctypes.c_int64))
+
+
+def seed_lanes(pool4, hc, R: int, n: int, ih, il, sh, sl) -> None:
+    """Native per-lane PCG64 seeding; see repro_seed_lanes in kernels.c."""
+    cdll = lib()
+    assert cdll is not None
+    cdll.repro_seed_lanes(
+        _ptr(pool4, ctypes.c_uint32), _ptr(hc, ctypes.c_uint32),
+        ctypes.c_int64(R), ctypes.c_int64(n),
+        _ptr(ih, ctypes.c_uint64), _ptr(il, ctypes.c_uint64),
+        _ptr(sh, ctypes.c_uint64), _ptr(sl, ctypes.c_uint64))
+
+
+def elect_batch(R: int, n: int, sub, starts, deg, nbr_w,
+                ids, active, elected, scratch) -> None:
+    """Native batched election scan; see repro_elect_batch in kernels.c."""
+    cdll = lib()
+    assert cdll is not None
+    cdll.repro_elect_batch(
+        ctypes.c_int64(R), ctypes.c_int64(n), ctypes.c_int64(sub.size),
+        _ptr(sub, ctypes.c_int64), _ptr(starts, ctypes.c_int64),
+        _ptr(deg, ctypes.c_int64), _ptr(nbr_w, ctypes.c_int64),
+        _ptr(ids, ctypes.c_int64), _ptr(active, ctypes.c_uint8),
+        _ptr(elected, ctypes.c_uint8), _ptr(scratch, ctypes.c_int64))

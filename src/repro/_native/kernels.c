@@ -1,0 +1,171 @@
+/* Optional native kernels for the replica-batched direct backend.
+ *
+ * Compiled lazily by repro._native (plain `cc -O2 -shared -fPIC`) and
+ * loaded through ctypes; every entry point has a bit-exact NumPy
+ * fallback, so a missing compiler only costs speed, never correctness.
+ *
+ * The PCG64 arithmetic below mirrors repro.simulation.vecrng exactly:
+ * 128-bit LCG step (state = state * PCG_MULT + inc), XSL-RR output,
+ * and Lemire 64-bit bounded rejection with the acceptance test on the
+ * wrapping low product half.  Streams advanced here and streams
+ * advanced by the NumPy limb pipeline are interchangeable mid-run.
+ */
+
+#include <stdint.h>
+#include <stddef.h>
+
+typedef unsigned __int128 u128;
+
+#define PCG_MULT_HI 0x2360ED051FC65DA4ULL
+#define PCG_MULT_LO 0x4385DF649FCCF645ULL
+
+/* Bounded draws for every lane where mask[i] != 0.
+ *
+ * States (sh, sl) are updated in place; inc limbs are read-only.  A
+ * lane's value lands in out[i] (range [1, high]) only where both mask
+ * and need hold -- `need` may be NULL meaning "all masked lanes".
+ * Lanes outside the mask are untouched.  Rejected candidates consume
+ * exactly one extra raw u64 each, same as the NumPy path.
+ */
+void repro_draw_masked(uint64_t *sh, uint64_t *sl,
+                       const uint64_t *ih, const uint64_t *il,
+                       const uint8_t *mask, const uint8_t *need,
+                       int64_t m, uint64_t high, int64_t *out)
+{
+    const u128 mult = ((u128)PCG_MULT_HI << 64) | PCG_MULT_LO;
+    const uint64_t threshold = (uint64_t)(0 - high) % high;
+    for (int64_t i = 0; i < m; ++i) {
+        if (!mask[i])
+            continue;
+        u128 st = ((u128)sh[i] << 64) | sl[i];
+        const u128 inc = ((u128)ih[i] << 64) | il[i];
+        uint64_t res;
+        for (;;) {
+            st = st * mult + inc;
+            uint64_t xh = (uint64_t)(st >> 64);
+            uint64_t xl = (uint64_t)st;
+            uint64_t rot = xh >> 58;
+            uint64_t val = xh ^ xl;
+            val = (val >> rot) | (val << ((64 - rot) & 63));
+            u128 prod = (u128)val * high;
+            if ((uint64_t)prod >= threshold) {
+                res = (uint64_t)(prod >> 64);
+                break;
+            }
+        }
+        sh[i] = (uint64_t)(st >> 64);
+        sl[i] = (uint64_t)st;
+        if (need == NULL || need[i])
+            out[i] = (int64_t)(res + 1);
+    }
+}
+
+/* Per-lane tail of SeedSequence(entropy).spawn(n) -> PCG64 seeding.
+ *
+ * The scalar prefix (entropy-pool fill + all-pairs mixing) is computed
+ * in Python per seed; this kernel does everything per-lane: the
+ * spawn-key hashmix/mix into the four pool words, generate_state(4,
+ * uint64), the increment/state limb assembly, and the initial LCG
+ * step (pcg_setseq_128_srandom_r: state = step(inc + initstate)).
+ * Constants are numpy's seed_seq_fe adoption (32-bit arithmetic).
+ */
+#define INIT_B 0x8B51F9DDu
+#define MULT_A 0x931E8875u
+#define MULT_B 0x58F38DEDu
+#define MIX_L 0xCA01F9DDu
+#define MIX_R 0x4973F715u
+
+void repro_seed_lanes(const uint32_t *pool4, const uint32_t *hc0,
+                      int64_t R, int64_t n,
+                      uint64_t *ih, uint64_t *il,
+                      uint64_t *sh, uint64_t *sl)
+{
+    const u128 mult = ((u128)PCG_MULT_HI << 64) | PCG_MULT_LO;
+    for (int64_t r = 0; r < R; ++r) {
+        const uint32_t *pool = pool4 + 4 * r;
+        /* hash_const advances once per destination word, identically
+         * for every lane: precompute the pre/post-multiply pairs. */
+        uint32_t pre[4], post[4], hc = hc0[r];
+        for (int d = 0; d < 4; ++d) {
+            pre[d] = hc;
+            hc *= MULT_A;
+            post[d] = hc;
+        }
+        uint64_t *ihr = ih + r * n, *ilr = il + r * n;
+        uint64_t *shr = sh + r * n, *slr = sl + r * n;
+        for (int64_t lane = 0; lane < n; ++lane) {
+            uint32_t p[4];
+            for (int d = 0; d < 4; ++d) {
+                uint32_t v = (uint32_t)lane ^ pre[d];
+                v *= post[d];
+                v ^= v >> 16;
+                uint32_t res = pool[d] * MIX_L - v * MIX_R;
+                p[d] = res ^ (res >> 16);
+            }
+            uint32_t w[8], h2 = INIT_B;
+            for (int i = 0; i < 8; ++i) {
+                uint32_t v = p[i & 3] ^ h2;
+                h2 *= MULT_B;
+                v *= h2;
+                v ^= v >> 16;
+                w[i] = v;
+            }
+            const uint64_t w0 = w[0] | ((uint64_t)w[1] << 32);
+            const uint64_t w1 = w[2] | ((uint64_t)w[3] << 32);
+            const uint64_t w2 = w[4] | ((uint64_t)w[5] << 32);
+            const uint64_t w3 = w[6] | ((uint64_t)w[7] << 32);
+            const uint64_t ihv = (w2 << 1) | (w3 >> 63);
+            const uint64_t ilv = (w3 << 1) | 1;
+            const u128 inc = ((u128)ihv << 64) | ilv;
+            u128 st = inc + (((u128)w0 << 64) | w1);
+            st = st * mult + inc;
+            ihr[lane] = ihv;
+            ilr[lane] = ilv;
+            shr[lane] = (uint64_t)(st >> 64);
+            slr[lane] = (uint64_t)st;
+        }
+    }
+}
+
+/* One election round over every replica at once.
+ *
+ * For each within-degree>0 node sub[s] and each replica r where that
+ * node is active, find the largest id among the node itself and its
+ * active within-range neighbours (ties broken toward the larger node
+ * index, matching the NumPy kernel) and mark the winner in elected.
+ * Arrays ids / active / elected are C-contiguous (R, n) planes.
+ */
+void repro_elect_batch(int64_t R, int64_t n, int64_t S,
+                       const int64_t *sub, const int64_t *starts,
+                       const int64_t *deg, const int64_t *nbr_w,
+                       const int64_t *ids, const uint8_t *active,
+                       uint8_t *elected, int64_t *scratch)
+{
+    for (int64_t r = 0; r < R; ++r) {
+        const uint8_t *act = active + r * n;
+        const int64_t *id = ids + r * n;
+        uint8_t *el = elected + r * n;
+        /* Zero inactive lanes' ids once per replica: active ids are
+         * >= 1 (the algorithm's identifiers always are), so a zero
+         * never wins and the candidate scan below stays branchless. */
+        for (int64_t i = 0; i < n; ++i)
+            scratch[i] = act[i] ? id[i] : 0;
+        for (int64_t s = 0; s < S; ++s) {
+            const int64_t v = sub[s];
+            if (!act[v])
+                continue;
+            int64_t best = scratch[v];
+            int64_t node = v;
+            const int64_t *p = nbr_w + starts[s];
+            const int64_t d = deg[s];
+            for (int64_t j = 0; j < d; ++j) {
+                const int64_t u = p[j];
+                const int64_t q = scratch[u];
+                const int better = (q > best) | ((q == best) & (u > node));
+                best = better ? q : best;
+                node = better ? u : node;
+            }
+            el[node] = 1;
+        }
+    }
+}

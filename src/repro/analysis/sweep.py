@@ -3,6 +3,12 @@
 A sweep runs a measurement function over the cartesian product of named
 parameter lists, replicated over seeds, and collects one flat record per
 run — the shape every benchmark table is built from.
+
+Seed replication is the axis the replica-batched direct backend
+collapses: a measurement that can run all its seeds in one
+:func:`repro.engine.execute_batch` pass plugs in as ``measure_batch``
+and receives the whole validated seed list per grid point, instead of
+being called once per seed.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ def sweep(measure: Callable[..., Mapping[str, Any]],
           params: Mapping[str, Sequence[Any]],
           *,
           seeds: Sequence[int] = (0,),
+          measure_batch: Callable[..., Sequence[Mapping[str, Any]]]
+          | None = None,
           on_record: Callable[[Dict[str, Any]], None] | None = None
           ) -> List[Dict[str, Any]]:
     """Run ``measure(seed=..., **point)`` over a parameter grid.
@@ -27,7 +35,18 @@ def sweep(measure: Callable[..., Mapping[str, Any]],
     params:
         Mapping from parameter name to the list of values to sweep.
     seeds:
-        Replication seeds; each grid point runs once per seed.
+        Replication seeds; each grid point runs once per seed.  Every
+        seed is validated through :func:`repro.engine.validate_seed`
+        before anything runs, so a malformed entry fails fast instead
+        of half-way through an expensive grid.
+    measure_batch:
+        Optional replica-batched form: called as
+        ``measure_batch(seeds=list(seeds), **point)`` once per grid
+        point and must return one result mapping per seed, in order.
+        Implementations typically forward to
+        :func:`repro.engine.execute_batch` (or a wrapper like
+        ``solve_kmds_udg_batch``) so the whole replication axis runs as
+        one kernel pass.  When given, ``measure`` is not called.
     on_record:
         Optional callback invoked with each completed record (e.g. for
         incremental printing).
@@ -38,18 +57,33 @@ def sweep(measure: Callable[..., Mapping[str, Any]],
         One record per (grid point, seed), containing the coordinates, the
         seed, and every field returned by ``measure``.
     """
+    from repro.engine import validate_seed
+
+    seed_list = [validate_seed(s) for s in seeds]
     names = list(params)
     records: List[Dict[str, Any]] = []
+
+    def emit(point: Dict[str, Any], seed, result: Mapping[str, Any]) -> None:
+        record: Dict[str, Any] = dict(point)
+        record["seed"] = seed
+        record.update(result)
+        records.append(record)
+        if on_record is not None:
+            on_record(record)
+
     for combo in itertools.product(*(params[name] for name in names)):
         point = dict(zip(names, combo))
-        for seed in seeds:
-            result = measure(seed=seed, **point)
-            record: Dict[str, Any] = dict(point)
-            record["seed"] = seed
-            record.update(result)
-            records.append(record)
-            if on_record is not None:
-                on_record(record)
+        if measure_batch is not None:
+            results = list(measure_batch(seeds=list(seed_list), **point))
+            if len(results) != len(seed_list):
+                raise ValueError(
+                    f"measure_batch returned {len(results)} results for "
+                    f"{len(seed_list)} seeds at grid point {point!r}")
+            for seed, result in zip(seed_list, results):
+                emit(point, seed, result)
+        else:
+            for seed in seed_list:
+                emit(point, seed, measure(seed=seed, **point))
     return records
 
 

@@ -124,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help=f"one of {sorted(EXPERIMENTS)} or 'all'")
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--replicas", type=int, default=None,
+                     help="seed-replication count for experiments with a "
+                          "batched replication axis (E6/E7/E9); runs as "
+                          "one replica-batched kernel pass")
     exp.add_argument("--markdown", action="store_true",
                      help="emit EXPERIMENTS.md-style markdown")
     exp.add_argument("--json", dest="json_path", default=None,
@@ -334,7 +338,8 @@ def _cmd_experiment(args) -> int:
     failures = 0
     reports = []
     for eid in ids:
-        report = run_experiment(eid, scale=args.scale, seed=args.seed)
+        report = run_experiment(eid, scale=args.scale, seed=args.seed,
+                                replicas=args.replicas)
         reports.append(report)
         print(report.render_markdown() if args.markdown else report.render())
         print()

@@ -12,7 +12,8 @@ from repro.core.lp import CoveringLP
 from repro.core.fractional import fractional_kmds, theorem_45_ratio_bound
 from repro.core.rounding import randomized_rounding
 from repro.core.general import solve_kmds_general
-from repro.core.udg import solve_kmds_udg, part_one_leaders
+from repro.core.udg import (part_one_leaders, solve_kmds_udg,
+                            solve_kmds_udg_batch)
 from repro.core.verify import (
     is_k_dominating_set,
     coverage_counts,
@@ -27,6 +28,7 @@ __all__ = [
     "randomized_rounding",
     "solve_kmds_general",
     "solve_kmds_udg",
+    "solve_kmds_udg_batch",
     "part_one_leaders",
     "is_k_dominating_set",
     "coverage_counts",

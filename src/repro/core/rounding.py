@@ -41,7 +41,7 @@ from repro.graphs.properties import as_nx
 from repro.simulation.messages import Message
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
-from repro.simulation.vecrng import node_stream_pool
+from repro.simulation.vecrng import node_stream_pool, replica_node_streams
 from repro.types import CoverageMap, DominatingSet, NodeId, RunStats
 
 REQUEST_POLICIES = ("random", "highest-x", "self-first")
@@ -219,6 +219,65 @@ class RoundingProgram(RoundProgram):
             details={"sampled": sampled, "requested": len(requested),
                      "policy": policy},
         )
+
+    def direct_batch(self, instrs, seeds) -> List[DominatingSet]:
+        """Replica-batched :meth:`direct`: one rounding draw and one
+        coverage mat-mat for the whole seed sweep (lane = (replica,
+        node)); only each replica's (few) deficient nodes run the
+        per-node REQ selection, exactly as in the single-replica kernel.
+        Bit-identical to the sequential per-seed loop."""
+        lp, x, policy = self.lp, self.x, self.policy
+        art = self.artifacts
+        n = lp.n
+        streams = replica_node_streams(lp.nodes, seeds)
+        delta = lp.delta
+
+        # Lines 1-2 for every replica at once: one u64 per (replica,
+        # node) stream, consumed exactly as each replica's own batched
+        # draw would be (streams are independent across lanes).
+        uniforms = streams.random(
+            np.arange(streams.replicas * n)).reshape(-1, n)
+        probs = np.fromiter(
+            (rounding_probability(x[v], delta) for v in lp.nodes),
+            dtype=np.float64, count=n)
+        perm = np.fromiter((streams.lane[v] for v in lp.nodes),
+                           dtype=np.int64, count=n)
+        member_mat = uniforms[:, perm] < probs[None, :]
+        counts = kernels.member_counts_batch(art, indicators=member_mat,
+                                             convention="closed")
+        required = np.fromiter((lp.coverage[v] for v in lp.nodes),
+                               dtype=np.int64, count=n)
+        nbrs_of = art.sorted_neighbors
+
+        results = []
+        for r, instr in enumerate(instrs):
+            member_vec = member_mat[r]
+            sampled = int(member_vec.sum())
+            is_member = dict(zip(lp.nodes, member_vec.tolist()))
+            pool = streams.replica_pool(r)
+            requested: set = set()
+            req_messages = 0
+            for i in np.nonzero(required > counts[r])[0].tolist():
+                v = art.nodes[i]
+                need = int(required[i] - counts[r, i])
+                candidates = ([] if is_member[v] else [v]) \
+                    + [w for w in nbrs_of[v] if not is_member[w]]
+                for w in _choose_requests(pool.generator(pool.lane[v]), v,
+                                          candidates, x, need, policy):
+                    requested.add(w)
+                    if w != v:
+                        req_messages += 1
+            members = {v for v, m in is_member.items() if m} | requested
+            instr.charge_messages(2 * self.artifacts.m,
+                                  MembershipMsg(member=False), rounds=1)
+            instr.charge_messages(req_messages, ReqMsg(), rounds=1)
+            results.append(DominatingSet(
+                members=members,
+                stats=instr.stats,
+                details={"sampled": sampled, "requested": len(requested),
+                         "policy": policy},
+            ))
+        return results
 
     def direct_reference(self, instr: Instrumentation) -> DominatingSet:
         """The per-node reference loop (bit-exactness oracle for the

@@ -35,7 +35,8 @@ from typing import Dict, Iterator, List, Sequence, Set
 
 import numpy as np
 
-from repro.engine import Instrumentation, RoundProgram, execute, validate_seed
+from repro.engine import (Instrumentation, RoundProgram, execute,
+                          execute_batch, validate_seed)
 from repro.engine import kernels
 from repro.engine.artifacts import graph_artifacts
 from repro.errors import GeometryError, GraphError
@@ -43,7 +44,7 @@ from repro.graphs.udg import UnitDiskGraph
 from repro.simulation.messages import Message
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
-from repro.simulation.vecrng import node_stream_pool
+from repro.simulation.vecrng import node_stream_pool, replica_node_streams
 from repro.types import DominatingSet, NodeId, RunStats
 
 #: The paper's base xi = 3/2 for the doubling schedule.
@@ -285,6 +286,127 @@ def _part_two_kernel(art, leaders: Set[int], k: int, pool, policy: str,
 
 
 # ======================================================================
+# Direct mode — replica-batched kernel implementation
+#
+# The same two kernel phases generalized so a lane is a (replica, node)
+# pair: one identifier draw and one election reduction advance the
+# whole Monte Carlo sweep, and adoption coverage is one (R, n) mat-mat.
+# Each replica's RNG streams and update order are exactly the
+# single-replica kernel's, so per-replica results are bit-identical to
+# the sequential per-seed loop (pinned by test_mode_equivalence.py).
+# ======================================================================
+
+def _part_one_kernel_batch(udg: UnitDiskGraph, streams,
+                           details_list: List[dict]) -> np.ndarray:
+    n = udg.n
+    R = len(details_list)
+    schedule = theta_schedule(n)
+    id_hi = min(_id_space(n), _MAX_SAMPLED_ID)
+    for details in details_list:
+        details["theta_per_round"] = list(schedule)
+        details["active_per_round"] = [n]
+
+    indptr, src, nbr, dist = kernels.udg_distance_csr(udg)
+    active = np.ones((R, n), dtype=bool)
+    ids = np.zeros((R, n), dtype=np.int64)
+    flat_ids = ids.reshape(-1)
+    for theta in schedule:
+        within = dist <= theta
+        # A node's identifier this round can only be *read* if it has a
+        # within-neighbor to compare against (own election) or is some
+        # other node's within-candidate.  Every other draw must still
+        # happen — stream positions are part of the bit-exactness
+        # contract — but its value is provably unread, so the draw
+        # skips materializing it (vecrng's ``need`` mask).  In the
+        # early doubling rounds that is almost every lane.
+        within_csr = kernels.compress_within(indptr, nbr, within)
+        need_node = within_csr[0] > 0
+        need_node |= np.bincount(within_csr[2], minlength=n).astype(bool)
+        # One identifier per active (replica, node) stream; ascending
+        # flat-lane order consumes each stream exactly as the replica's
+        # own single-run batched draw would.  Drawing straight into the
+        # persistent ids plane (``out=``) skips an extract/scatter pair
+        # per round; lanes outside mask & need end up stale or
+        # unspecified — provably unread this round, and refreshed
+        # before any round that does read them.
+        streams.draw_ints_masked(active.reshape(-1), id_hi,
+                                 need=np.tile(need_node, R), out=flat_ids)
+        active = kernels.elect_round_batch(indptr, src, nbr, within,
+                                           active, ids,
+                                           within_csr=within_csr)
+        counts = active.sum(axis=1)
+        for r, details in enumerate(details_list):
+            details["active_per_round"].append(int(counts[r]))
+    return active
+
+
+def _part_two_kernel_batch(art, leader: np.ndarray, k: int, streams,
+                           policy: str, details_list: List[dict]) -> None:
+    """Adopt into ``leader`` (an (R, n) boolean plane, mutated in
+    place) until no replica has a deficient node."""
+    R, n = leader.shape
+    coverage = kernels.member_counts_batch(art, indicators=leader,
+                                           convention="closed")
+    deficient = (~leader) & (coverage < k)
+    closed = art.closed_nbrs
+
+    iterations = np.zeros(R, dtype=np.int64)
+    adopted = np.zeros(R, dtype=np.int64)
+    adj = art.closed_adjacency()
+    ai, ax = adj.indptr, adj.indices
+    live = np.nonzero(deficient.any(axis=1))[0]
+    while live.size:
+        iterations[live] += 1
+        # A leader acts iff some deficient node sits in its closed ball
+        # (= it sits in a frontier ball, by ball symmetry).  Deficient
+        # nodes are few, so expanding *their* closed balls over the CSR
+        # touches O(sum deg(deficient)) pairs — far less than a dense
+        # mat-mat over every live replica — and each (deficient d,
+        # ball member u) pair serves three reads: u's candidate count,
+        # u's actor status, and (when u adopts wholesale) d's pick.
+        rj, dd = np.nonzero(deficient[live])
+        deg = (ai[dd + 1] - ai[dd]).astype(np.int64)
+        ends = np.cumsum(deg)
+        ee = np.repeat(ai[dd] - (ends - deg), deg) \
+            + np.arange(int(ends[-1]) if ends.size else 0)
+        rep_pair = np.repeat(rj, deg)
+        flat = rep_pair * n + ax[ee]
+        cnt = np.bincount(flat, minlength=live.size * n) \
+            .reshape(live.size, n)
+        actor = leader[live] & (cnt > 0)
+        # Actors with at most k candidates adopt them all: one boolean
+        # scatter over the expansion pairs replaces the per-actor loop
+        # (the overwhelmingly common case).
+        small = actor & (cnt <= k)
+        picks = np.zeros((live.size, n), dtype=bool)
+        hit = small.reshape(-1)[flat]
+        picks[rep_pair[hit], np.repeat(dd, deg)[hit]] = True
+        # Actors with more than k candidates sample with their own
+        # (replica, node) stream — the only remaining per-actor work.
+        for j, v in zip(*(w.tolist() for w in np.nonzero(actor & (cnt > k)))):
+            r = int(live[j])
+            cand = closed[v][deficient[r, closed[v]]]
+            picks[j, _pick(streams.generator(streams.flat_lane(r, v)),
+                           cand.tolist(), k, policy)] = True
+        # Degenerate-input livelock guard (see reference).
+        empty = ~picks.any(axis=1)
+        if empty.any():
+            picks[empty] = deficient[live[empty]]
+        nr, nv = np.nonzero(picks & ~leader[live])
+        reps = live[nr]
+        leader[reps, nv] = True
+        adopted[live] += np.bincount(nr, minlength=live.size)
+        rr, touched = kernels.scatter_cover_batch(coverage, art, reps, nv)
+        deficient[rr, touched] = (~leader[rr, touched]) \
+            & (coverage[rr, touched] < k)
+        live = live[deficient[live].any(axis=1)]
+
+    for r, details in enumerate(details_list):
+        details["part2_iterations"] = int(iterations[r])
+        details["part2_adopted"] = int(adopted[r])
+
+
+# ======================================================================
 # Message-passing mode
 # ======================================================================
 
@@ -467,6 +589,39 @@ class UDGProgram(RoundProgram):
         return DominatingSet(members=members, stats=instr.stats,
                              details=details)
 
+    def supports_direct_batch(self) -> bool:
+        # The batched path runs on the distance CSR; exotic sensing
+        # subclasses must take the sequential reference fallback.
+        return kernels.supports_kernel_election(self.udg)
+
+    def direct_batch(self, instrs, seeds) -> List[DominatingSet]:
+        """Replica-batched :meth:`direct`: the whole seed sweep in one
+        kernel pass per phase (lane = (replica, node)).  Bit-identical
+        per replica to the sequential per-seed loop."""
+        udg, k, policy = self.udg, self.k, self.policy
+        n = udg.n
+        details_list: List[dict] = [{"mode": "direct", "k": k}
+                                    for _ in seeds]
+        streams = replica_node_streams(
+            range(n), seeds,
+            bounded_ranges=(min(_id_space(n), _MAX_SAMPLED_ID) - 1,))
+
+        active = _part_one_kernel_batch(udg, streams, details_list)
+        leader = active.copy()
+        for r, details in enumerate(details_list):
+            details["part1_leaders"] = int(active[r].sum())
+        _part_two_kernel_batch(self.artifacts, leader, k, streams, policy,
+                               details_list)
+
+        results = []
+        for r, (instr, details) in enumerate(zip(instrs, details_list)):
+            instr.charge_rounds(2 * len(details["theta_per_round"])
+                                + 2 + 3 * details["part2_iterations"])
+            results.append(DominatingSet(
+                members=set(np.nonzero(leader[r])[0].tolist()),
+                stats=instr.stats, details=details))
+        return results
+
     def direct_reference(self, instr: Instrumentation) -> DominatingSet:
         """The per-node reference implementation (bit-exactness oracle
         for the kernel path; select with
@@ -576,3 +731,39 @@ def solve_kmds_udg(graph, k: int = 1, *,
                      delay_seed=delay_seed)
     result.details["mode"] = mode
     return result
+
+
+def solve_kmds_udg_batch(graph, seeds: Sequence, k: int = 1, *,
+                         mode: str = "direct",
+                         selection_policy: str = "random"
+                         ) -> List[DominatingSet]:
+    """Run Algorithm 3 once per seed — the replica-batched counterpart
+    of a ``[solve_kmds_udg(..., seed=s) for s in seeds]`` sweep.
+
+    On the ``direct`` backend the whole sweep executes as one
+    replica-batched kernel pass (per-replica results bit-identical to
+    the sequential loop); other modes, exotic sensing subclasses, and
+    ``None`` seeds fall back to exactly that loop.  The E-series seed
+    replication and ``repro experiment --replicas`` route through here.
+    """
+    if k < 1:
+        raise GraphError(f"k must be at least 1, got {k}")
+    if selection_policy not in SELECTION_POLICIES:
+        raise GraphError(
+            f"unknown selection policy {selection_policy!r}; "
+            f"expected one of {SELECTION_POLICIES}"
+        )
+    seed_list = [validate_seed(s) for s in seeds]
+    udg = _as_udg(graph)
+    if udg.n == 0:
+        from repro.engine.backends import resolve_backend
+
+        resolve_backend(mode)
+        return [DominatingSet(members=set(), details={"mode": mode, "k": k})
+                for _ in seed_list]
+    first = seed_list[0] if seed_list else None
+    program = UDGProgram(udg, k, selection_policy, first)
+    results = execute_batch(program, seed_list, mode)
+    for result in results:
+        result.details["mode"] = mode
+    return results

@@ -28,6 +28,7 @@ from repro.engine.backends import (
     BACKENDS,
     MESSAGE_BACKENDS,
     execute,
+    execute_batch,
     resolve_backend,
     validate_seed,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "RoundProgram",
     "cache_stats",
     "execute",
+    "execute_batch",
     "graph_artifacts",
     "invalidate",
     "kernels",

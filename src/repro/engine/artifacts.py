@@ -382,6 +382,25 @@ def touch(graph) -> None:
     _CACHE.pop(g, None)
 
 
+def _fingerprint_matches(art: GraphArtifacts, g: nx.Graph) -> bool:
+    """Cheap ``(n, m)`` revalidation for the cache hit path.
+
+    ``Graph.number_of_edges()`` iterates a degree view — an O(n) Python
+    loop that used to dominate warm ``graph_artifacts`` lookups (~10ms
+    at n=10^4, once per engine invocation).  Summing the adjacency-dict
+    sizes directly is ~20x faster and agrees with it on simple graphs;
+    on a mismatch (e.g. self-loops, which the halved sum undercounts)
+    fall back to the exact count before declaring the entry stale.
+    """
+    adj = getattr(g, "_adj", None)
+    if adj is None:  # exotic graph type: exact check only
+        return art.fingerprint() == (g.number_of_nodes(),
+                                     g.number_of_edges())
+    if art.fingerprint() == (len(adj), sum(map(len, adj.values())) // 2):
+        return True
+    return art.fingerprint() == (g.number_of_nodes(), g.number_of_edges())
+
+
 def graph_artifacts(graph) -> GraphArtifacts:
     """Return the (cached) :class:`GraphArtifacts` for ``graph``.
 
@@ -396,9 +415,7 @@ def graph_artifacts(graph) -> GraphArtifacts:
     entry = _CACHE.get(g)
     if entry is not None:
         built_at, art = entry
-        if (built_at == token
-                and art.fingerprint() == (g.number_of_nodes(),
-                                          g.number_of_edges())):
+        if built_at == token and _fingerprint_matches(art, g):
             _STATS["hits"] += 1
             return art
     _STATS["misses"] += 1

@@ -123,6 +123,11 @@ def execute(program: RoundProgram, mode: str = "direct", *,
                 "(vectorized evaluation has no message traffic); "
                 f"expected one of {MESSAGE_BACKENDS}"
             )
+        # The message backends seed their network from the ``seed``
+        # argument; make direct honor it the same way when it differs
+        # from the seed the program was built with.
+        if seed is not None and getattr(program, "seed", seed) != seed:
+            program = program.reseeded(seed)
         if reference_direct:
             return program.direct_reference(program.instrumentation())
         return program.direct(program.instrumentation())
@@ -154,3 +159,41 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         stats = astats.as_run_stats()
     assert isinstance(stats, RunStats)
     return program.collect(processes, stats)
+
+
+def execute_batch(program: RoundProgram, seeds: Sequence[int],
+                  mode: str = "direct", *,
+                  delay: Callable[[np.random.Generator], float] | None = None,
+                  delay_seed: int | None = None,
+                  injectors: Iterable = (),
+                  legacy_transport: bool = False,
+                  reference_direct: bool = False,
+                  force_sequential: bool = False) -> list:
+    """Run ``program`` once per seed; returns one result per seed.
+
+    On the ``direct`` backend, a program that implements
+    :meth:`RoundProgram.direct_batch` executes the *entire* Monte Carlo
+    sweep in one replica-batched kernel pass — every vecrng/kernel lane
+    is a ``(replica, node)`` pair, the graph artifacts are shared, and
+    per-replica results (solution + :class:`~repro.types.RunStats`) come
+    back bit-identical to the sequential loop ``[execute(program,
+    seed=s) for s in seeds]`` (pinned by the batch-equivalence suite in
+    ``tests/test_mode_equivalence.py``).  Everything else — message
+    backends, ``reference_direct``, programs without a batched kernel,
+    ``seed=None`` replicas, or ``force_sequential=True`` (the benchmark
+    baseline) — falls back to exactly that sequential loop.
+    """
+    backend = resolve_backend(mode)
+    seed_list = [validate_seed(s) for s in seeds]
+    injectors = list(injectors)
+    if (backend == "direct" and not force_sequential and not reference_direct
+            and not injectors and seed_list
+            and all(s is not None for s in seed_list)
+            and program.supports_direct_batch()):
+        instrs = [program.instrumentation() for _ in seed_list]
+        return program.direct_batch(instrs, seed_list)
+    return [execute(program, backend, seed=s, delay=delay,
+                    delay_seed=delay_seed, injectors=injectors,
+                    legacy_transport=legacy_transport,
+                    reference_direct=reference_direct)
+            for s in seed_list]

@@ -41,17 +41,23 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.engine.artifacts import GraphArtifacts
+from repro.simulation.vecrng import _native_kernels
 
 __all__ = [
     "member_indicator",
     "member_counts",
+    "member_counts_batch",
     "deficit_vector",
+    "deficit_vector_batch",
     "surplus_vector",
+    "surplus_vector_batch",
     "scatter_cover",
+    "scatter_cover_batch",
     "demotion_candidates",
     "udg_distance_csr",
     "supports_kernel_election",
     "elect_round",
+    "elect_round_batch",
 ]
 
 
@@ -88,6 +94,35 @@ def member_counts(art: GraphArtifacts, members=None, *,
     return counts.astype(np.int64)
 
 
+def member_counts_batch(art: GraphArtifacts, members=None, *,
+                        indicators: np.ndarray | None = None,
+                        convention: str = "open") -> np.ndarray:
+    """Replica-batched :func:`member_counts`: one CSR mat-mat over an
+    ``(R, n)`` stack of membership indicators, returning ``(R, n)``
+    int64 counts.
+
+    Each row is computed exactly as ``member_counts`` computes a single
+    replica (scipy's CSR mat-mat accumulates every column in the same
+    row order as its matvec, and 0/1 float sums are exact), so row ``r``
+    is bit-identical to the single-replica call.  Pass either a
+    ``members`` sequence of per-replica member iterables or a prebuilt
+    ``indicators`` array (both is an error).
+    """
+    if (members is None) == (indicators is None):
+        raise ValueError("pass exactly one of members / indicators")
+    if indicators is None:
+        stacks = [member_indicator(art, ms) for ms in members]
+        x = np.stack(stacks) if stacks else np.zeros((0, art.n))
+    else:
+        x = np.asarray(indicators, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"indicators must be (replicas, n), got {x.shape}")
+    counts = art.closed_adjacency().dot(x.T).T
+    if convention == "open":
+        counts = counts - x
+    return counts.astype(np.int64)
+
+
 def deficit_vector(art: GraphArtifacts, counts: np.ndarray,
                    required: np.ndarray | int, *,
                    member_idx: np.ndarray | None = None) -> np.ndarray:
@@ -102,10 +137,33 @@ def deficit_vector(art: GraphArtifacts, counts: np.ndarray,
     return deficit
 
 
+def deficit_vector_batch(art: GraphArtifacts, counts: np.ndarray,
+                         required: np.ndarray | int, *,
+                         member_mask: np.ndarray | None = None
+                         ) -> np.ndarray:
+    """Replica-batched :func:`deficit_vector` over ``(R, n)`` counts.
+
+    ``required`` broadcasts ((n,) vector or scalar, shared topology =
+    shared requirements); ``member_mask`` is an ``(R, n)`` boolean of
+    per-replica members to exempt.
+    """
+    deficit = np.maximum(np.asarray(required, dtype=np.int64) - counts, 0)
+    if member_mask is not None:
+        deficit[member_mask] = 0
+    return deficit
+
+
 def surplus_vector(art: GraphArtifacts, counts: np.ndarray,
                    required: np.ndarray | int) -> np.ndarray:
     """Signed per-node slack ``counts - required`` (the decay signal:
     a client at surplus >= 1 tolerates losing one dominator)."""
+    return counts - np.asarray(required, dtype=np.int64)
+
+
+def surplus_vector_batch(art: GraphArtifacts, counts: np.ndarray,
+                         required: np.ndarray | int) -> np.ndarray:
+    """Replica-batched :func:`surplus_vector` (``required`` broadcasts
+    over the replica axis of ``(R, n)`` counts)."""
     return counts - np.asarray(required, dtype=np.int64)
 
 
@@ -123,6 +181,29 @@ def scatter_cover(coverage: np.ndarray, art: GraphArtifacts,
     touched = np.concatenate([art.closed_nbrs[i] for i in promoted_idx])
     np.add.at(coverage, touched, sign)
     return touched
+
+
+def scatter_cover_batch(coverage: np.ndarray, art: GraphArtifacts,
+                        rep_idx: np.ndarray, promoted_idx: np.ndarray,
+                        sign: int = 1):
+    """Replica-batched :func:`scatter_cover`: add ``sign`` to the closed
+    ball of each ``(rep_idx[j], promoted_idx[j])`` promotion inside the
+    ``(R, n)`` coverage plane.
+
+    Returns the ``(reps, touched)`` index pair (duplicated, aligned)
+    of every updated entry, so callers can refresh deficiency for
+    exactly the touched (replica, node) pairs.
+    """
+    if len(promoted_idx) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    balls = [art.closed_nbrs[i] for i in promoted_idx]
+    sizes = np.fromiter((b.size for b in balls), dtype=np.int64,
+                        count=len(balls))
+    touched = np.concatenate(balls)
+    reps = np.repeat(np.asarray(rep_idx, dtype=np.int64), sizes)
+    np.add.at(coverage, (reps, touched), sign)
+    return reps, touched
 
 
 def demotion_candidates(art: GraphArtifacts, member_mask: np.ndarray,
@@ -250,4 +331,101 @@ def elect_round(src: np.ndarray, nbr: np.ndarray, within: np.ndarray,
     elected = np.zeros(n, dtype=bool)
     chosen = best_node[active]
     elected[chosen[chosen >= 0]] = True
+    return active & elected
+
+
+def compress_within(indptr: np.ndarray, nbr: np.ndarray,
+                    within: np.ndarray):
+    """Compress one round's within-radius edge set of the distance CSR.
+
+    Returns ``(deg_w, indptr_w, nbr_w)``: per-node within-degree, the
+    compressed segment starts, and the admitted neighbor array.  The
+    compression is shared by every replica of a round (the sensing
+    radius admits the same edges in every replica), so callers driving
+    :func:`elect_round_batch` round-by-round compute it once and pass
+    it via ``within_csr`` instead of paying the O(m) scan twice.
+    """
+    wz = np.concatenate(([0], np.cumsum(within, dtype=np.int64)))
+    deg_w = wz[indptr[1:]] - wz[indptr[:-1]]
+    indptr_w = wz[indptr[:-1]]
+    nbr_w = nbr[within]
+    return deg_w, indptr_w, nbr_w
+
+
+def elect_round_batch(indptr: np.ndarray, src: np.ndarray, nbr: np.ndarray,
+                      within: np.ndarray, active: np.ndarray,
+                      ids: np.ndarray, *, within_csr=None) -> np.ndarray:
+    """Replica-batched :func:`elect_round` over ``(R, n)`` lane planes.
+
+    Same election, same two-pass lexicographic argmax, same results per
+    replica, but organized around the sweep's sparsity instead of
+    scatter-max passes:
+
+    1. the ``within`` edge set is compressed *once* and shared by every
+       replica (each round's sensing radius admits the same edges in
+       every replica);
+    2. lanes whose node has **no** within-neighbors elect themselves by
+       a single planar mask — no per-lane work at all.  In the early
+       doubling rounds that is almost every lane;
+    3. the remaining nodes' candidate lists live in one compressed
+       edge array indexed identically for every replica, so the two
+       lexicographic passes run as row-wise gathers plus ``axis=1``
+       segment ``reduceat`` reductions over an ``(R, m_within)`` plane
+       — contiguous streaming work whose cost tracks the populated
+       part of the sweep (unlike ``np.maximum.at``, whose buffered
+       inner loop balloons with the replica axis).
+
+    Identifiers of *active* lanes must be >= 1 (every election
+    identifier the algorithm draws is): inactive lanes are excluded
+    from candidacy by zeroing their ids on a single ``(R, n)`` plane,
+    which a positive identifier always beats — no per-candidate
+    active-mask pass.  Every compressed segment is non-empty by
+    construction (its node has within-degree > 0), so the reduceat
+    needs no empty-segment fixups.  Bit-identical to running
+    :func:`elect_round` once per replica row.
+    """
+    R, n = active.shape
+    # --- shared edge compression (precomputed or done here) ----------
+    if within_csr is None:
+        within_csr = compress_within(indptr, nbr, within)
+    deg_w, indptr_w, nbr_w = within_csr
+    has_cand = deg_w > 0
+
+    # --- lanes with no candidates: unopposed self-election -----------
+    elected = active & ~has_cand[None, :]
+
+    # --- lanes with candidates: 2-D segment-reduced argmax -----------
+    sub = np.nonzero(has_cand)[0]
+    if sub.size and R:
+        starts = indptr_w[sub]  # strictly increasing: every seg > 0
+        native = _native_kernels()
+        if native is not None and R * sub.size >= 4096:
+            # One C scan per (replica, candidate node): reads active
+            # lanes' ids directly, so inactive candidates are skipped
+            # rather than zeroed — same election, no (R, m_w) planes.
+            act = np.ascontiguousarray(active)
+            native.elect_batch(
+                R, n, sub, starts,
+                np.ascontiguousarray(deg_w[sub]),
+                np.ascontiguousarray(nbr_w, dtype=np.int64),
+                np.ascontiguousarray(ids),
+                act.view(np.uint8), elected.view(np.uint8),
+                np.empty(n, dtype=np.int64))
+            return active & elected
+        ids_z = np.where(active, ids, 0)
+        ids_w = ids_z[:, nbr_w]                       # (R, m_w)
+        own = ids_z[:, sub]                           # (R, S)
+        # Pass 1: the winning identifier (self is a candidate).
+        best = np.maximum(own, np.maximum.reduceat(ids_w, starts, axis=1))
+        # Pass 2: the largest node index achieving it.  Election runs
+        # for every lane — active or not — of a within-degree > 0 node
+        # (pure row-parallel arithmetic beats masking); inactive
+        # electors' results are discarded below.
+        rep = np.repeat(np.arange(sub.size), deg_w[sub])
+        tie = np.where(ids_w == best[:, rep], nbr_w[None, :], -1)
+        best_node = np.maximum(np.where(own == best, sub[None, :], -1),
+                               np.maximum.reduceat(tie, starts, axis=1))
+        ok = (best_node >= 0) & active[:, sub]
+        rr, cc = np.nonzero(ok)
+        elected.reshape(-1)[rr * n + best_node[rr, cc]] = True
     return active & elected

@@ -21,6 +21,7 @@ backend produces the same output for the same seed (asserted by
 
 from __future__ import annotations
 
+import copy
 from typing import List, Sequence
 
 from repro.engine.artifacts import GraphArtifacts
@@ -72,6 +73,35 @@ class RoundProgram:
         separate kernel layer.
         """
         return self.direct(instr)
+
+    def reseeded(self, seed) -> "RoundProgram":
+        """A shallow copy of this program with its root ``seed``
+        replaced (artifacts and instance data are shared).
+
+        Lets ``execute(program, seed=s)`` honor ``s`` on the ``direct``
+        backend the way the message-passing backends do, and lets
+        ``execute_batch`` fall back to a sequential per-seed loop.
+        """
+        clone = copy.copy(self)
+        clone.seed = seed
+        return clone
+
+    def supports_direct_batch(self) -> bool:
+        """Whether :meth:`direct_batch` can execute this program (i.e.
+        the subclass overrides it; programs may add instance checks)."""
+        return type(self).direct_batch is not RoundProgram.direct_batch
+
+    def direct_batch(self, instrs: Sequence[Instrumentation],
+                     seeds: Sequence[int]) -> List:
+        """Replica-batched vectorized execution: run the whole program
+        once per seed in one kernel pass (lane = (replica, node)),
+        returning one result object per seed.
+
+        Must be bit-identical to ``[reseeded(s).direct(instr) for s,
+        instr in zip(seeds, instrs)]`` — pinned by the batch-equivalence
+        suite in ``tests/test_mode_equivalence.py``.
+        """
+        raise NotImplementedError
 
     def processes(self) -> List:
         """Fresh :class:`NodeProcess` instances, one per graph node."""

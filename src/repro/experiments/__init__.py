@@ -76,14 +76,29 @@ EXPERIMENTS = {
 
 
 def run_experiment(experiment_id: str, *, scale: str = "quick",
-                   seed: int = 0) -> ExperimentReport:
-    """Run one registered experiment by id (``"e1"`` .. ``"e23"``)."""
+                   seed: int = 0,
+                   replicas: int | None = None) -> ExperimentReport:
+    """Run one registered experiment by id (``"e1"`` .. ``"e23"``).
+
+    ``replicas`` overrides the seed-replication count of experiments
+    that batch over algorithm seeds (those whose ``run`` accepts a
+    ``replicas`` keyword — e.g. E6/E7/E9, which route it through the
+    replica-batched direct backend).  Experiments without a replication
+    axis ignore it.
+    """
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key](scale=scale, seed=seed)
+    fn = EXPERIMENTS[key]
+    kwargs = {"scale": scale, "seed": seed}
+    if replicas is not None:
+        import inspect
+
+        if "replicas" in inspect.signature(fn).parameters:
+            kwargs["replicas"] = replicas
+    return fn(**kwargs)
 
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment"]

@@ -20,6 +20,28 @@ def check_scale(scale: str) -> None:
         raise ScaleError(f"unknown scale {scale!r}; expected one of {SCALES}")
 
 
+def replication_seeds(seed: int, replicas: int | None,
+                      default: int) -> List[int]:
+    """The algorithm-seed list for one experiment cell.
+
+    Experiments that replicate over seeds pass the resulting list to a
+    batched solver (``solve_kmds_udg_batch`` / ``execute_batch``) so
+    the whole replication axis runs as one kernel pass.  ``replicas``
+    is the user override (``repro experiment --replicas N``); ``None``
+    keeps the experiment's scale default.  Seeds are validated up
+    front, consecutive from ``seed``.
+    """
+    from repro.engine import validate_seed
+
+    count = default if replicas is None else int(replicas)
+    if count < 1:
+        raise ScaleError(f"replicas must be >= 1, got {count}")
+    base = validate_seed(seed)
+    if base is None:
+        base = 0
+    return [base + r for r in range(count)]
+
+
 @dataclass
 class ExperimentReport:
     """The outcome of one experiment run.

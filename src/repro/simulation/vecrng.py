@@ -36,6 +36,15 @@ to materialize a real ``Generator`` *positioned at the lane's current
 stream state* (PCG64 accepts a raw ``(state, inc)`` assignment).  The
 lane is then owned by that generator; vector draws for it are a
 programming error and raise.
+
+Replica batching: :func:`replica_node_streams` generalizes the lane
+space from ``n`` nodes to ``R x n`` (replica, node) pairs — replica
+``r`` occupies flat lanes ``[r*n, (r+1)*n)``, and its streams are
+bit-exact equal to a single-run pool seeded with ``seeds[r]`` (the limb
+states are literally the concatenation of the per-seed pools').  One
+vector draw can therefore advance an entire Monte Carlo sweep at once;
+:meth:`ReplicaNodeStreams.replica_pool` exposes any one replica through
+the ordinary :class:`NodeStreamPool` interface for per-node code paths.
 """
 
 from __future__ import annotations
@@ -47,7 +56,8 @@ import numpy as np
 from repro.simulation.rng import _stable_order, spawn_node_rngs
 from repro.types import NodeId
 
-__all__ = ["NodeStreamPool", "node_stream_pool"]
+__all__ = ["NodeStreamPool", "ReplicaNodeStreams", "node_stream_pool",
+           "replica_node_streams"]
 
 # SeedSequence pool-mixing constants (O'Neill's seed_seq_fe as adopted
 # by numpy; 32-bit arithmetic).
@@ -63,12 +73,48 @@ _POOL_SIZE = 4
 _M32 = 0xFFFFFFFF
 _M64 = (1 << 64) - 1
 
-# PCG64's 128-bit LCG multiplier, split into 64-bit halves.
+# PCG64's 128-bit LCG multiplier, split into 64-bit halves (and the low
+# half's 32-bit limbs, precomputed for the constant-multiplier step).
 _PCG_MULT_HI = np.uint64(0x2360ED051FC65DA4)
 _PCG_MULT_LO = np.uint64(0x4385DF649FCCF645)
+_PCG_MULT_LO_0 = np.uint64(0x4385DF649FCCF645 & _M32)
+_PCG_MULT_LO_1 = np.uint64(0x4385DF649FCCF645 >> 32)
 
 _U32_MASK = np.uint64(_M32)
 _SHIFT32 = np.uint64(32)
+
+#: Lanes per internal block of a vector draw.  Chunking keeps the ~20
+#: uint64 temporaries of the limb pipeline small enough to stay in the
+#: allocator's reuse pools and the L2 cache (64 KiB each at 2^13 lanes;
+#: beyond the ~128 KiB malloc mmap threshold every temporary would pay
+#: fresh page faults), which matters once replica batching widens a
+#: draw to R x n lanes — a 3e5-lane draw is ~2x faster chunked than
+#: streamed through memory whole.
+_CHUNK = 1 << 13
+
+#: Throwaway entropy for generator materialization — the PCG64 state it
+#: seeds is immediately overwritten with the lane's own state.
+_MATERIALIZE_SS = np.random.SeedSequence(0)
+
+#: Optional compiled kernels (repro._native), resolved lazily on first
+#: masked draw: a single C loop replaces the ~30 full-array passes of
+#: the limb pipeline for the batched hot path.  Bit-exact with the
+#: NumPy path (pinned by tests) and absent without a C compiler.
+_native_mod = None
+_native_checked = False
+
+
+def _native_kernels():
+    global _native_mod, _native_checked
+    if not _native_checked:
+        _native_checked = True
+        try:
+            from repro import _native
+            if _native.available():
+                _native_mod = _native
+        except Exception:
+            _native_mod = None
+    return _native_mod
 
 
 # ----------------------------------------------------------------------
@@ -87,15 +133,10 @@ def _entropy_words(entropy: int) -> List[int]:
             return words
 
 
-def _spawn_pools(entropy: int, n: int) -> np.ndarray:
-    """Entropy pools of ``SeedSequence(entropy).spawn(n)``, shape (4, n).
-
-    The assembled entropy of child ``i`` is the root's entropy words,
-    zero-padded to the pool size, with the spawn key ``(i,)`` appended.
-    Only that final word varies per child, so the pool fill and the
-    full O(pool^2) mixing round are lane-independent scalars; each lane
-    pays one hashmix + four mixes.
-    """
+def _pool_prefix(entropy: int):
+    """The lane-independent part of ``SeedSequence(entropy).spawn``:
+    the four pool words after the all-pairs mixing round plus the
+    ``hash_const`` value at which the per-lane spawn-key mix begins."""
     words = _entropy_words(entropy)
     if len(words) < _POOL_SIZE:
         words = words + [0] * (_POOL_SIZE - len(words))
@@ -124,6 +165,19 @@ def _spawn_pools(entropy: int, n: int) -> np.ndarray:
     for i_src in range(_POOL_SIZE, len(words)):
         for i_dst in range(_POOL_SIZE):
             pool[i_dst] = mix(pool[i_dst], hashmix(words[i_src]))
+    return pool, hash_const
+
+
+def _spawn_pools(entropy: int, n: int) -> np.ndarray:
+    """Entropy pools of ``SeedSequence(entropy).spawn(n)``, shape (4, n).
+
+    The assembled entropy of child ``i`` is the root's entropy words,
+    zero-padded to the pool size, with the spawn key ``(i,)`` appended.
+    Only that final word varies per child, so the pool fill and the
+    full O(pool^2) mixing round are lane-independent scalars; each lane
+    pays one hashmix + four mixes.
+    """
+    pool, hash_const = _pool_prefix(entropy)
 
     # The spawn-key word (= the lane index): mixed into each pool word
     # with a *fresh* hashmix — hash_const advances once per destination,
@@ -176,9 +230,39 @@ def _mul64_full(a: np.ndarray, b: np.ndarray):
     return hi, lo
 
 
+def _umulhi(a: np.ndarray, b) -> np.ndarray:
+    """Upper 64 bits of a 64x64 product with a *scalar* ``b`` (the
+    constant-multiplier half of :func:`_mul64_full`: the low half of
+    the product, when needed, is just the wrapping ``a * b``)."""
+    b = np.uint64(b)
+    b0 = b & _U32_MASK
+    b1 = b >> _SHIFT32
+    a0 = a & _U32_MASK
+    a1 = a >> _SHIFT32
+    p00 = a0 * b0
+    p01 = a0 * b1
+    p10 = a1 * b0
+    mid = (p00 >> _SHIFT32) + (p01 & _U32_MASK) + (p10 & _U32_MASK)
+    return a1 * b1 + (p01 >> _SHIFT32) + (p10 >> _SHIFT32) + (mid >> _SHIFT32)
+
+
 def _step(sh, sl, ih, il):
-    """One PCG64 LCG step: ``state = state * MULT + inc`` mod 2^128."""
-    hi, lo = _mul64_full(sl, np.broadcast_to(_PCG_MULT_LO, sl.shape))
+    """One PCG64 LCG step: ``state = state * MULT + inc`` mod 2^128.
+
+    The low-limb 64x64 -> 128 product is expanded inline against the
+    multiplier's precomputed 32-bit limbs (``mid << 32`` wraps modulo
+    2^64, which *is* the masked shift), keeping the hot path at the
+    minimum number of full-array passes.
+    """
+    a0 = sl & _U32_MASK
+    a1 = sl >> _SHIFT32
+    p00 = a0 * _PCG_MULT_LO_0
+    p01 = a0 * _PCG_MULT_LO_1
+    p10 = a1 * _PCG_MULT_LO_0
+    mid = (p00 >> _SHIFT32) + (p01 & _U32_MASK) + (p10 & _U32_MASK)
+    lo = (p00 & _U32_MASK) | (mid << _SHIFT32)
+    hi = (a1 * _PCG_MULT_LO_1 + (p01 >> _SHIFT32) + (p10 >> _SHIFT32)
+          + (mid >> _SHIFT32))
     hi = hi + sl * _PCG_MULT_HI + sh * _PCG_MULT_LO
     new_lo = lo + il
     new_hi = hi + ih + (new_lo < lo)
@@ -190,6 +274,73 @@ def _output(sh, sl):
     rot = sh >> np.uint64(58)
     value = sh ^ sl
     return (value >> rot) | (value << ((np.uint64(64) - rot) & np.uint64(63)))
+
+
+def _seed_limbs_multi(seeds: Sequence, n: int):
+    """The four uint64 limb arrays ``(ih, il, sh, sl)`` of the PCG64
+    streams of ``len(seeds)`` concatenated per-seed pools — lanes
+    ``[r*n, (r+1)*n)`` hold the ``n`` streams
+    ``SeedSequence(seeds[r]).spawn(n)`` would seed.
+
+    ``ih/il`` are the per-stream increments, ``sh/sl`` the post-seeding
+    LCG states (``pcg_setseq_128_srandom_r``: ``state = step(inc +
+    initstate)``).  Reading ``.entropy`` off a real root SeedSequence
+    handles ``seed=None`` (OS entropy) and arbitrary-width ints
+    uniformly.  Only the entropy-pool spawn is per-seed; the state-word
+    generation and all limb arithmetic run once over the concatenated
+    lane axis (per-lane operations, so the concatenation is bit-exact
+    equal to per-seed calls).
+    """
+    if not len(seeds):
+        z = np.zeros(0, dtype=np.uint64)
+        return z, z.copy(), z.copy(), z.copy()
+    native = _native_kernels()
+    if native is not None and len(seeds) * n >= 4096:
+        R = len(seeds)
+        pool4 = np.empty((R, 4), dtype=np.uint32)
+        hcs = np.empty(R, dtype=np.uint32)
+        for r, s in enumerate(seeds):
+            pool, hc = _pool_prefix(int(np.random.SeedSequence(s).entropy))
+            pool4[r] = pool
+            hcs[r] = hc
+        total = R * n
+        ih = np.empty(total, dtype=np.uint64)
+        il = np.empty(total, dtype=np.uint64)
+        sh = np.empty(total, dtype=np.uint64)
+        sl = np.empty(total, dtype=np.uint64)
+        native.seed_lanes(pool4, hcs, R, n, ih, il, sh, sl)
+        return ih, il, sh, sl
+    pools = [_spawn_pools(int(np.random.SeedSequence(s).entropy), n)
+             for s in seeds]
+    pools = pools[0] if len(pools) == 1 else np.concatenate(pools, axis=1)
+    total = pools.shape[1]
+    ih = np.empty(total, dtype=np.uint64)
+    il = np.empty(total, dtype=np.uint64)
+    sh = np.empty(total, dtype=np.uint64)
+    sl = np.empty(total, dtype=np.uint64)
+    one = np.uint64(1)
+    # Same chunking as the draw path: the limb pipeline spins up ~30
+    # temporaries, and at full replica width each would be a fresh
+    # multi-MiB mmap'd allocation.
+    with np.errstate(over="ignore"):
+        for a in range(0, total, _CHUNK):
+            b = min(a + _CHUNK, total)
+            w0, w1, w2, w3 = _generate_state_words(pools[:, a:b])
+            ih_c = (w2 << one) | (w3 >> np.uint64(63))
+            il_c = (w3 << one) | one
+            sl_c = il_c + w1
+            sh_c = ih_c + w0 + (sl_c < il_c)
+            sh_c, sl_c = _step(sh_c, sl_c, ih_c, il_c)
+            ih[a:b] = ih_c
+            il[a:b] = il_c
+            sh[a:b] = sh_c
+            sl[a:b] = sl_c
+    return ih, il, sh, sl
+
+
+def _seed_limbs(seed, n: int):
+    """Single-seed :func:`_seed_limbs_multi` (one pool of ``n`` lanes)."""
+    return _seed_limbs_multi([seed], n)
 
 
 # ----------------------------------------------------------------------
@@ -213,8 +364,14 @@ class NodeStreamPool:
         """One ``Generator.random()`` draw per lane, in lane order."""
         raise NotImplementedError
 
-    def draw_ints(self, lanes: np.ndarray, high: int) -> np.ndarray:
-        """One ``Generator.integers(1, high + 1)`` draw per lane."""
+    def draw_ints(self, lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
+        """One ``Generator.integers(1, high + 1)`` draw per lane.
+
+        ``need`` (optional boolean mask over ``lanes``): the streams
+        advance identically either way, but values at ``~need`` are
+        unspecified — implementations may skip materializing them.
+        """
         raise NotImplementedError
 
     def generator(self, lane: int) -> np.random.Generator:
@@ -222,24 +379,16 @@ class NodeStreamPool:
         raise NotImplementedError
 
 
-class _VectorPool(NodeStreamPool):
-    def __init__(self, node_list: Sequence[NodeId], seed):
-        n = len(node_list)
-        self.nodes = list(node_list)
-        self.lane = {v: i for i, v in enumerate(node_list)}
-        # Reading .entropy off a real root SeedSequence handles
-        # seed=None (OS entropy) and arbitrary-width ints uniformly.
-        entropy = int(np.random.SeedSequence(seed).entropy)
-        with np.errstate(over="ignore"):
-            w0, w1, w2, w3 = _generate_state_words(_spawn_pools(entropy, n))
-            # pcg_setseq_128_srandom_r: state = step(inc + initstate).
-            one = np.uint64(1)
-            self._ih = (w2 << one) | (w3 >> np.uint64(63))
-            self._il = (w3 << one) | one
-            sl = self._il + w1
-            sh = self._ih + w0 + (sl < self._il)
-            self._sh, self._sl = _step(sh, sl, self._ih, self._il)
-        self._materialized: Dict[int, np.random.Generator] = {}
+class _LaneEngine:
+    """Shared vector machinery over uint64 limb arrays, one entry per
+    lane.  Subclasses decide what a lane *means* (a node, or a
+    (replica, node) pair) and how the limb arrays are assembled."""
+
+    _ih: np.ndarray
+    _il: np.ndarray
+    _sh: np.ndarray
+    _sl: np.ndarray
+    _materialized: Dict[int, np.random.Generator]
 
     def _next64(self, lanes: np.ndarray) -> np.ndarray:
         if self._materialized:
@@ -256,33 +405,193 @@ class _VectorPool(NodeStreamPool):
             return _output(sh, sl)
 
     def random(self, lanes: np.ndarray) -> np.ndarray:
-        return (self._next64(lanes) >> np.uint64(11)) * (2.0 ** -53)
+        lanes = np.asarray(lanes)
+        if lanes.size <= _CHUNK:
+            return (self._next64(lanes) >> np.uint64(11)) * (2.0 ** -53)
+        out = np.empty(lanes.size, dtype=np.float64)
+        for a in range(0, lanes.size, _CHUNK):
+            b = min(a + _CHUNK, lanes.size)
+            out[a:b] = (self._next64(lanes[a:b]) >> np.uint64(11)) \
+                * (2.0 ** -53)
+        return out
 
-    def draw_ints(self, lanes: np.ndarray, high: int) -> np.ndarray:
+    def draw_ints(self, lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
         # Generator.integers(1, high + 1): off = 1, inclusive range
         # width rng = high - 1.  node_stream_pool guarantees Lemire's
         # 64-bit path (rng > 2^32 - 1), whose acceptance threshold is
         # ((2^64 - rng_excl) % rng_excl) on the low product half;
         # each rejected lane consumes exactly one more raw u64.
+        #
+        # ``need`` (optional boolean mask over ``lanes``): every lane's
+        # stream advances exactly as without it — the accept test only
+        # needs the *wrapping* low product half — but the expensive
+        # upper-half product that materializes the sampled value is
+        # computed for needed lanes only; entries at ``~need`` are
+        # unspecified.  Callers use this when a draw must happen for
+        # stream-position fidelity but its value is provably never read
+        # (e.g. an election identifier nobody is in range to compare).
         rng_excl = np.uint64(high)
         threshold = np.uint64(((1 << 64) - high) % high)
-        out = np.empty(lanes.size, dtype=np.uint64)
-        pos = np.arange(lanes.size)
-        pending = np.asarray(lanes)
+        lanes = np.asarray(lanes)
+        out = np.empty(lanes.size, dtype=np.int64)
+        for a in range(0, lanes.size, _CHUNK):
+            b = min(a + _CHUNK, lanes.size)
+            self._draw_chunk(lanes[a:b], rng_excl, threshold, out[a:b],
+                             None if need is None else need[a:b])
+        return out
+
+    def draw_ints_masked(self, mask: np.ndarray, high: int,
+                         need: np.ndarray | None = None,
+                         out: np.ndarray | None = None) -> np.ndarray:
+        """Bounded draws for every lane where ``mask`` holds.
+
+        Equivalent to ``draw_ints(np.nonzero(mask)[0], high)`` scattered
+        into a ``mask.size`` output, but dense chunks advance their
+        states with pure *slice* arithmetic over the lane axis — no
+        index gather/scatter — and the handful of idle lanes get their
+        pre-step states restored.  Lanes outside ``mask`` end up
+        untouched either way; output entries are defined only where
+        ``mask`` (and ``need``, when given) hold.
+
+        ``out`` (optional, C-contiguous int64 of ``mask.size``): write
+        the drawn values into this buffer in place and return it.
+        Entries outside ``mask`` keep their previous contents; entries
+        at ``mask & ~need`` are unspecified (a backend may overwrite
+        them with unmaterialized values).  Callers that persist a value
+        plane across rounds (e.g. election identifiers) pass the plane
+        itself and skip an extract/scatter pair per round.
+        """
+        mask = np.ascontiguousarray(mask, dtype=bool)
+        if out is None:
+            out = np.empty(mask.size, dtype=np.int64)
+        elif (out.dtype != np.int64 or out.size != mask.size
+                or not out.flags.c_contiguous):
+            raise ValueError(
+                "out must be a C-contiguous int64 buffer of mask.size")
+        native = _native_kernels()
+        if native is not None and mask.size >= 2048:
+            if self._materialized:
+                owned = [i for i in self._materialized if mask[i]]
+                if owned:
+                    raise RuntimeError(
+                        f"lanes {owned[:5]} are owned by materialized "
+                        "generators; vector draws would desynchronize "
+                        "them")
+            native.draw_masked(
+                self._sh, self._sl, self._ih, self._il,
+                mask.view(np.uint8),
+                None if need is None else
+                np.ascontiguousarray(need, dtype=bool).view(np.uint8),
+                high, out)
+            return out
+        rng_excl = np.uint64(high)
+        threshold = np.uint64(((1 << 64) - high) % high)
+        one = np.uint64(1)
+        retry = []
+        with np.errstate(over="ignore"):
+            for a in range(0, mask.size, _CHUNK):
+                b = min(a + _CHUNK, mask.size)
+                m = mask[a:b]
+                cnt = int(m.sum())
+                if cnt == 0:
+                    continue
+                if self._materialized:
+                    owned = [i for i in self._materialized
+                             if a <= i < b and m[i - a]]
+                    if owned:
+                        raise RuntimeError(
+                            f"lanes {owned[:5]} are owned by materialized "
+                            "generators; vector draws would desynchronize "
+                            "them")
+                full = cnt == b - a
+                if not full and cnt * 5 < 2 * (b - a):
+                    # Sparse chunk: the gathered path touches less data.
+                    lanes = np.nonzero(m)[0] + a
+                    tmp = np.empty(lanes.size, dtype=np.int64)
+                    self._draw_chunk(
+                        lanes, rng_excl, threshold, tmp,
+                        None if need is None else need[a:b][m])
+                    out[lanes] = tmp
+                    continue
+                if full:
+                    idle = None
+                else:
+                    idle = np.nonzero(~m)[0]
+                    keep_h = self._sh[a:b][idle]
+                    keep_l = self._sl[a:b][idle]
+                sh, sl = _step(self._sh[a:b], self._sl[a:b],
+                               self._ih[a:b], self._il[a:b])
+                if idle is not None:
+                    sh[idle] = keep_h
+                    sl[idle] = keep_l
+                self._sh[a:b] = sh
+                self._sl[a:b] = sl
+                value = _output(sh, sl)
+                lo = value * rng_excl
+                rej = (lo < threshold) & m
+                sel = m if need is None else m & need[a:b]
+                if rej.any():
+                    # Rejected lanes re-draw through the gathered loop
+                    # (each consumed exactly one raw u64 here already).
+                    sel = sel & ~rej
+                    retry.append(np.nonzero(rej)[0] + a)
+                if sel.all():
+                    out[a:b] = (_umulhi(value, rng_excl)
+                                + one).astype(np.int64)
+                else:
+                    out[a:b][sel] = (_umulhi(value[sel], rng_excl)
+                                     + one).astype(np.int64)
+        if retry:
+            lanes = np.concatenate(retry)
+            tmp = np.empty(lanes.size, dtype=np.int64)
+            self._draw_chunk(lanes, rng_excl, threshold, tmp,
+                             None if need is None else need[lanes])
+            out[lanes] = tmp
+        return out
+
+    def _draw_chunk(self, pending: np.ndarray, rng_excl, threshold,
+                    out: np.ndarray, need: np.ndarray | None) -> None:
+        """Lemire-rejection bounded draws for one lane block, writing
+        the values (``+1`` offset applied) into the ``out`` view."""
+        one = np.uint64(1)
+        pos = None  # None = all of `out` still pending (the common case)
         while pending.size:
+            value = self._next64(pending)
             with np.errstate(over="ignore"):
-                hi, lo = _mul64_full(self._next64(pending),
-                                     np.broadcast_to(rng_excl, pending.shape))
+                lo = value * rng_excl  # wrapping low half: the accept test
             accepted = lo >= threshold
-            out[pos[accepted]] = hi[accepted]
-            pos = pos[~accepted]
-            pending = pending[~accepted]
-        return (out + np.uint64(1)).astype(np.int64)
+            if accepted.all():
+                acc_pos, acc_val = pos, value
+                pending = pending[:0]
+            else:
+                rejected = ~accepted
+                if pos is None:
+                    pos = np.arange(pending.size)
+                acc_pos, acc_val = pos[accepted], value[accepted]
+                pos, pending = pos[rejected], pending[rejected]
+            sel = need if acc_pos is None else \
+                (None if need is None else need[acc_pos])
+            with np.errstate(over="ignore"):
+                if sel is None:
+                    vals = (_umulhi(acc_val, rng_excl) + one).astype(np.int64)
+                else:
+                    acc_pos = np.nonzero(sel)[0] if acc_pos is None \
+                        else acc_pos[sel]
+                    vals = (_umulhi(acc_val[sel], rng_excl)
+                            + one).astype(np.int64)
+            if acc_pos is None:
+                out[:] = vals
+            else:
+                out[acc_pos] = vals
 
     def generator(self, lane: int) -> np.random.Generator:
         gen = self._materialized.get(lane)
         if gen is None:
-            bg = np.random.PCG64()
+            # PCG64(<cached SeedSequence>), not PCG64(): the no-arg form
+            # pulls OS entropy (~80us) and even PCG64(0) rebuilds a
+            # SeedSequence (~4us) — all discarded by the state overwrite.
+            bg = np.random.PCG64(_MATERIALIZE_SS)
             bg.state = {
                 "bit_generator": "PCG64",
                 "state": {
@@ -295,6 +604,15 @@ class _VectorPool(NodeStreamPool):
             gen = np.random.Generator(bg)
             self._materialized[lane] = gen
         return gen
+
+
+class _VectorPool(_LaneEngine, NodeStreamPool):
+    def __init__(self, node_list: Sequence[NodeId], seed):
+        self.nodes = list(node_list)
+        self.lane = {v: i for i, v in enumerate(node_list)}
+        self._ih, self._il, self._sh, self._sl = \
+            _seed_limbs(seed, len(node_list))
+        self._materialized = {}
 
 
 class _FallbackPool(NodeStreamPool):
@@ -310,7 +628,9 @@ class _FallbackPool(NodeStreamPool):
             (self._rngs[self.nodes[i]].random() for i in lanes.tolist()),
             dtype=np.float64, count=len(lanes))
 
-    def draw_ints(self, lanes: np.ndarray, high: int) -> np.ndarray:
+    def draw_ints(self, lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
+        # `need` is advisory; drawing every value is within contract.
         return np.fromiter(
             (int(self._rngs[self.nodes[i]].integers(1, high + 1))
              for i in lanes.tolist()),
@@ -318,6 +638,162 @@ class _FallbackPool(NodeStreamPool):
 
     def generator(self, lane: int) -> np.random.Generator:
         return self._rngs[self.nodes[lane]]
+
+
+# ----------------------------------------------------------------------
+# Replica-batched streams: lane = (replica, node)
+# ----------------------------------------------------------------------
+
+class ReplicaNodeStreams:
+    """R x n per-(replica, node) RNG streams addressable by *flat lane*.
+
+    Replica ``r`` (seeded with ``seeds[r]``) occupies flat lanes
+    ``[r*n, (r+1)*n)`` in node stable order; its streams are bit-exact
+    equal to ``node_stream_pool(nodes, seeds[r])``.  One vector draw over
+    flat lanes from several replicas advances every addressed stream by
+    exactly one value — streams are mutually independent, so batch
+    composition cannot perturb any single stream's sequence.
+
+    Obtain instances via :func:`replica_node_streams`.
+    """
+
+    lane: Dict[NodeId, int]
+    nodes: List[NodeId]
+    seeds: List
+
+    @property
+    def n(self) -> int:
+        """Nodes per replica (the flat lane space has ``replicas * n``)."""
+        return len(self.nodes)
+
+    @property
+    def replicas(self) -> int:
+        return len(self.seeds)
+
+    def flat_lane(self, replica: int, lane: int) -> int:
+        """The flat lane of node-lane ``lane`` in ``replica``."""
+        return replica * len(self.nodes) + lane
+
+    def random(self, flat_lanes: np.ndarray) -> np.ndarray:
+        """One ``Generator.random()`` draw per flat lane, in order."""
+        raise NotImplementedError
+
+    def draw_ints(self, flat_lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
+        """One ``Generator.integers(1, high + 1)`` draw per flat lane
+        (``need``: as in :meth:`NodeStreamPool.draw_ints`)."""
+        raise NotImplementedError
+
+    def draw_ints_masked(self, mask: np.ndarray, high: int,
+                         need: np.ndarray | None = None,
+                         out: np.ndarray | None = None) -> np.ndarray:
+        """One bounded draw per flat lane where ``mask`` holds, returned
+        as a ``mask.size`` array (entries defined where ``mask`` and
+        ``need`` hold).  ``out``: optional int64 buffer written in place
+        — entries outside ``mask`` keep their previous contents, entries
+        at ``mask & ~need`` are unspecified.  The vector engine
+        overrides this with a slice-arithmetic implementation; the
+        generic form routes through :meth:`draw_ints`."""
+        mask = np.asarray(mask, dtype=bool)
+        flat = np.nonzero(mask)[0]
+        if out is None:
+            out = np.zeros(mask.size, dtype=np.int64)
+        elif (out.dtype != np.int64 or out.size != mask.size
+                or not out.flags.c_contiguous):
+            raise ValueError(
+                "out must be a C-contiguous int64 buffer of mask.size")
+        out[flat] = self.draw_ints(
+            flat, high, need=None if need is None else need[flat])
+        return out
+
+    def generator(self, flat_lane: int) -> np.random.Generator:
+        """A real ``Generator`` owning this flat lane's stream."""
+        raise NotImplementedError
+
+    def replica_pool(self, replica: int) -> NodeStreamPool:
+        """Replica ``replica`` as an ordinary :class:`NodeStreamPool`
+        (lane-offset view; draws advance the shared stream states)."""
+        return _ReplicaView(self, replica)
+
+
+class _ReplicaView(NodeStreamPool):
+    """One replica of a :class:`ReplicaNodeStreams`, adapted to the
+    single-run pool interface by offsetting lanes."""
+
+    def __init__(self, streams: ReplicaNodeStreams, replica: int):
+        self._streams = streams
+        self._offset = replica * len(streams.nodes)
+        self.nodes = streams.nodes
+        self.lane = streams.lane
+
+    def random(self, lanes: np.ndarray) -> np.ndarray:
+        return self._streams.random(
+            np.asarray(lanes, dtype=np.int64) + self._offset)
+
+    def draw_ints(self, lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
+        return self._streams.draw_ints(
+            np.asarray(lanes, dtype=np.int64) + self._offset, high,
+            need=need)
+
+    def generator(self, lane: int) -> np.random.Generator:
+        return self._streams.generator(self._offset + lane)
+
+
+class _VectorReplicaStreams(_LaneEngine, ReplicaNodeStreams):
+    """Vectorized replica streams: the limb arrays are the per-seed
+    single-pool limbs concatenated along the lane axis, so replica
+    ``r``'s slice is *definitionally* bit-exact to ``_VectorPool(nodes,
+    seeds[r])``."""
+
+    def __init__(self, node_list: Sequence[NodeId], seeds: Sequence):
+        n = len(node_list)
+        self.nodes = list(node_list)
+        self.lane = {v: i for i, v in enumerate(node_list)}
+        self.seeds = list(seeds)
+        self._ih, self._il, self._sh, self._sl = \
+            _seed_limbs_multi(self.seeds, n)
+        self._materialized = {}
+
+
+class _FallbackReplicaStreams(ReplicaNodeStreams):
+    """Replica streams over per-replica fallback pools (the safety net;
+    also the home of draws needing numpy's buffered 32-bit sampler)."""
+
+    def __init__(self, node_list: Sequence[NodeId], seeds: Sequence):
+        self.nodes = list(node_list)
+        self.lane = {v: i for i, v in enumerate(node_list)}
+        self.seeds = list(seeds)
+        self._pools = [_FallbackPool(node_list, s) for s in self.seeds]
+
+    def _split(self, flat_lane: int):
+        n = len(self.nodes)
+        return flat_lane // n, flat_lane % n
+
+    def random(self, flat_lanes: np.ndarray) -> np.ndarray:
+        flat = np.asarray(flat_lanes, dtype=np.int64)
+        out = np.empty(flat.size, dtype=np.float64)
+        for j, i in enumerate(flat.tolist()):
+            r, lane = self._split(i)
+            out[j] = self._pools[r].random(np.asarray([lane]))[0]
+        return out
+
+    def draw_ints(self, flat_lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
+        # `need` is advisory; drawing every value is within contract.
+        flat = np.asarray(flat_lanes, dtype=np.int64)
+        out = np.empty(flat.size, dtype=np.int64)
+        for j, i in enumerate(flat.tolist()):
+            r, lane = self._split(i)
+            out[j] = self._pools[r].draw_ints(np.asarray([lane]), high)[0]
+        return out
+
+    def generator(self, flat_lane: int) -> np.random.Generator:
+        r, lane = self._split(flat_lane)
+        return self._pools[r].generator(lane)
+
+    def replica_pool(self, replica: int) -> NodeStreamPool:
+        return self._pools[replica]
 
 
 # ----------------------------------------------------------------------
@@ -373,3 +849,26 @@ def node_stream_pool(nodes: Iterable[NodeId], seed,
         if _vector_verified:
             return _VectorPool(node_list, seed)
     return _FallbackPool(node_list, seed)
+
+
+def replica_node_streams(nodes: Iterable[NodeId], seeds: Sequence,
+                         *, bounded_ranges: Sequence[int] = ()
+                         ) -> ReplicaNodeStreams:
+    """R x n :class:`ReplicaNodeStreams`, one replica per seed,
+    vectorized when exact (same eligibility rules and one-shot pipeline
+    self-test as :func:`node_stream_pool`).
+
+    Replica ``r``'s streams are bit-exact equal to
+    ``node_stream_pool(nodes, seeds[r])``'s — batched multi-replica
+    execution therefore consumes each (replica, node) stream identically
+    to a sequential per-seed loop.
+    """
+    global _vector_verified
+    node_list = _stable_order(nodes)
+    eligible = all(_M32 < r < _M64 for r in bounded_ranges)
+    if eligible:
+        if _vector_verified is None:
+            _vector_verified = _self_test()
+        if _vector_verified:
+            return _VectorReplicaStreams(node_list, seeds)
+    return _FallbackReplicaStreams(node_list, seeds)

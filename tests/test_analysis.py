@@ -123,6 +123,42 @@ class TestSweep:
         assert len(seen) == 1
         assert seen[0]["y"] == 5
 
+    def test_measure_batch_gets_whole_seed_list(self):
+        calls = []
+
+        def measure_batch(seeds, a):
+            calls.append((tuple(seeds), a))
+            return [{"y": a * 10 + s} for s in seeds]
+
+        def measure(seed, a):  # must never run when batch form is given
+            raise AssertionError("measure called despite measure_batch")
+
+        recs = sweep(measure, {"a": [1, 2]}, seeds=(0, 3),
+                     measure_batch=measure_batch)
+        assert calls == [((0, 3), 1), ((0, 3), 2)]
+        assert [(r["a"], r["seed"], r["y"]) for r in recs] \
+            == [(1, 0, 10), (1, 3, 13), (2, 0, 20), (2, 3, 23)]
+
+    def test_measure_batch_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="returned 1 results for 2"):
+            sweep(lambda seed: {}, {}, seeds=(0, 1),
+                  measure_batch=lambda seeds: [{}])
+
+    def test_seeds_validated_before_any_run(self):
+        from repro.errors import GraphError
+
+        ran = []
+
+        def measure(seed, a):
+            ran.append(seed)
+            return {}
+
+        # The malformed *last* seed must fail the sweep before the
+        # first measurement runs, not half-way through the grid.
+        with pytest.raises(GraphError, match="seed must be an int or None"):
+            sweep(measure, {"a": [1]}, seeds=(0, 1, "two"))
+        assert ran == []
+
     def test_group_mean(self):
         recs = [{"g": 1, "v": 2.0}, {"g": 1, "v": 4.0}, {"g": 2, "v": 10.0}]
         out = group_mean(recs, by=["g"], value="v")

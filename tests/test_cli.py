@@ -55,6 +55,13 @@ class TestExperimentCommand:
         with pytest.raises(KeyError):
             main(["experiment", "e42"])
 
+    def test_replicas_flag(self, capsys):
+        # --replicas overrides the seed-replication count of experiments
+        # with a batched replication axis (and is ignored by the rest).
+        rc = main(["experiment", "e7", "--replicas", "2"])
+        assert rc == 0
+        assert "2 batched seed replicas" in capsys.readouterr().out
+
     def test_json_artifact(self, tmp_path, capsys):
         import json
 

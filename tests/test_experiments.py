@@ -48,6 +48,33 @@ def test_heavy_experiments_pass(eid):
     assert report.passed, f"{eid} failed: {report.failed_checks()}"
 
 
+class TestReplication:
+    def test_replication_seeds_defaults_and_override(self):
+        from repro.experiments.base import replication_seeds
+
+        assert replication_seeds(10, None, 3) == [10, 11, 12]
+        assert replication_seeds(10, 2, 3) == [10, 11]
+        assert replication_seeds(None, None, 2) == [0, 1]
+
+    def test_replication_seeds_validated_up_front(self):
+        from repro.errors import GraphError
+        from repro.experiments.base import replication_seeds
+
+        with pytest.raises(ScaleError, match="replicas must be >= 1"):
+            replication_seeds(0, 0, 3)
+        with pytest.raises(GraphError, match="seed must be an int or None"):
+            replication_seeds("zero", None, 3)
+
+    def test_replicas_override_reaches_batched_experiment(self):
+        report = run_experiment("e7", scale="quick", seed=0, replicas=2)
+        assert "2 batched seed replicas" in report.notes
+        assert report.passed, report.failed_checks()
+
+    def test_replicas_ignored_without_replication_axis(self):
+        report = run_experiment("e11", scale="quick", seed=0, replicas=4)
+        assert report.passed
+
+
 class TestReportRendering:
     def test_render_ascii(self):
         report = run_experiment("e11")

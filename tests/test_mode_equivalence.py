@@ -200,6 +200,147 @@ def test_rounding_kernel_matches_reference_on_udg(seed):
 
 
 # ----------------------------------------------------------------------
+# Replica-batched execution: execute_batch on the direct backend must
+# be bit-identical, per replica, to the sequential ``[execute(program,
+# seed=s) for s in seeds]`` loop — same members, same RunStats, same
+# details.  This pins PR 6's lane = (replica, node) batching across
+# vecrng, the kernels, and the backend dispatch, the way the section
+# above pins the single-replica kernels against the per-node reference.
+# ----------------------------------------------------------------------
+
+BATCH_SEEDS = (0, 5, 17)
+
+
+def _assert_batch_matches_sequential(program, seeds=BATCH_SEEDS):
+    from repro.engine import execute_batch
+
+    assert program.supports_direct_batch()
+    batch = execute_batch(program, seeds, "direct")
+    seq = execute_batch(program, seeds, "direct", force_sequential=True)
+    assert len(batch) == len(seq) == len(seeds)
+    for one, ref in zip(batch, seq):
+        _assert_same_result(one, ref)
+
+
+@pytest.mark.parametrize("k", (1, 2, 3))
+@pytest.mark.parametrize("policy", ("random", "by-id"))
+def test_udg_batch_matches_sequential(policy, k):
+    from repro.core.udg import UDGProgram
+
+    udg = random_udg(120, density=9.0, seed=k)
+    _assert_batch_matches_sequential(UDGProgram(udg, k, policy,
+                                                BATCH_SEEDS[0]))
+
+
+@pytest.mark.parametrize("graph_kind", ("qudg", "noisy"))
+def test_udg_batch_matches_sequential_on_geometric_variants(graph_kind):
+    from repro.core.udg import UDGProgram
+    from repro.graphs.udg import NoisySensingUDG, QuasiUnitDiskGraph
+
+    base = random_udg(90, density=9.0, seed=2)
+    if graph_kind == "qudg":
+        udg = QuasiUnitDiskGraph(base.points, alpha=0.75, seed=2)
+    else:
+        udg = NoisySensingUDG(base.points, sigma=0.05, noise_seed=2)
+    _assert_batch_matches_sequential(UDGProgram(udg, 2, "random",
+                                                BATCH_SEEDS[0]))
+
+
+@pytest.mark.parametrize("k", (1, 2, 3))
+@pytest.mark.parametrize("policy", ("random", "highest-x", "self-first"))
+def test_rounding_batch_matches_sequential(policy, k):
+    from repro.core.lp import CoveringLP
+    from repro.core.rounding import RoundingProgram
+
+    g = _graph(7)
+    cov = feasible_coverage(g, k)
+    frac = fractional_kmds(g, coverage=cov, t=2, mode="direct", seed=7)
+    lp = CoveringLP(g, cov)
+    _assert_batch_matches_sequential(RoundingProgram(lp, frac.x, policy,
+                                                     BATCH_SEEDS[0]))
+
+
+def test_solve_kmds_udg_batch_matches_solve_loop():
+    from repro.core.udg import solve_kmds_udg_batch
+
+    udg = random_udg(100, density=9.0, seed=1)
+    seeds = (3, 1, 4, 1)  # a duplicated seed must reproduce its twin
+    batch = solve_kmds_udg_batch(udg, seeds, k=2)
+    for one, seed in zip(batch, seeds):
+        ref = solve_kmds_udg(udg, k=2, mode="direct", seed=seed)
+        _assert_same_result(one, ref)
+    assert batch[1].members == batch[3].members
+
+
+def test_batch_on_message_backend_falls_back_to_loop():
+    from repro.core.udg import solve_kmds_udg_batch
+
+    udg = random_udg(24, density=7.0, seed=0)
+    batch = solve_kmds_udg_batch(udg, (0, 1), k=1, mode="message")
+    for one, seed in zip(batch, (0, 1)):
+        ref = solve_kmds_udg(udg, k=1, mode="message", seed=seed)
+        assert one.members == ref.members
+        assert one.stats == ref.stats
+
+
+def test_batch_on_exotic_subclass_falls_back_to_loop():
+    from repro.core.udg import UDGProgram, solve_kmds_udg_batch
+    from repro.graphs.udg import UnitDiskGraph
+
+    class CustomSensing(UnitDiskGraph):
+        def neighbors_within(self, v, theta):
+            return [w for w in super().neighbors_within(v, theta)
+                    if (v + w) % 7 != 3]
+
+    udg = CustomSensing(random_udg(60, density=8.0, seed=4).points)
+    assert not UDGProgram(udg, 2, "random", 0).supports_direct_batch()
+    batch = solve_kmds_udg_batch(udg, (0, 9), k=2)
+    for one, seed in zip(batch, (0, 9)):
+        ref = solve_kmds_udg(udg, k=2, mode="direct", seed=seed)
+        _assert_same_result(one, ref)
+
+
+def test_batch_validates_seeds_up_front():
+    from repro.core.udg import solve_kmds_udg_batch
+
+    udg = random_udg(20, density=6.0, seed=0)
+    with pytest.raises(GraphError, match="seed must be an int or None"):
+        solve_kmds_udg_batch(udg, (0, "one"), k=1)
+
+
+def test_batch_with_empty_seed_list():
+    from repro.core.udg import solve_kmds_udg_batch
+
+    udg = random_udg(20, density=6.0, seed=0)
+    assert solve_kmds_udg_batch(udg, (), k=1) == []
+
+
+def test_elect_round_batch_accepts_precompressed_within():
+    # The shared within-compression a round computes once and passes via
+    # within_csr must be the same thing elect_round_batch computes for
+    # itself, and every batch row must equal the single-replica kernel.
+    import numpy as np
+
+    from repro.engine.kernels import (compress_within, elect_round,
+                                      elect_round_batch, udg_distance_csr)
+
+    udg = random_udg(50, density=8.0, seed=6)
+    indptr, src, nbr, dist = udg_distance_csr(udg)
+    within = dist <= udg.radius * 0.7
+    rng = np.random.default_rng(0)
+    R = 4
+    active = rng.random((R, udg.n)) < 0.8
+    ids = rng.integers(1, 1 << 40, size=(R, udg.n))
+    auto = elect_round_batch(indptr, src, nbr, within, active.copy(), ids)
+    pre = elect_round_batch(indptr, src, nbr, within, active.copy(), ids,
+                            within_csr=compress_within(indptr, nbr, within))
+    assert np.array_equal(auto, pre)
+    for r in range(R):
+        row = elect_round(src, nbr, within, active[r].copy(), ids[r])
+        assert np.array_equal(auto[r], row)
+
+
+# ----------------------------------------------------------------------
 # JRS/LRG baseline: identical sets and phase counts
 # ----------------------------------------------------------------------
 

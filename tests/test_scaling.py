@@ -215,6 +215,29 @@ class TestStalenessRegression:
         assert art.sorted_neighbors[1] == (2,)  # ...but a different one
         assert_artifacts_match(state.artifacts(), g1)
 
+    def test_untouched_count_change_still_detected(self):
+        """The (n, m) fingerprint net: a legacy mutator that changes the
+        edge count without touch() must still trigger a rebuild (the
+        fast adjacency-sum revalidation sees the new count)."""
+        g = gnp_graph(10, 0.3, seed=2)
+        art = graph_artifacts(g)
+        if g.has_edge(0, 9):
+            g.remove_edge(0, 9)
+        else:
+            g.add_edge(0, 9)
+        fresh = graph_artifacts(g)
+        assert fresh is not art
+        assert fresh.m == g.number_of_edges()
+
+    def test_fingerprint_fast_path_handles_self_loops(self):
+        """The revalidation shortcut sums adjacency sizes // 2, which
+        undercounts a graph with an odd number of self-loops; the exact
+        number_of_edges fallback must keep the cache hit honest."""
+        g = nx.path_graph(5)
+        g.add_edge(2, 2)
+        art = graph_artifacts(g)
+        assert graph_artifacts(g) is art  # hit despite the odd degree sum
+
 
 class TestVectorizedVerify:
     @pytest.mark.parametrize("convention", ["open", "closed"])
