@@ -1,15 +1,26 @@
 """Throughput benchmarks for the repro.dynamics maintenance subsystem.
 
-Times repair-epoch throughput (epochs/second) of the maintenance loop at
-n=500 under the E22 crash workload, for each repair policy, plus the two
-substrate costs that dominate an epoch: damage detection (the verify
-oracle on the live view) and the crash-churn graph-cache path.  A
-regression here slows every dynamics experiment and the CLI.
+Times repair-epoch throughput (epochs/second) of the maintenance loop
+under the crash workload for each repair policy, plus the two substrate
+costs that dominate an epoch: damage detection (the verify oracle on the
+live view) and the crash-churn graph-cache path.  A regression here
+slows every dynamics experiment and the CLI.
+
+Acceptance: the local patch policy must not fall behind the
+recompute-from-scratch baseline — locality is the paper's entire
+Part II argument, so ``local < recompute`` throughput is a bug.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_dynamics.py --scale smoke \
+        --out BENCH_dynamics.json
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import sys
+from typing import Optional
 
 from repro.core.verify import coverage_deficit
 from repro.dynamics import (
@@ -23,50 +34,114 @@ from repro.dynamics import (
 )
 from repro.graphs.udg import random_udg
 
-N = 500
-EPOCHS = 25
+try:
+    from benchmarks.bench_common import record_check, timed_best, write_report
+except ImportError:  # run standalone: benchmarks/ itself is on sys.path
+    from bench_common import record_check, timed_best, write_report
+
+SCALES = {
+    "smoke": {"n": 500, "epochs": 10, "repeats": 3},
+    "full": {"n": 2_000, "epochs": 25, "repeats": 5},
+}
+POLICIES = {
+    "local": LocalPatchRepair,
+    "recompute": RecomputeRepair,
+    "lazy": LazyRepair,
+}
 
 
-def _scenario(k=3, seed=0):
-    return crash_scenario(N, k=k, epochs=EPOCHS, kill_fraction=0.2,
+def _scenario(n: int, epochs: int, *, k: int = 3, seed: int = 0):
+    return crash_scenario(n, k=k, epochs=epochs, kill_fraction=0.2,
                           target="dominators", seed=seed)
 
 
-@pytest.mark.parametrize("policy_cls", [LocalPatchRepair, RecomputeRepair,
-                                        LazyRepair])
-def test_epoch_throughput(benchmark, policy_cls):
-    """Full maintenance run; benchmark reports seconds for EPOCHS epochs
-    (epochs/sec = EPOCHS / mean)."""
+def bench_policies(n: int, epochs: int, repeats: int, seed: int) -> dict:
+    """Full maintenance run per policy: epochs/second."""
+    out = {}
+    for name, policy_cls in POLICIES.items():
+        def run():
+            # A fresh scenario per run — churn streams hold RNG state.
+            loop = MaintenanceLoop(_scenario(n, epochs, seed=seed),
+                                   policy_cls())
+            return loop.run()
 
-    def run():
-        return MaintenanceLoop(_scenario(), policy_cls()).run()
+        secs, result = timed_best(run, repeats)
+        assert len(result.timeline.records) == epochs
+        out[name] = {"seconds": round(secs, 4),
+                     "epochs_per_sec": round(epochs / secs, 2)}
+        print(f"  policy={name}: {secs:.3f}s "
+              f"({epochs / secs:.1f} epochs/s)", flush=True)
+    return out
 
-    result = benchmark(run)
-    assert len(result.timeline.records) == EPOCHS
 
-
-def test_damage_detection(benchmark):
+def bench_damage_detection(n: int, repeats: int, seed: int) -> dict:
     """The per-epoch verify-oracle call on the live topology."""
-    scenario = _scenario()
+    scenario = _scenario(n, 1, seed=seed)
     state = NetworkState.from_udg(scenario.initial,
                                   members=scenario.build_members())
     graph = state.graph()
-    benchmark(coverage_deficit, graph, state.members, 3,
-              convention="open")
+    secs, _ = timed_best(
+        lambda: coverage_deficit(graph, state.members, 3,
+                                 convention="open"), repeats)
+    print(f"  damage detection: {secs * 1e3:.2f} ms", flush=True)
+    return {"seconds": round(secs, 5)}
 
 
-def test_crash_churn_graph_cache(benchmark):
+def bench_crash_churn(n: int, repeats: int, seed: int) -> dict:
     """Crash + live-view refresh, the hot state transition (must stay
     cheap: no geometric rebuild on crash-only churn)."""
-    udg = random_udg(N, density=10.0, seed=0)
+    udg = random_udg(n, density=10.0, seed=seed)
+    crashes = min(50, n // 10)
 
     def churn():
         state = NetworkState.from_udg(udg)
         state.graph()                       # build the base cache once
-        for v in range(50):
+        for v in range(crashes):
             state.apply(CrashEvent(v))
             state.graph()                   # refresh the live view
         return state
 
-    state = benchmark(churn)
-    assert state.n_live == N - 50
+    secs, state = timed_best(churn, repeats)
+    assert state.n_live == n - crashes
+    print(f"  crash churn ({crashes} crashes): {secs * 1e3:.2f} ms",
+          flush=True)
+    return {"crashes": crashes, "seconds": round(secs, 5)}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_dynamics.json")
+    args = parser.parse_args(argv)
+
+    cfg = SCALES[args.scale]
+    n, epochs, repeats = cfg["n"], cfg["epochs"], cfg["repeats"]
+    print(f"n={n}: {epochs}-epoch maintenance runs x{repeats}...",
+          flush=True)
+    policies = bench_policies(n, epochs, repeats, args.seed)
+    detection = bench_damage_detection(n, repeats, args.seed)
+    churn = bench_crash_churn(n, repeats, args.seed)
+
+    report = {
+        "benchmark": "bench_dynamics",
+        "scale": args.scale,
+        "config": {"n": n, "epochs": epochs, "repeats": repeats,
+                   "seed": args.seed},
+        "policies": policies,
+        "damage_detection": detection,
+        "crash_churn": churn,
+        "acceptance": {},
+    }
+    ok = record_check(
+        report, title="local patch vs recompute",
+        key="local_vs_recompute", passed_key="local_vs_recompute_passed",
+        speedup=policies["recompute"]["seconds"]
+        / policies["local"]["seconds"],
+        threshold=1.0, vs="recompute-from-scratch")
+    write_report(report, args.out)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

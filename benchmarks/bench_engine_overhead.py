@@ -2,57 +2,71 @@
 
 Every engine entry point starts by materializing
 :class:`repro.engine.artifacts.GraphArtifacts` (stable neighbor orders,
-degree vector, closed-adjacency CSR).  The artifacts are cached per graph
-object, so repeated calls on the same graph — sweeps over ``t``, ``k``,
-policies, or modes, which is what every experiment does — skip the whole
-rebuild.  These benchmarks quantify that: ``cold`` invalidates the cache
-before every call, ``cached`` reuses it, and the solver benchmarks show
-the end-to-end effect on Algorithm 1.
+degree vector, closed-adjacency CSR).  The artifacts are cached per
+graph object, so repeated calls on the same graph — sweeps over ``t``,
+``k``, policies, or modes, which is what every experiment does — skip
+the whole rebuild.  These benchmarks quantify that: ``cold``
+invalidates the cache before every call, ``cached`` reuses it, and the
+solver benchmarks show the end-to-end effect on Algorithm 1.
 
-Run with::
+Acceptance: the cached artifact path and the delta patcher must beat
+their from-scratch counterparts by a wide margin — those ratios *are*
+the engine-layer design, so CI fails fast when either collapses.
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_engine_overhead.py --benchmark-only
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_overhead.py \
+        --scale smoke --out BENCH_engine_overhead.json
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import sys
+from typing import Optional
 
 from repro.core.fractional import fractional_kmds
 from repro.engine import cache_stats, graph_artifacts, invalidate
 from repro.graphs.generators import gnp_graph
 from repro.graphs.properties import feasible_coverage
 
+try:
+    from benchmarks.bench_common import record_check, timed_best, write_report
+except ImportError:  # run standalone: benchmarks/ itself is on sys.path
+    from bench_common import record_check, timed_best, write_report
 
-@pytest.fixture(scope="module")
-def gnp500():
-    g = gnp_graph(500, 0.02, seed=7)
-    return g, feasible_coverage(g, 2)
+SCALES = {
+    "smoke": {"n": 500, "p": 0.02, "repeats": 5},
+    "full": {"n": 2_000, "p": 0.005, "repeats": 10},
+}
+#: Cached artifact access must beat the cold rebuild by this much.
+CACHED_SPEEDUP = 10.0
+#: One delta patch cycle must beat one cold rebuild by this much.
+PATCH_SPEEDUP = 3.0
 
 
-def test_artifacts_cold(benchmark, gnp500):
-    g, _ = gnp500
-
-    def build():
+def bench_artifacts(g, repeats: int) -> dict:
+    def cold():
         invalidate(g)
         a = graph_artifacts(g)
         a.closed_adjacency()
         return a
 
-    benchmark(build)
+    cold_secs, _ = timed_best(cold, repeats)
 
-
-def test_artifacts_cached(benchmark, gnp500):
-    g, _ = gnp500
     graph_artifacts(g).closed_adjacency()  # warm the cache
     before = cache_stats()["hits"]
-    benchmark(lambda: graph_artifacts(g).closed_adjacency())
+    cached_secs, _ = timed_best(
+        lambda: graph_artifacts(g).closed_adjacency(), repeats)
     assert cache_stats()["hits"] > before
+    print(f"  artifacts: cold {cold_secs * 1e3:.3f} ms, "
+          f"cached {cached_secs * 1e6:.1f} us", flush=True)
+    return {"cold_seconds": round(cold_secs, 6),
+            "cached_seconds": round(cached_secs, 9)}
 
 
-def test_artifacts_delta_patch(benchmark, gnp500):
+def bench_delta_patch(g, repeats: int) -> dict:
     """Patching one node in/out beats a from-scratch rebuild."""
-    g, _ = gnp500
     art = graph_artifacts(g)
     victim = art.nodes[0]
     neighbors = list(art.sorted_neighbors[0])
@@ -63,24 +77,72 @@ def test_artifacts_delta_patch(benchmark, gnp500):
         delta.add_node(victim, neighbors)
 
     before = cache_stats()
-    benchmark(patch)
+    secs, _ = timed_best(patch, repeats)
     after = cache_stats()
     assert after["delta_patches"] > before["delta_patches"]
     # The whole benchmark loop never paid a single rebuild.
     assert after["full_rebuilds"] == before["full_rebuilds"]
+    print(f"  delta patch cycle: {secs * 1e6:.1f} us", flush=True)
+    return {"seconds": round(secs, 9)}
 
 
-def test_algorithm1_cold_artifacts(benchmark, gnp500):
-    g, cov = gnp500
-
-    def run():
+def bench_algorithm1(g, cov, repeats: int) -> dict:
+    def cold():
         invalidate(g)
         return fractional_kmds(g, coverage=cov, t=2, compute_duals=False)
 
-    benchmark(run)
-
-
-def test_algorithm1_cached_artifacts(benchmark, gnp500):
-    g, cov = gnp500
+    cold_secs, _ = timed_best(cold, repeats)
     graph_artifacts(g)  # warm the cache
-    benchmark(fractional_kmds, g, coverage=cov, t=2, compute_duals=False)
+    cached_secs, _ = timed_best(
+        lambda: fractional_kmds(g, coverage=cov, t=2,
+                                compute_duals=False), repeats)
+    print(f"  algorithm 1: cold {cold_secs * 1e3:.2f} ms, "
+          f"cached {cached_secs * 1e3:.2f} ms", flush=True)
+    return {"cold_seconds": round(cold_secs, 6),
+            "cached_seconds": round(cached_secs, 6)}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_engine_overhead.json")
+    args = parser.parse_args(argv)
+
+    cfg = SCALES[args.scale]
+    print(f"G(n={cfg['n']}, p={cfg['p']}): artifact-cache overhead...",
+          flush=True)
+    g = gnp_graph(cfg["n"], cfg["p"], seed=args.seed)
+    cov = feasible_coverage(g, 2)
+    artifacts = bench_artifacts(g, cfg["repeats"])
+    patch = bench_delta_patch(g, cfg["repeats"])
+    algo1 = bench_algorithm1(g, cov, cfg["repeats"])
+
+    report = {
+        "benchmark": "bench_engine_overhead",
+        "scale": args.scale,
+        "config": {"n": cfg["n"], "p": cfg["p"],
+                   "repeats": cfg["repeats"], "seed": args.seed},
+        "artifacts": artifacts,
+        "delta_patch": patch,
+        "algorithm1": algo1,
+        "acceptance": {},
+    }
+    ok = record_check(
+        report, title="cached artifacts vs cold rebuild",
+        key="cached_vs_cold", passed_key="cached_vs_cold_passed",
+        speedup=artifacts["cold_seconds"]
+        / max(artifacts["cached_seconds"], 1e-9),
+        threshold=CACHED_SPEEDUP, vs="cold rebuild")
+    ok &= record_check(
+        report, title="delta patch cycle vs cold rebuild",
+        key="patch_vs_rebuild", passed_key="patch_vs_rebuild_passed",
+        speedup=artifacts["cold_seconds"]
+        / max(patch["seconds"], 1e-9),
+        threshold=PATCH_SPEEDUP, vs="cold rebuild")
+    write_report(report, args.out)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

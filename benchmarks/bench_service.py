@@ -1,0 +1,129 @@
+"""Service benchmark: query throughput against the live daemon.
+
+Stands up the full ``repro.service`` stack — a
+:class:`~repro.service.server.CoverageDaemon` stepping real churn epochs
+through a :class:`~repro.dynamics.loop.MaintenanceLoop` — and drives it
+with the stock :class:`~repro.service.server.LoadGenerator` until the
+writer exhausts its epoch budget.  The number that matters is sustained
+**batched point queries per second while churn runs**: the whole point
+of snapshot publication is that serving never waits on repair.
+
+Acceptance (``--scale full``): >= 10^6 point queries/sec at n=10^5.
+The smoke scale keeps CI honest with a conservative floor at n=2000.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --scale smoke \
+        --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.dynamics import LocalPatchRepair, MaintenanceLoop, crash_scenario
+from repro.service import CoverageDaemon, CoverageService, LoadGenerator
+
+try:
+    from benchmarks.bench_common import record_check, write_report
+except ImportError:  # run standalone: benchmarks/ itself is on sys.path
+    from bench_common import record_check, write_report
+
+SCALES = {
+    # Deployment size, writer epoch budget, traffic shape, and the
+    # fail-fast throughput floor checked at that size.
+    "smoke": {"n": 2_000, "epochs": 4, "batch": 2048, "clients": 2,
+              "qps_floor": 1e5},
+    "full": {"n": 100_000, "epochs": 10, "batch": 8192, "clients": 4,
+             "qps_floor": 1e6},
+}
+
+#: The vectorized kinds; ``route`` is per-pair and benchmarked apart.
+POINT_KINDS = ("covered", "k_deficit", "dominator_of", "who_covers")
+
+
+def measure(*, n: int, epochs: int, batch: int, clients: int, k: int,
+            kill_fraction: float, shards: Optional[int], workers: int,
+            executor: str, seed: int) -> dict:
+    scenario = crash_scenario(n=n, k=k, epochs=epochs,
+                              kill_fraction=kill_fraction, seed=seed)
+    loop = MaintenanceLoop(scenario, LocalPatchRepair(), shards=shards,
+                           workers=workers, executor=executor)
+    daemon = CoverageDaemon(CoverageService(loop), max_epochs=epochs)
+    daemon.start()
+    generator = LoadGenerator(daemon, batch=batch, clients=clients,
+                              kinds=POINT_KINDS, seed=seed)
+    generator.start()
+    daemon.wait_for_writer()
+    submitted = generator.stop()
+    report = daemon.drain()
+    final = daemon.service.current()
+    return {
+        "n": n,
+        "epochs": epochs,
+        "batch": batch,
+        "clients": clients,
+        "submitted": submitted,
+        "final_epoch_covered": final.fully_covered,
+        "metrics": report,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--kill", type=float, default=0.2,
+                        help="fraction of initial dominators killed "
+                             "over the run")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="process",
+                        help="shard-dispatch engine; 'process' keeps "
+                             "repair off the serving process's GIL")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    cfg = SCALES[args.scale]
+    print(f"n={cfg['n']}: serving {cfg['epochs']} churn epochs under "
+          f"{cfg['clients']} clients x batch {cfg['batch']}...", flush=True)
+    row = measure(n=cfg["n"], epochs=cfg["epochs"], batch=cfg["batch"],
+                  clients=cfg["clients"], k=args.k,
+                  kill_fraction=args.kill, shards=args.shards,
+                  workers=args.workers, executor=args.executor,
+                  seed=args.seed)
+    m = row["metrics"]
+    print(f"  {m['queries']:,} queries in {m['duration_s']:.2f}s "
+          f"-> {m['qps']:,.0f} q/s "
+          f"(p50 {m['p50_batch_ms']:.3f} ms, p99 {m['p99_batch_ms']:.3f} ms, "
+          f"epoch lag <= {m['max_epoch_lag']})", flush=True)
+
+    report = {
+        "benchmark": "bench_service",
+        "scale": args.scale,
+        "config": {"k": args.k, "kill_fraction": args.kill,
+                   "shards": args.shards, "workers": args.workers,
+                   "executor": args.executor, "seed": args.seed,
+                   "kinds": list(POINT_KINDS)},
+        "result": row,
+        "acceptance": {},
+    }
+    ok = record_check(
+        report, title=f"service throughput @ n={cfg['n']}",
+        key="qps_over_floor", passed_key="qps_floor_passed",
+        speedup=m["qps"] / cfg["qps_floor"], threshold=1.0,
+        vs=f"{cfg['qps_floor']:,.0f} q/s floor")
+    if not row["final_epoch_covered"]:
+        print("!! final epoch not fully covered — serving raced a "
+              "broken repair", file=sys.stderr)
+        ok = False
+    write_report(report, args.out)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

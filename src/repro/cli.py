@@ -14,6 +14,10 @@ Commands
     Render a clustered deployment and the Part I dynamics to SVG.
 ``repro dynamics --n 500 --k 3 --epochs 50 --policy local``
     Maintain a k-fold dominating set under churn (repro.dynamics).
+``repro serve --n 2000 --k 3 --epochs 20 --clients 2``
+    Run the coverage service: resident maintenance loop + query daemon
+    (repro.service), with a built-in load generator and a metrics
+    report on shutdown (SIGINT/SIGTERM drain gracefully).
 ``repro experiment e1 [--scale full] [--seed 0] [--json out.json]``
     Run one of the E1-E23 experiments and print its report.
 ``repro report --out EXPERIMENTS.md --scale full``
@@ -85,33 +89,58 @@ def _build_parser() -> argparse.ArgumentParser:
     viz.add_argument("--out", default=".")
     viz.add_argument("--seed", type=int, default=0)
 
+    def _add_churn_args(p: argparse.ArgumentParser) -> None:
+        """The shared scenario knobs of ``dynamics`` and ``serve``."""
+        p.add_argument("--n", type=int, default=500)
+        p.add_argument("--density", type=float, default=10.0)
+        p.add_argument("--k", type=int, default=3)
+        p.add_argument("--epochs", type=int, default=50)
+        p.add_argument("--policy", choices=REPAIR_POLICIES, default="local")
+        p.add_argument("--kill", type=float, default=0.2,
+                       help="fraction of the initial dominators killed "
+                            "over the run")
+        p.add_argument("--target", choices=("dominators", "any"),
+                       default="dominators",
+                       help="whether crashes strike dominators or any node")
+        p.add_argument("--joins", type=float, default=0.0,
+                       help="expected node joins per epoch (Poisson)")
+        p.add_argument("--battery", type=float, default=0.0,
+                       help="per-epoch battery drain (dominators drain 3x)")
+        p.add_argument("--mobility", type=float, default=0.0,
+                       help="Gaussian-drift speed per epoch (0 = static)")
+        p.add_argument("--shards", type=int, default=None,
+                       help="decompose repair into damage units on an "
+                            "NxN shard grid (requires a shardable policy)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="pool size for sharded repair dispatch")
+        p.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="shard dispatch engine: in-process threads or "
+                            "a shared-memory process pool")
+        p.add_argument("--seed", type=int, default=0)
+
     dyn = sub.add_parser("dynamics",
                          help="self-healing maintenance under churn")
-    dyn.add_argument("--n", type=int, default=500)
-    dyn.add_argument("--density", type=float, default=10.0)
-    dyn.add_argument("--k", type=int, default=3)
-    dyn.add_argument("--epochs", type=int, default=50)
-    dyn.add_argument("--policy", choices=REPAIR_POLICIES, default="local")
-    dyn.add_argument("--kill", type=float, default=0.2,
-                     help="fraction of the initial dominators killed "
-                          "over the run")
-    dyn.add_argument("--target", choices=("dominators", "any"),
-                     default="dominators",
-                     help="whether crashes strike dominators or any node")
-    dyn.add_argument("--joins", type=float, default=0.0,
-                     help="expected node joins per epoch (Poisson)")
-    dyn.add_argument("--battery", type=float, default=0.0,
-                     help="per-epoch battery drain (dominators drain 3x)")
-    dyn.add_argument("--mobility", type=float, default=0.0,
-                     help="Gaussian-drift speed per epoch (0 = static)")
-    dyn.add_argument("--shards", type=int, default=None,
-                     help="decompose repair into damage units on an "
-                          "NxN shard grid (requires a shardable policy)")
-    dyn.add_argument("--workers", type=int, default=1,
-                     help="thread-pool size for sharded repair dispatch")
+    _add_churn_args(dyn)
     dyn.add_argument("--tail", type=int, default=10,
                      help="print the last TAIL epoch records")
-    dyn.add_argument("--seed", type=int, default=0)
+    dyn.add_argument("--json", dest="json_path", default=None,
+                     help="also write the timeline summary + tail records "
+                          "as JSON to this path")
+
+    srv = sub.add_parser("serve",
+                         help="coverage-as-a-service daemon + load "
+                              "generator")
+    _add_churn_args(srv)
+    srv.add_argument("--clients", type=int, default=2,
+                     help="load-generator client threads")
+    srv.add_argument("--batch", type=int, default=1024,
+                     help="query batch size per client request")
+    srv.add_argument("--epoch-interval", type=float, default=0.0,
+                     help="seconds between churn epochs (0 = continuous)")
+    srv.add_argument("--json", dest="json_path", default=None,
+                     help="also write the service metrics report as JSON "
+                          "to this path")
 
     rep = sub.add_parser("report",
                          help="regenerate EXPERIMENTS.md from scratch")
@@ -251,14 +280,14 @@ def _cmd_visualize(args) -> int:
     return 0
 
 
-def _cmd_dynamics(args) -> int:
+def _build_churn_scenario(args):
+    """The shared ``dynamics`` / ``serve`` scenario: crash churn plus
+    the optional battery / joins / mobility streams."""
     from repro.dynamics import (
         BatteryDecay,
         MobilityRewiring,
         PoissonJoins,
         crash_scenario,
-        make_policy,
-        run_scenario,
     )
     from repro.graphs.mobility import GaussianDrift
 
@@ -276,9 +305,16 @@ def _cmd_dynamics(args) -> int:
         streams.append(MobilityRewiring(
             GaussianDrift(args.mobility, seed=args.seed + 4), side))
     scenario.streams = streams
+    return scenario
 
+
+def _cmd_dynamics(args) -> int:
+    from repro.dynamics import make_policy, run_scenario
+
+    scenario = _build_churn_scenario(args)
     result = run_scenario(scenario, make_policy(args.policy),
-                          shards=args.shards, workers=args.workers)
+                          shards=args.shards, workers=args.workers,
+                          executor=args.executor)
     columns = ["epoch", "n_live", "n_members", "crashes",
                "deficient_before", "availability_before", "repaired",
                "rounds", "messages", "touched", "drift",
@@ -305,7 +341,89 @@ def _cmd_dynamics(args) -> int:
         ("final live / members",
          f"{len(result.final_live)} / {len(result.final_members)}"),
     ]))
+    if args.json_path:
+        import json
+        import pathlib
+
+        payload = {
+            "scenario": result.scenario,
+            "policy": result.policy,
+            "k": result.k,
+            "epochs": len(result.timeline),
+            "always_covered": result.always_covered,
+            "summary": result.summary,
+            "tail": result.timeline.to_dicts()[-max(0, args.tail):],
+            "final_live": len(result.final_live),
+            "final_members": len(result.final_members),
+        }
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_path}")
     return 0 if result.always_covered or args.policy == "lazy" else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.dynamics import MaintenanceLoop, make_policy
+    from repro.service import CoverageDaemon, CoverageService, LoadGenerator
+
+    scenario = _build_churn_scenario(args)
+    loop = MaintenanceLoop(scenario, make_policy(args.policy),
+                           shards=args.shards, workers=args.workers,
+                           executor=args.executor)
+    service = CoverageService(loop)
+    daemon = CoverageDaemon(service, max_epochs=args.epochs,
+                            epoch_interval=args.epoch_interval)
+    daemon.install_signal_handlers()
+    daemon.start()
+    snap = service.current()
+    print(f"serving n={snap.n} k={snap.k} members={snap.members} "
+          f"policy={args.policy} epochs={args.epochs} "
+          f"clients={args.clients} batch={args.batch} "
+          f"(SIGINT/SIGTERM drains)")
+    generator = LoadGenerator(daemon, batch=args.batch,
+                              clients=args.clients, seed=args.seed)
+    generator.start()
+    # Serve until the writer exhausts its epoch budget — or a signal
+    # flips the drain flag early.
+    while not daemon.wait_for_writer(timeout=0.2):
+        if daemon.draining:
+            break
+    generator.stop()
+    report = daemon.drain()
+    final = service.current()
+
+    print()
+    print(format_table(["metric", "value"], [
+        ("epochs published", report["epochs_published"]),
+        ("final epoch covered", final.fully_covered),
+        ("queries answered", report["queries"]),
+        ("batches", report["batches"]),
+        ("throughput (queries/s)", f"{report['qps']:,.0f}"),
+        ("p50 batch latency", f"{report['p50_batch_ms']:.3f} ms"),
+        ("p99 batch latency", f"{report['p99_batch_ms']:.3f} ms"),
+        ("max epoch lag", report["max_epoch_lag"]),
+        ("last snapshot age", f"{report['last_snapshot_age_s']:.3f} s"),
+        ("serving time", f"{report['duration_s']:.2f} s"),
+    ]))
+    if args.json_path:
+        import json
+        import pathlib
+
+        payload = {
+            "config": {
+                "n": args.n, "k": args.k, "epochs": args.epochs,
+                "policy": args.policy, "shards": args.shards,
+                "workers": args.workers, "executor": args.executor,
+                "clients": args.clients, "batch": args.batch,
+                "seed": args.seed,
+            },
+            "snapshot": final.describe(),
+            "metrics": report,
+        }
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_path}")
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -368,6 +486,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve-weighted": _cmd_solve_weighted,
         "visualize": _cmd_visualize,
         "dynamics": _cmd_dynamics,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "experiment": _cmd_experiment,
     }

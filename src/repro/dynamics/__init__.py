@@ -42,7 +42,12 @@ from repro.dynamics.events import (
     ScheduledCrashes,
 )
 from repro.dynamics.demotion import DemotionOutcome, SurplusDemotion
-from repro.dynamics.loop import DynamicsResult, MaintenanceLoop, run_scenario
+from repro.dynamics.loop import (
+    EXECUTORS,
+    DynamicsResult,
+    MaintenanceLoop,
+    run_scenario,
+)
 from repro.dynamics.metrics import DynamicsTimeline, EpochRecord
 from repro.dynamics.repair import (
     REPAIR_POLICIES,
@@ -65,6 +70,7 @@ __all__ = [
     "DrainEvent",
     "DynamicsResult",
     "DynamicsTimeline",
+    "EXECUTORS",
     "EpochRecord",
     "Event",
     "EventStream",

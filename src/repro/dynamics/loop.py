@@ -52,9 +52,12 @@ from repro.dynamics.scenario import Scenario
 from repro.dynamics.sharding import assign_shards, damage_units
 from repro.dynamics.state import NetworkState
 from repro.engine.instrumentation import Instrumentation
-from repro.errors import ShardingError
+from repro.errors import ServiceError, ShardingError
 from repro.simulation.rng import spawn_named_rngs
 from repro.types import NodeId, RunStats
+
+#: Valid shard-dispatch executors for :class:`MaintenanceLoop`.
+EXECUTORS = ("thread", "process")
 
 
 class _ArtifactGraphView:
@@ -117,8 +120,17 @@ class MaintenanceLoop:
         them onto a ``shards x shards`` grid (``None`` = the classic
         global repair call).  Requires a ``shardable`` policy.
     workers:
-        Thread-pool size for shard dispatch (only with ``shards``).
+        Pool size for shard dispatch (only with ``shards``).
         Outcomes are bit-identical for every worker count.
+    executor:
+        Shard-dispatch engine: ``"thread"`` (default — the in-process
+        pool) or ``"process"`` — a resident
+        :class:`~repro.dynamics.procpool.ProcessShardPool` reading the
+        epoch's artifacts from ``multiprocessing.shared_memory``, which
+        sidesteps the GIL for the pure-Python analytic repair.
+        Requires ``shards`` and ``incremental=True`` (the shm export
+        reads the live artifact CSR) and integer node ids.  The
+        timeline stays bit-identical across all executors.
     incremental:
         Maintain live :class:`~repro.engine.artifacts.GraphArtifacts`
         delta-patched per churn event, enabling the vectorized deficit
@@ -135,6 +147,7 @@ class MaintenanceLoop:
     def __init__(self, scenario: Scenario, policy: RepairPolicy, *,
                  instrumentation: Optional[Instrumentation] = None,
                  shards: Optional[int] = None, workers: int = 1,
+                 executor: str = "thread",
                  incremental: bool = True,
                  demote: Optional[SurplusDemotion] = None):
         self.scenario = scenario
@@ -156,8 +169,25 @@ class MaintenanceLoop:
                 f"workers={workers} requires shards; pass shards>=1 to "
                 "enable the sharded repair plan"
             )
+        if executor not in EXECUTORS:
+            raise ShardingError(
+                f"unknown executor {executor!r}; "
+                f"expected one of {EXECUTORS}"
+            )
+        if executor == "process":
+            if shards is None:
+                raise ShardingError(
+                    "executor='process' requires shards; pass shards>=1 "
+                    "to enable the sharded repair plan"
+                )
+            if not incremental:
+                raise ShardingError(
+                    "executor='process' requires incremental=True (the "
+                    "shared-memory export reads the live artifact CSR)"
+                )
         self.shards = shards
         self.workers = int(workers)
+        self.executor = executor
         self.incremental = bool(incremental)
         self.demoter = demote
         self.instr = (instrumentation if instrumentation is not None
@@ -169,9 +199,40 @@ class MaintenanceLoop:
         self._seed_root = scenario.seed if scenario.seed is not None else 0
         pts = scenario.initial.points
         self._side = float(pts.max()) if len(pts) else 1.0
+        self._procpool = None
+        # Resident-stepping state (armed by :meth:`start`).
+        self._state: Optional[NetworkState] = None
+        self._timeline: Optional[DynamicsTimeline] = None
+        self._epoch = 0
 
     # ------------------------------------------------------------------
-    def run(self) -> DynamicsResult:
+    # Resident stepping API (the service layer drives epochs one by one)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> Optional[NetworkState]:
+        """The resident :class:`NetworkState` (``None`` before
+        :meth:`start`)."""
+        return self._state
+
+    @property
+    def timeline(self) -> Optional[DynamicsTimeline]:
+        """The timeline accumulated so far (``None`` before
+        :meth:`start`)."""
+        return self._timeline
+
+    @property
+    def epochs_completed(self) -> int:
+        """Epochs executed since the last :meth:`start`."""
+        return self._epoch
+
+    def start(self) -> NetworkState:
+        """Arm (or re-arm) the loop for resident stepping.
+
+        Builds the deployment's :class:`NetworkState` and an empty
+        timeline; any previous resident run is discarded.  :meth:`run`
+        calls this internally — use it directly only when stepping
+        epochs one at a time (e.g. from :mod:`repro.service`).
+        """
         scenario = self.scenario
         state = NetworkState.from_udg(scenario.initial,
                                       members=scenario.build_members(),
@@ -182,20 +243,58 @@ class MaintenanceLoop:
             # (no subgraph-view overhead) and churn patches it from the
             # first event on.
             state.artifacts()
-        timeline = DynamicsTimeline()
-        for epoch in range(scenario.epochs):
-            timeline.append(self._run_epoch(epoch, state))
+        self._state = state
+        self._timeline = DynamicsTimeline()
+        self._epoch = 0
+        return state
+
+    def step(self) -> EpochRecord:
+        """Execute one epoch against the resident state.
+
+        Starts the loop on first call.  Epoch indices keep advancing
+        past ``scenario.epochs`` — a resident service runs until told to
+        stop, not for a fixed horizon.
+        """
+        if self._state is None:
+            self.start()
+        record = self._run_epoch(self._epoch, self._state)
+        self._timeline.append(record)
+        self._epoch += 1
+        return record
+
+    def finish(self) -> DynamicsResult:
+        """Package the resident run into a :class:`DynamicsResult`."""
+        if self._state is None or self._timeline is None:
+            raise ServiceError("finish() before start(): no resident run")
         result = DynamicsResult(
-            scenario=scenario.name,
+            scenario=self.scenario.name,
             policy=self.policy.name,
-            k=scenario.k,
-            timeline=timeline,
-            final_members=set(state.members),
-            final_live=set(state.alive),
+            k=self.scenario.k,
+            timeline=self._timeline,
+            final_members=set(self._state.members),
+            final_live=set(self._state.alive),
             stats=self.instr.stats,
         )
-        result.summary = timeline.summary()
+        result.summary = self._timeline.summary()
         return result
+
+    def close(self) -> None:
+        """Release pooled resources (the process pool and its shared
+        memory).  Idempotent; the loop remains usable — the pool is
+        re-created lazily on the next sharded epoch."""
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> DynamicsResult:
+        try:
+            self.start()
+            for _ in range(self.scenario.epochs):
+                self.step()
+            return self.finish()
+        finally:
+            self.close()
 
     # ------------------------------------------------------------------
     # Deficit measurement (vectorized on incremental states)
@@ -247,7 +346,10 @@ class MaintenanceLoop:
                 results.append((out, unit_instr.stats))
             return results
 
-        if self.workers == 1 or len(shard_keys) <= 1:
+        if self.executor == "process":
+            shard_results = self._run_shards_in_processes(
+                epoch, state, plan, shard_keys, k)
+        elif self.workers == 1 or len(shard_keys) <= 1:
             shard_results = [run_shard(key) for key in shard_keys]
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -269,6 +371,22 @@ class MaintenanceLoop:
         # round cost is the slowest unit, not the sum.
         self.instr.charge_rounds(merged.rounds)
         return merged, len(units), len(plan)
+
+    def _run_shards_in_processes(self, epoch: int, state: NetworkState,
+                                 plan, shard_keys, k: int):
+        """Dispatch the epoch's shard batches to the resident process
+        pool over shared-memory artifacts (lazily created)."""
+        if self._procpool is None:
+            from repro.dynamics.procpool import ProcessShardPool
+
+            self._procpool = ProcessShardPool(self.workers)
+        manifest = self._procpool.publish_epoch(state.artifacts(),
+                                                state.members)
+        shard_units = [[(u.rank, u.deficits) for u in plan[key]]
+                       for key in shard_keys]
+        return self._procpool.run_shards(
+            manifest, shard_units, policy=self.policy, k=k, epoch=epoch,
+            seed_root=self._seed_root, size_model=self.instr.size_model)
 
     # ------------------------------------------------------------------
     def _run_epoch(self, epoch: int, state: NetworkState) -> EpochRecord:
@@ -352,9 +470,10 @@ class MaintenanceLoop:
 def run_scenario(scenario: Scenario, policy: RepairPolicy, *,
                  instrumentation: Optional[Instrumentation] = None,
                  shards: Optional[int] = None, workers: int = 1,
+                 executor: str = "thread",
                  incremental: bool = True,
                  demote: Optional[SurplusDemotion] = None) -> DynamicsResult:
     """Convenience wrapper: build a loop and run it to completion."""
     return MaintenanceLoop(scenario, policy, instrumentation=instrumentation,
-                           shards=shards, workers=workers,
+                           shards=shards, workers=workers, executor=executor,
                            incremental=incremental, demote=demote).run()

@@ -117,6 +117,8 @@ class GraphArtifacts:
         self._closed_adjacency: Optional[sp.csr_matrix] = None
         self._closed_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._open_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._closed_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._nodes_array: Optional[np.ndarray] = None
         _STATS["full_rebuilds"] += 1
 
     # ``delta`` predates the incremental API and names the paper's max
@@ -153,6 +155,49 @@ class GraphArtifacts:
                 (data, indices, indptr), shape=(self.n, self.n)
             )
         return self._closed_adjacency
+
+    def closed_csr_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Closed-neighborhood CSR as raw int64 ``(indptr, indices)``.
+
+        The same row structure as :meth:`closed_adjacency` but without
+        the scipy matrix wrapper (whose index dtypes scipy may narrow):
+        flat contiguous int64 arrays suitable for exporting into shared
+        memory and for vectorized row gathers.  Built lazily, dropped by
+        every :class:`ArtifactDelta` patch.
+        """
+        if self._closed_arrays is None:
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            if self.n:
+                np.cumsum(self.degrees + 1, out=indptr[1:])
+                indices = np.ascontiguousarray(
+                    np.concatenate(self.closed_nbrs), dtype=np.int64)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+            self._closed_arrays = (indptr, indices)
+        return self._closed_arrays
+
+    def nodes_array(self) -> np.ndarray:
+        """Index-aligned int64 array of node ids (``nodes_array()[i]`` is
+        the id of the node at artifact index ``i``).
+
+        Only integer-labelled graphs can be exported this way; the
+        service/shared-memory layer depends on it, so a graph with
+        non-integer node ids raises :class:`~repro.errors.GraphError`.
+        Built lazily, dropped by every :class:`ArtifactDelta` patch.
+        """
+        if self._nodes_array is None:
+            try:
+                raw = np.asarray(self.nodes)
+            except (TypeError, ValueError):  # pragma: no cover — exotic ids
+                raw = np.empty(0, dtype=object)
+            if self.n and (raw.ndim != 1 or raw.dtype.kind not in "iu"):
+                sample = self.nodes[0]
+                raise GraphError(
+                    "nodes_array() requires integer node ids; got labels "
+                    f"like {sample!r}")
+            self._nodes_array = raw.astype(np.int64) if self.n else \
+                np.zeros(0, dtype=np.int64)
+        return self._nodes_array
 
     def open_csr(self) -> Tuple[np.ndarray, np.ndarray]:
         """Open-neighborhood CSR ``(indptr, indices)`` over node indices.
@@ -228,6 +273,8 @@ class ArtifactDelta:
         art._closed_adjacency = None
         art._closed_pairs = None
         art._open_csr = None
+        art._closed_arrays = None
+        art._nodes_array = None
         self.patches += 1
         _STATS["delta_patches"] += 1
 

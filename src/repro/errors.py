@@ -60,6 +60,27 @@ class InfeasibleInstanceError(ReproError):
         self.witness = witness
 
 
+class ServiceError(ReproError):
+    """The coverage service (``repro.service``) was misused.
+
+    Raised by the resident daemon layer for lifecycle violations —
+    querying before the first snapshot was published, submitting work to
+    a daemon that is already draining, or configuring a server with an
+    invalid load specification.
+    """
+
+
+class QueryError(ServiceError):
+    """A malformed query reached the batch query plane.
+
+    Unknown query kinds, ids that are not integer-convertible, or
+    non-1-D id batches.  Note that querying a *dead or never-deployed*
+    node id is **not** an error — the query plane answers it with the
+    uncovered sentinel (see :mod:`repro.service.queries`), because at
+    traffic scale clients race against churn by design.
+    """
+
+
 class SimulationError(ReproError):
     """The message-passing simulation entered an invalid state."""
 

@@ -1,0 +1,57 @@
+"""Coverage-as-a-service: serve live coverage queries at traffic scale.
+
+The paper's clustering exists so clients can always reach a live
+clusterhead; this package turns the repo's maintenance loop into a
+*resident* service that answers exactly those questions while churn
+runs:
+
+- :mod:`repro.service.snapshot` — immutable per-epoch
+  :class:`EpochSnapshot` views (published after each epoch verifies;
+  readers never block the writer);
+- :mod:`repro.service.queries` — the vectorized batch query plane
+  (``covered`` / ``k_deficit`` / ``dominator_of`` / ``who_covers`` /
+  backbone ``route``);
+- :mod:`repro.service.shm` — the shared-memory artifact store backing
+  snapshots and the true multi-process sharded repair
+  (:mod:`repro.dynamics.procpool`);
+- :mod:`repro.service.server` — the daemon (writer + dispatch threads,
+  metrics, graceful drain) behind the ``repro serve`` CLI.
+
+See ``docs/service.md`` for the architecture.
+"""
+
+from repro.service.queries import (
+    QUERY_KINDS,
+    answer,
+    covered,
+    dominator_of,
+    k_deficit,
+    routes,
+    who_covers,
+)
+from repro.service.server import (
+    CoverageDaemon,
+    CoverageService,
+    LoadGenerator,
+    ServiceMetrics,
+)
+from repro.service.shm import AttachedGeneration, SharedArtifactStore, attach
+from repro.service.snapshot import EpochSnapshot
+
+__all__ = [
+    "QUERY_KINDS",
+    "answer",
+    "covered",
+    "dominator_of",
+    "k_deficit",
+    "routes",
+    "who_covers",
+    "CoverageDaemon",
+    "CoverageService",
+    "LoadGenerator",
+    "ServiceMetrics",
+    "AttachedGeneration",
+    "SharedArtifactStore",
+    "attach",
+    "EpochSnapshot",
+]

@@ -1,0 +1,205 @@
+"""The vectorized batch query plane over :class:`EpochSnapshot`.
+
+Every public query takes a numpy array of node ids and answers the
+whole batch with CSR gathers — no per-query Python loop:
+
+- :func:`covered` — is each node fully k-covered right now?
+- :func:`k_deficit` — each node's coverage shortfall (0 when covered);
+- :func:`who_covers` — each node's covering dominators, CSR-shaped;
+- :func:`dominator_of` — one live clusterhead per node (the paper's
+  replicated-server use case: a client asks for *a* responsible
+  dominator and gets a deterministic one);
+- :func:`routes` — backbone routes via :func:`repro.apps.backbone_route`
+  (per-pair shortest path; the one intrinsically non-vectorizable kind).
+
+Unknown ids — dead, never deployed, or racing churn — are legal traffic
+and answered with sentinels (``False`` / ``k`` / empty row / ``-1``),
+never exceptions; :class:`~repro.errors.QueryError` is reserved for
+*malformed* batches (wrong dtype/shape, unknown kind).
+
+:func:`answer` is the dispatch entry the daemon's serving loop uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.service.snapshot import EpochSnapshot
+
+__all__ = [
+    "QUERY_KINDS",
+    "covered",
+    "k_deficit",
+    "who_covers",
+    "dominator_of",
+    "routes",
+    "answer",
+]
+
+#: Query kinds the dispatch plane accepts.
+QUERY_KINDS = ("covered", "k_deficit", "dominator_of", "who_covers",
+               "route")
+
+
+def _id_batch(ids) -> np.ndarray:
+    """Validate one batch of node ids (1-D, integer-convertible)."""
+    try:
+        arr = np.asarray(ids)
+        if arr.dtype.kind not in "iu":
+            if arr.dtype.kind == "f" and arr.size and \
+                    not np.equal(np.mod(arr, 1), 0).all():
+                raise ValueError("non-integral float ids")
+            arr = arr.astype(np.int64)
+        else:
+            arr = arr.astype(np.int64, copy=False)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"query ids must be integers: {exc}") from None
+    if arr.ndim != 1:
+        raise QueryError(
+            f"query ids must be a 1-D batch, got shape {arr.shape}")
+    return arr
+
+
+# ======================================================================
+# Point-query kinds (vectorized)
+# ======================================================================
+
+def covered(snap: EpochSnapshot, ids) -> np.ndarray:
+    """Boolean per id: fully k-covered in this epoch?  Members count as
+    covered (open convention exempts them); unknown ids as not."""
+    ids = _id_batch(ids)
+    idx = snap.index_of(ids)
+    known = idx >= 0
+    out = np.zeros(len(ids), dtype=bool)
+    out[known] = snap.deficit[idx[known]] == 0
+    return out
+
+
+def k_deficit(snap: EpochSnapshot, ids) -> np.ndarray:
+    """Per-id coverage shortfall (0 = fully covered).  Unknown ids
+    report the full requirement ``k`` — maximally uncovered."""
+    ids = _id_batch(ids)
+    idx = snap.index_of(ids)
+    known = idx >= 0
+    out = np.full(len(ids), snap.k, dtype=np.int64)
+    out[known] = snap.deficit[idx[known]]
+    return out
+
+
+def who_covers(snap: EpochSnapshot, ids
+               ) -> Tuple[np.ndarray, np.ndarray]:
+    """Each id's covering dominators, CSR-shaped.
+
+    Returns ``(indptr, dominators)``: query ``q``'s dominators are
+    ``dominators[indptr[q]:indptr[q + 1]]`` — the *member* ids in its
+    open neighborhood, in snapshot index order.  Unknown ids get empty
+    rows; so do members themselves unless covered by other members
+    (open convention: a dominator covers its neighbors, not itself).
+
+    One gather over the snapshot's cached
+    :meth:`~repro.service.snapshot.EpochSnapshot.dominator_csr` for the
+    whole batch: expand the queried rows with ``repeat``/``arange`` —
+    the self/non-member filtering already happened once at cache build,
+    so no per-batch masking remains.
+    """
+    ids = _id_batch(ids)
+    q = len(ids)
+    idx = snap.index_of(ids)
+    known = idx >= 0
+    indptr = np.zeros(q + 1, dtype=np.int64)
+    if not known.any():
+        return indptr, np.zeros(0, dtype=np.int64)
+    dom_indptr, dom_ids = snap.dominator_csr()
+    kq = np.nonzero(known)[0]          # positions of known queries
+    rows = idx[kq]                     # their snapshot indices
+    starts = dom_indptr[rows]
+    lens = dom_indptr[rows + 1] - starts
+    total = int(lens.sum())
+    # Flat positions of every dominator entry of the batch.
+    offsets = np.zeros(len(rows), dtype=np.int64)
+    np.cumsum(lens[:-1], out=offsets[1:])
+    flat = np.repeat(starts - offsets, lens) + np.arange(total,
+                                                         dtype=np.int64)
+    counts = np.zeros(q, dtype=np.int64)
+    counts[kq] = lens
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dom_ids[flat]
+
+
+def dominator_of(snap: EpochSnapshot, ids) -> np.ndarray:
+    """One responsible dominator id per queried id, or ``-1``.
+
+    A member answers for itself; a non-member covered by at least one
+    dominator gets its smallest-id covering member (deterministic, so
+    every client of a node agrees on the same clusterhead); an
+    uncovered or unknown id gets ``-1``.
+
+    Two gathers against snapshot caches — the per-node minimum is
+    precomputed once per snapshot
+    (:meth:`~repro.service.snapshot.EpochSnapshot.min_dominator`).
+    """
+    ids = _id_batch(ids)
+    idx = snap.index_of(ids)
+    known = idx >= 0
+    out = np.full(len(ids), -1, dtype=np.int64)
+    rows = idx[known]
+    out[known] = np.where(snap.member_mask[rows], ids[known],
+                          snap.min_dominator()[rows])
+    return out
+
+
+# ======================================================================
+# Routing (per-pair, via repro.apps)
+# ======================================================================
+
+def routes(snap: EpochSnapshot, sources, targets
+           ) -> List[Optional[List[int]]]:
+    """Backbone route per (source, target) pair, or ``None``.
+
+    Delegates each pair to :func:`repro.apps.backbone_route` over the
+    snapshot topology and dominator set — intermediate hops stay on the
+    backbone.  Unknown endpoints and disconnected pairs answer ``None``.
+    """
+    from repro.apps import backbone_route
+
+    src = _id_batch(sources)
+    dst = _id_batch(targets)
+    if len(src) != len(dst):
+        raise QueryError(
+            f"route batch needs equal-length sources/targets, got "
+            f"{len(src)} vs {len(dst)}")
+    g = snap.graph()
+    members = snap.member_ids()
+    out: List[Optional[List[int]]] = []
+    for s, t in zip(src.tolist(), dst.tolist()):
+        if s not in g or t not in g:
+            out.append(None)
+            continue
+        out.append(backbone_route(g, members, s, t))
+    return out
+
+
+# ======================================================================
+# Dispatch
+# ======================================================================
+
+def answer(snap: EpochSnapshot, kind: str, ids,
+           targets=None):
+    """Answer one batch: the daemon serving loop's single entry point."""
+    if kind == "covered":
+        return covered(snap, ids)
+    if kind == "k_deficit":
+        return k_deficit(snap, ids)
+    if kind == "dominator_of":
+        return dominator_of(snap, ids)
+    if kind == "who_covers":
+        return who_covers(snap, ids)
+    if kind == "route":
+        if targets is None:
+            raise QueryError("route queries need targets")
+        return routes(snap, ids, targets)
+    raise QueryError(
+        f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}")

@@ -1,0 +1,188 @@
+"""Shared-memory artifact store: numpy arrays published across processes.
+
+The service layer moves the per-epoch coverage artifacts (closed
+adjacency CSR, node-id table, membership mask, coverage vectors) out of
+the writer's heap and into named ``multiprocessing.shared_memory``
+segments, so that
+
+- the sharded repair **process pool** (:mod:`repro.dynamics.procpool`)
+  reads the epoch's topology without pickling O(n + m) arrays per task —
+  workers attach each generation once and reuse it for every shard; and
+- snapshot readers get zero-copy views of the published epoch.
+
+Generations
+-----------
+A :class:`SharedArtifactStore` owns a family of segments named
+``{prefix}-g{generation}-{key}``.  :meth:`publish` copies a dict of
+arrays into fresh segments, bumps the generation, and frees the
+*previous* generation — the store's contract is single-writer,
+publish-then-consume: all readers of generation ``g`` finish before
+generation ``g + 1`` is published (the maintenance loop's sharded
+repair is synchronous per epoch, so this holds by construction).
+
+Attach side
+-----------
+:func:`attach` maps a manifest back into numpy arrays inside another
+process.  Attached arrays are **read-only views** over the segment
+buffer; the :class:`AttachedGeneration` keeps the segments alive and
+must outlive the arrays.  Attaching never unlinks: the owning store is
+the only party that frees segments.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "SharedArtifactStore",
+    "AttachedGeneration",
+    "attach",
+]
+
+
+def _spec_of(arr: np.ndarray) -> Tuple[Tuple[int, ...], str]:
+    return tuple(arr.shape), arr.dtype.str
+
+
+class SharedArtifactStore:
+    """Single-writer publisher of named numpy array generations.
+
+    Parameters
+    ----------
+    prefix:
+        Segment-name prefix; defaults to a per-process random tag so
+        concurrent stores never collide.  Keep it short — POSIX shm
+        names are limited (NAME_MAX on ``/dev/shm``).
+    """
+
+    def __init__(self, prefix: Optional[str] = None):
+        self._prefix = prefix or f"repro-{os.getpid()}-{secrets.token_hex(3)}"
+        self.generation = 0
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._manifest: Optional[Dict] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def publish(self, arrays: Dict[str, np.ndarray]) -> Dict:
+        """Copy ``arrays`` into a fresh generation of segments.
+
+        Returns the generation's **manifest** — a small picklable dict
+        (``{"generation": g, "arrays": {key: (name, shape, dtype)}}``)
+        that :func:`attach` maps back into numpy arrays in any process.
+        The previous generation's segments are closed and unlinked.
+        """
+        if self._closed:
+            raise ServiceError("cannot publish on a closed store")
+        self.generation += 1
+        gen = self.generation
+        segments: List[shared_memory.SharedMemory] = []
+        spec: Dict[str, Tuple[str, Tuple[int, ...], str]] = {}
+        try:
+            for key, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                name = f"{self._prefix}-g{gen}-{key}"
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, arr.nbytes))
+                segments.append(seg)
+                if arr.nbytes:
+                    dst = np.ndarray(arr.shape, dtype=arr.dtype,
+                                     buffer=seg.buf)
+                    dst[...] = arr
+                spec[key] = (name, *_spec_of(arr))
+        except Exception:
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+            raise
+        self._release_segments()
+        self._segments = segments
+        self._manifest = {"generation": gen, "arrays": spec}
+        return self._manifest
+
+    @property
+    def manifest(self) -> Optional[Dict]:
+        """The current generation's manifest (``None`` before the first
+        :meth:`publish`)."""
+        return self._manifest
+
+    # ------------------------------------------------------------------
+    def _release_segments(self) -> None:
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+        self._segments = []
+
+    def close(self) -> None:
+        """Free every segment this store owns (idempotent)."""
+        if not self._closed:
+            self._release_segments()
+            self._manifest = None
+            self._closed = True
+
+    def __enter__(self) -> "SharedArtifactStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover — GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedGeneration:
+    """Reader-side view of one published generation.
+
+    Holds the attached segments alive; ``arrays[key]`` are read-only
+    numpy views over the shared buffers.  :meth:`close` detaches (never
+    unlinks — the writing store owns the segments).
+    """
+
+    def __init__(self, manifest: Dict):
+        self.generation: int = manifest["generation"]
+        self.arrays: Dict[str, np.ndarray] = {}
+        self._segments: List[shared_memory.SharedMemory] = []
+        try:
+            for key, (name, shape, dtype) in manifest["arrays"].items():
+                seg = shared_memory.SharedMemory(name=name)
+                self._segments.append(seg)
+                arr = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                                 buffer=seg.buf)
+                arr.flags.writeable = False
+                self.arrays[key] = arr
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Detach from the segments (views become invalid)."""
+        self.arrays = {}
+        for seg in self._segments:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover — already detached
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "AttachedGeneration":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach(manifest: Dict) -> AttachedGeneration:
+    """Attach to a published generation from its manifest."""
+    return AttachedGeneration(manifest)

@@ -141,6 +141,70 @@ class TestRouting:
         assert out["pairs"] == 0
 
 
+class TestRoutingDegenerate:
+    """Point queries on degenerate inputs: the service layer answers
+    these live (``repro.service.queries.routes``), so their contract —
+    route, ``None``, or :class:`GraphError` — is pinned here."""
+
+    def test_non_member_source_routes_via_backbone(self):
+        # 0 -- 1 -- 2 -- 3 in a line; only the interior is backbone.
+        pts = [(0, 0), (0.9, 0), (1.8, 0), (2.7, 0)]
+        udg = udg_from_points(pts)
+        route = backbone_route(udg, {1, 2}, 0, 3)
+        assert route == [0, 1, 2, 3]
+        assert 0 not in {1, 2} and 3 not in {1, 2}
+
+    def test_non_member_interior_blocks_route(self):
+        # Same line, but node 2 is NOT a member: 0 -> 3 must fail even
+        # though the graph itself is connected.
+        pts = [(0, 0), (0.9, 0), (1.8, 0), (2.7, 0)]
+        udg = udg_from_points(pts)
+        assert backbone_route(udg, {1}, 0, 3) is None
+
+    def test_disconnected_components_route_none(self):
+        pts = [(0, 0), (0.5, 0), (10, 10), (10.5, 10)]
+        udg = udg_from_points(pts)
+        assert backbone_route(udg, {1, 2}, 0, 3) is None
+        # Within one component routing still works.
+        assert backbone_route(udg, {1, 2}, 0, 1) == [0, 1]
+
+    def test_empty_backbone(self):
+        pts = [(0, 0), (0.9, 0), (1.8, 0)]
+        udg = udg_from_points(pts)
+        # Adjacent endpoints shortcut past the (empty) backbone...
+        assert backbone_route(udg, set(), 0, 1) == [0, 1]
+        # ...non-adjacent ones have no interior to route through.
+        assert backbone_route(udg, set(), 0, 2) is None
+        # Self-routes never touch the backbone at all.
+        assert backbone_route(udg, set(), 2, 2) == [2]
+
+    def test_unknown_source_raises(self, clustered_udg):
+        udg, members = clustered_udg
+        with pytest.raises(GraphError, match="unknown"):
+            backbone_route(udg, members, 10_000, 0)
+
+    def test_members_outside_graph_are_ignored(self):
+        pts = [(0, 0), (0.9, 0), (1.8, 0)]
+        udg = udg_from_points(pts)
+        # A stale membership set (dead dominators) must not break
+        # routing over the live topology.
+        assert backbone_route(udg, {1, 999}, 0, 2) == [0, 1, 2]
+
+    def test_stretch_empty_backbone_delivers_neighbors_only(self):
+        pts = [(0, 0), (0.9, 0), (1.8, 0), (2.7, 0)]
+        udg = udg_from_points(pts)
+        out = routing_stretch(udg, set(), pairs=30, seed=0)
+        assert 0.0 < out["delivered_fraction"] < 1.0
+
+    def test_stretch_disconnected_graph_skips_unroutable(self):
+        pts = [(0, 0), (0.5, 0), (10, 10), (10.5, 10)]
+        udg = udg_from_points(pts)
+        out = routing_stretch(udg, {0, 1, 2, 3}, pairs=20, seed=0)
+        # Cross-component pairs are not routable pairs; only the two
+        # intra-component edges count, and both deliver.
+        assert out["delivered_fraction"] == 1.0
+
+
 class TestDataCollection:
     def test_no_deaths_full_delivery(self, clustered_udg):
         udg, members = clustered_udg

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -100,6 +102,28 @@ class TestDynamicsCommand:
     def test_dynamics_bad_policy(self):
         with pytest.raises(SystemExit):
             main(["dynamics", "--policy", "frantic"])
+
+    def test_dynamics_json_artifact(self, tmp_path, capsys):
+        out = tmp_path / "dynamics.json"
+        rc = main(["dynamics", "--n", "120", "--epochs", "8",
+                   "--seed", "1", "--tail", "3", "--json", str(out)])
+        assert rc == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["policy"] == "local"
+        assert data["epochs"] == 8
+        assert data["always_covered"] is True
+        assert data["summary"]["availability_mean"] <= 1.0
+        assert len(data["tail"]) == 3
+        assert data["tail"][-1]["epoch"] == 7
+        assert {"final_live", "final_members"} <= data.keys()
+
+    def test_dynamics_executor_choice(self, capsys):
+        rc = main(["dynamics", "--n", "120", "--epochs", "6",
+                   "--seed", "1", "--shards", "2", "--workers", "2",
+                   "--executor", "process"])
+        assert rc == 0
+        assert "policy=local" in capsys.readouterr().out
 
 
 class TestParser:
