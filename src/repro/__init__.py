@@ -46,6 +46,7 @@ from repro.core import (
     solve_kmds_general,
     solve_kmds_udg,
     solve_kmds_udg_batch,
+    solve_kmds_udg_grid,
     theorem_45_ratio_bound,
     uncovered_nodes,
 )
@@ -84,6 +85,7 @@ __all__ = [
     "solve_kmds_general",
     "solve_kmds_udg",
     "solve_kmds_udg_batch",
+    "solve_kmds_udg_grid",
     "fractional_kmds",
     "randomized_rounding",
     "part_one_leaders",

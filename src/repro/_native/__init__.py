@@ -16,6 +16,15 @@ no new dependency).  Everything here is strictly optional:
   see it.  This is the stepping stone layout for the planned
   numba/GPU backend: swap the ``.so`` for a device module, keep the
   surface.
+
+Threading: every kernel takes an explicit slab of its iteration space,
+so the shim can split one call across a worker pool.  ctypes releases
+the GIL for the duration of each call, per-lane work never reads
+another slab's state, and slabs are contiguous — so any thread count
+is bit-identical to the single-call path.  ``REPRO_NATIVE_THREADS``
+picks the worker count (default: the machine's cores; ``1`` keeps the
+historical single-call behavior); small calls always run inline, so
+threading never taxes the n=10^3 regime.
 """
 
 from __future__ import annotations
@@ -24,13 +33,22 @@ import ctypes
 import hashlib
 import os
 import subprocess
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from typing import Callable, Iterator, Tuple
 
 _HERE = Path(__file__).resolve().parent
 _SOURCE = _HERE / "kernels.c"
 
 _lib: ctypes.CDLL | None = None
 _tried = False
+
+#: Below this many flat lanes a draw/seed call runs inline — the slab
+#: bookkeeping would cost more than the loop.
+_MIN_SLAB = 1 << 15
+
+#: Folded into the .so content hash so flag changes rebuild the cache.
+_BUILD_TAG = b"march-native-1"
 
 
 def _compile() -> Path | None:
@@ -40,21 +58,34 @@ def _compile() -> Path | None:
         source = _SOURCE.read_bytes()
     except OSError:
         return None
-    digest = hashlib.sha256(source).hexdigest()[:16]
+    digest = hashlib.sha256(source + _BUILD_TAG).hexdigest()[:16]
     build = _HERE / "_build"
     target = build / f"kernels-{digest}.so"
     if target.exists():
         return target
-    for cc in ("cc", "gcc", "clang"):
+    # -march=native first (worth ~10% on the 128-bit LCG loops); plain
+    # -O3 as the fallback for compilers/targets without it.  The kernels
+    # are pure integer arithmetic, so codegen never changes results.
+    attempts = [(cc, flags)
+                for flags in (["-O3", "-march=native"], ["-O3"])
+                for cc in ("cc", "gcc", "clang")]
+    for cc, flags in attempts:
         try:
             build.mkdir(exist_ok=True)
             tmp = build / f".kernels-{digest}.{os.getpid()}.so"
             proc = subprocess.run(
-                [cc, "-O3", "-shared", "-fPIC", "-o", str(tmp),
+                [cc, *flags, "-shared", "-fPIC", "-o", str(tmp),
                  str(_SOURCE)],
                 capture_output=True, timeout=120)
             if proc.returncode == 0 and tmp.exists():
                 os.replace(tmp, target)  # atomic: safe under parallel use
+                # A successful build supersedes every other digest:
+                # prune them so edits don't accumulate stale artifacts.
+                # (Unlinking a dlopen'ed .so is safe on POSIX — the
+                # inode survives until the mapping is dropped.)
+                for stale in build.glob("kernels-*.so"):
+                    if stale.name != target.name:
+                        stale.unlink(missing_ok=True)
                 return target
             tmp.unlink(missing_ok=True)
         except (OSError, subprocess.SubprocessError):
@@ -80,17 +111,26 @@ def lib() -> ctypes.CDLL | None:
         i64p = ctypes.POINTER(ctypes.c_int64)
         cdll.repro_draw_masked.argtypes = [
             u64p, u64p, u64p, u64p, u8p, u8p,
-            ctypes.c_int64, ctypes.c_uint64, i64p]
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_uint64, i64p]
         cdll.repro_draw_masked.restype = None
         cdll.repro_elect_batch.argtypes = [
-            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
-            i64p, i64p, i64p, i64p, i64p, u8p, u8p, i64p]
+            ctypes.c_int64, ctypes.c_int64,
+            i64p, i64p, i64p, i64p, i64p, u8p, u8p,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64]
         cdll.repro_elect_batch.restype = None
         u32p = ctypes.POINTER(ctypes.c_uint32)
         cdll.repro_seed_lanes.argtypes = [
-            u32p, u32p, ctypes.c_int64, ctypes.c_int64,
+            u32p, u32p, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
             u64p, u64p, u64p, u64p]
         cdll.repro_seed_lanes.restype = None
+        cdll.repro_ball_phase.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, i64p, i64p, i64p, i64p,
+            i64p, u8p, i64p, i64p, u8p, u8p, i64p, i64p]
+        cdll.repro_ball_phase.restype = ctypes.c_int64
+        cdll.repro_ball_adopt.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, i64p, i64p, i64p, i64p,
+            i64p, u8p, u8p, i64p]
+        cdll.repro_ball_adopt.restype = None
     except (OSError, AttributeError):
         return None
     _lib = cdll
@@ -102,6 +142,69 @@ def available() -> bool:
     return lib() is not None
 
 
+# ----------------------------------------------------------------------
+# Slab scheduler
+# ----------------------------------------------------------------------
+
+_executor: ThreadPoolExecutor | None = None
+_executor_workers = 0
+
+
+def thread_count() -> int:
+    """The configured native worker count.
+
+    ``REPRO_NATIVE_THREADS`` overrides (minimum 1; non-numeric values
+    fall back to the default); the default is the machine's core count.
+    ``1`` reproduces the historical single-call behavior exactly — and
+    any other count is bit-identical to it, because slabs partition the
+    iteration space and per-lane state never crosses a slab boundary.
+    """
+    raw = os.environ.get("REPRO_NATIVE_THREADS")
+    if raw is not None:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _slabs(total: int, parts: int) -> Iterator[Tuple[int, int]]:
+    """Split ``[0, total)`` into at most ``parts`` contiguous ranges."""
+    parts = max(1, min(parts, total))
+    base, rem = divmod(total, parts)
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < rem else 0)
+        if hi > lo:
+            yield lo, hi
+        lo = hi
+
+
+def _run_slabs(fn: Callable[[int, int], None], total: int,
+               min_slab: int = _MIN_SLAB) -> None:
+    """Run ``fn(lo, hi)`` over a slab partition of ``[0, total)``.
+
+    Uses the worker pool when the configured thread count and the work
+    size warrant it; otherwise one inline call (which is also the
+    degenerate partition, so results never depend on the choice).
+    """
+    global _executor, _executor_workers
+    workers = min(thread_count(), max(1, total // min_slab))
+    if workers <= 1:
+        fn(0, total)
+        return
+    if _executor is None or _executor_workers != workers:
+        if _executor is not None:
+            _executor.shutdown(wait=False)
+        _executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-native")
+        _executor_workers = workers
+    futures = [_executor.submit(fn, lo, hi)
+               for lo, hi in _slabs(total, workers)]
+    for f in futures:
+        f.result()
+
+
 def _ptr(arr, ctype):
     return arr.ctypes.data_as(ctypes.POINTER(ctype))
 
@@ -110,39 +213,123 @@ def draw_masked(sh, sl, ih, il, mask, need, high: int, out) -> None:
     """Native masked bounded draw; see repro_draw_masked in kernels.c.
 
     All arrays must be C-contiguous; ``need`` may be None.  States in
-    ``sh``/``sl`` advance in place.
+    ``sh``/``sl`` advance in place.  Slabs split the flat lane axis;
+    each lane's advancement reads only its own limbs, so the result is
+    bit-identical at any thread count.
     """
     cdll = lib()
     assert cdll is not None
     nullp = ctypes.POINTER(ctypes.c_uint8)()
-    cdll.repro_draw_masked(
-        _ptr(sh, ctypes.c_uint64), _ptr(sl, ctypes.c_uint64),
-        _ptr(ih, ctypes.c_uint64), _ptr(il, ctypes.c_uint64),
-        _ptr(mask, ctypes.c_uint8),
-        nullp if need is None else _ptr(need, ctypes.c_uint8),
-        ctypes.c_int64(mask.size), ctypes.c_uint64(high),
-        _ptr(out, ctypes.c_int64))
+    shp = _ptr(sh, ctypes.c_uint64)
+    slp = _ptr(sl, ctypes.c_uint64)
+    ihp = _ptr(ih, ctypes.c_uint64)
+    ilp = _ptr(il, ctypes.c_uint64)
+    mp = _ptr(mask, ctypes.c_uint8)
+    np_ = nullp if need is None else _ptr(need, ctypes.c_uint8)
+    outp = _ptr(out, ctypes.c_int64)
+    high_c = ctypes.c_uint64(high)
+
+    def call(lo: int, hi: int) -> None:
+        cdll.repro_draw_masked(shp, slp, ihp, ilp, mp, np_,
+                               ctypes.c_int64(lo), ctypes.c_int64(hi),
+                               high_c, outp)
+
+    _run_slabs(call, mask.size)
 
 
 def seed_lanes(pool4, hc, R: int, n: int, ih, il, sh, sl) -> None:
-    """Native per-lane PCG64 seeding; see repro_seed_lanes in kernels.c."""
+    """Native per-lane PCG64 seeding; see repro_seed_lanes in kernels.c.
+
+    Slabs split the flat ``(R, n)`` lane space; each lane's limbs are a
+    pure function of its (replica, spawn child) pair, so any partition
+    seeds identically.
+    """
     cdll = lib()
     assert cdll is not None
-    cdll.repro_seed_lanes(
-        _ptr(pool4, ctypes.c_uint32), _ptr(hc, ctypes.c_uint32),
-        ctypes.c_int64(R), ctypes.c_int64(n),
-        _ptr(ih, ctypes.c_uint64), _ptr(il, ctypes.c_uint64),
-        _ptr(sh, ctypes.c_uint64), _ptr(sl, ctypes.c_uint64))
+    poolp = _ptr(pool4, ctypes.c_uint32)
+    hcp = _ptr(hc, ctypes.c_uint32)
+    ihp = _ptr(ih, ctypes.c_uint64)
+    ilp = _ptr(il, ctypes.c_uint64)
+    shp = _ptr(sh, ctypes.c_uint64)
+    slp = _ptr(sl, ctypes.c_uint64)
+
+    def call(lo: int, hi: int) -> None:
+        cdll.repro_seed_lanes(poolp, hcp, ctypes.c_int64(n),
+                              ctypes.c_int64(lo), ctypes.c_int64(hi),
+                              ihp, ilp, shp, slp)
+
+    _run_slabs(call, R * n)
 
 
 def elect_batch(R: int, n: int, sub, starts, deg, nbr_w,
-                ids, active, elected, scratch) -> None:
-    """Native batched election scan; see repro_elect_batch in kernels.c."""
+                ids, active, elected, ids_masked: bool = False) -> None:
+    """Native batched election scan; see repro_elect_batch in kernels.c.
+
+    ``ids_masked``: the caller guarantees every inactive candidate lane
+    holds id 0 (``draw_masked``'s ``need`` contract), letting the scan
+    skip the per-candidate active gather.  Slabs split the replica axis
+    (each replica's election is independent; winner marks are
+    idempotent byte stores within the replica's own ``elected`` row),
+    so any thread count elects the same nodes.
+    """
     cdll = lib()
     assert cdll is not None
-    cdll.repro_elect_batch(
-        ctypes.c_int64(R), ctypes.c_int64(n), ctypes.c_int64(sub.size),
-        _ptr(sub, ctypes.c_int64), _ptr(starts, ctypes.c_int64),
-        _ptr(deg, ctypes.c_int64), _ptr(nbr_w, ctypes.c_int64),
-        _ptr(ids, ctypes.c_int64), _ptr(active, ctypes.c_uint8),
-        _ptr(elected, ctypes.c_uint8), _ptr(scratch, ctypes.c_int64))
+    S = sub.size
+    subp = _ptr(sub, ctypes.c_int64)
+    startsp = _ptr(starts, ctypes.c_int64)
+    degp = _ptr(deg, ctypes.c_int64)
+    nbrp = _ptr(nbr_w, ctypes.c_int64)
+    idsp = _ptr(ids, ctypes.c_int64)
+    actp = _ptr(active, ctypes.c_uint8)
+    elp = _ptr(elected, ctypes.c_uint8)
+    masked_c = ctypes.c_int64(1 if ids_masked else 0)
+
+    def call(r_lo: int, r_hi: int) -> None:
+        cdll.repro_elect_batch(ctypes.c_int64(n), ctypes.c_int64(S),
+                               subp, startsp, degp, nbrp, idsp, actp, elp,
+                               ctypes.c_int64(r_lo), ctypes.c_int64(r_hi),
+                               masked_c)
+
+    # Replica rows are the unit of work here: thread only when several
+    # rows of meaningful size are available.
+    workers = min(thread_count(), R) if R * max(S, 1) >= _MIN_SLAB else 1
+    if workers <= 1:
+        call(0, R)
+        return
+    _run_slabs(call, R, min_slab=1)
+
+
+def ball_phase(n: int, rows, nodes, indptr, indices, live, leader, krow,
+               cnt, small, picks, touched, big) -> int:
+    """Native fused adoption-iteration phase; see repro_ball_phase.
+
+    ``cnt`` / ``small`` are zeroed reusable scratch planes (the kernel
+    restores them); ``picks`` arrives zeroed and is filled with the
+    wholesale adoptions.  Returns the number of big-actor flat indices
+    written to ``big``.
+    """
+    cdll = lib()
+    assert cdll is not None
+    return int(cdll.repro_ball_phase(
+        ctypes.c_int64(n), ctypes.c_int64(rows.size),
+        _ptr(rows, ctypes.c_int64), _ptr(nodes, ctypes.c_int64),
+        _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
+        _ptr(live, ctypes.c_int64), _ptr(leader, ctypes.c_uint8),
+        _ptr(krow, ctypes.c_int64), _ptr(cnt, ctypes.c_int64),
+        _ptr(small, ctypes.c_uint8), _ptr(picks, ctypes.c_uint8),
+        _ptr(touched, ctypes.c_int64), _ptr(big, ctypes.c_int64)))
+
+
+def ball_adopt(n: int, rows, nodes, indptr, indices, coverage, leader,
+               deficient, krow) -> None:
+    """Native promotion coverage + deficiency refresh; see
+    repro_ball_adopt.  Mutates ``coverage`` and ``deficient`` in place.
+    """
+    cdll = lib()
+    assert cdll is not None
+    cdll.repro_ball_adopt(
+        ctypes.c_int64(n), ctypes.c_int64(rows.size),
+        _ptr(rows, ctypes.c_int64), _ptr(nodes, ctypes.c_int64),
+        _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
+        _ptr(coverage, ctypes.c_int64), _ptr(leader, ctypes.c_uint8),
+        _ptr(deficient, ctypes.c_uint8), _ptr(krow, ctypes.c_int64))

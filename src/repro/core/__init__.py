@@ -13,7 +13,7 @@ from repro.core.fractional import fractional_kmds, theorem_45_ratio_bound
 from repro.core.rounding import randomized_rounding
 from repro.core.general import solve_kmds_general
 from repro.core.udg import (part_one_leaders, solve_kmds_udg,
-                            solve_kmds_udg_batch)
+                            solve_kmds_udg_batch, solve_kmds_udg_grid)
 from repro.core.verify import (
     is_k_dominating_set,
     coverage_counts,
@@ -29,6 +29,7 @@ __all__ = [
     "solve_kmds_general",
     "solve_kmds_udg",
     "solve_kmds_udg_batch",
+    "solve_kmds_udg_grid",
     "part_one_leaders",
     "is_k_dominating_set",
     "coverage_counts",

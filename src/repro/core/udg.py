@@ -36,15 +36,20 @@ from typing import Dict, Iterator, List, Sequence, Set
 import numpy as np
 
 from repro.engine import (Instrumentation, RoundProgram, execute,
-                          execute_batch, validate_seed)
+                          execute_batch, execute_grid, validate_seed)
 from repro.engine import kernels
-from repro.engine.artifacts import graph_artifacts
+from repro.engine.artifacts import StackedGraphs, graph_artifacts, \
+    stacked_graphs
 from repro.errors import GeometryError, GraphError
 from repro.graphs.udg import UnitDiskGraph
 from repro.simulation.messages import Message
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
-from repro.simulation.vecrng import node_stream_pool, replica_node_streams
+from repro.simulation.vecrng import (GridReplicaStreams, _native_kernels,
+                                     materialize_bit_generator,
+                                     node_stream_pool,
+                                     replica_node_streams,
+                                     vector_streams_available)
 from repro.types import DominatingSet, NodeId, RunStats
 
 #: The paper's base xi = 3/2 for the doubling schedule.
@@ -109,6 +114,11 @@ def _pick(rng: np.random.Generator, candidates: List[NodeId], need: int,
     raise GraphError(
         f"unknown selection policy {policy!r}; expected one of {SELECTION_POLICIES}"
     )
+
+
+def _members_set(row: np.ndarray) -> set:
+    """Materialize one indicator row as the result's member set."""
+    return set(np.nonzero(row)[0].tolist())
 
 
 def _as_udg(graph) -> UnitDiskGraph:
@@ -331,32 +341,81 @@ def _part_one_kernel_batch(udg: UnitDiskGraph, streams,
         # before any round that does read them.
         streams.draw_ints_masked(active.reshape(-1), id_hi,
                                  need=np.tile(need_node, R), out=flat_ids)
+        # The masked draw left 0 on every needed-but-inactive lane, so
+        # the ids plane doubles as the inactive-masked candidate plane.
         active = kernels.elect_round_batch(indptr, src, nbr, within,
                                            active, ids,
-                                           within_csr=within_csr)
+                                           within_csr=within_csr,
+                                           ids_masked=True)
         counts = active.sum(axis=1)
         for r, details in enumerate(details_list):
             details["active_per_round"].append(int(counts[r]))
     return active
 
 
-def _part_two_kernel_batch(art, leader: np.ndarray, k: int, streams,
-                           policy: str, details_list: List[dict]) -> None:
+def _part_two_kernel_batch(art, leader: np.ndarray, k, streams,
+                           policy: str, details_list: List, *,
+                           coverage: np.ndarray | None = None,
+                           blocks: int = 1) -> None:
     """Adopt into ``leader`` (an (R, n) boolean plane, mutated in
-    place) until no replica has a deficient node."""
-    R, n = leader.shape
-    coverage = kernels.member_counts_batch(art, indicators=leader,
-                                           convention="closed")
-    deficient = (~leader) & (coverage < k)
-    closed = art.closed_nbrs
+    place) until no row has a deficient node.
 
-    iterations = np.zeros(R, dtype=np.int64)
-    adopted = np.zeros(R, dtype=np.int64)
-    adj = art.closed_adjacency()
-    ai, ax = adj.indptr, adj.indices
+    ``k`` is a scalar (every row shares it — the replica-batched path)
+    or a per-row int64 vector (the grid path's k-axis fusion: rows are
+    (k value, replica) pairs over one shared Part I).  All comparisons
+    against ``k`` are elementwise per row, so the per-row form is
+    value-identical to running each row under its own scalar.
+    ``coverage``: optional precomputed closed counts for ``leader``
+    (the grid path slices one stacked mat-mat); computed here when
+    absent, and mutated in place either way.
+
+    ``blocks``: with ``blocks=G > 1``, ``art`` is a
+    :class:`~repro.engine.artifacts.StackedGraphs` bundle of G equal-n
+    topologies and each row spans G block-diagonal graph columns — the
+    grid path's cross-graph fusion.  The CSR is block-diagonal and
+    every event draws from its own (replica, graph, node) lane, so each
+    (row, block) cell evolves exactly as it would in its own per-graph
+    call; a cell whose deficiency has cleared contributes no pairs, no
+    events, and no stream advancement while its siblings finish.  The
+    livelock guard and the iteration/adoption tallies are kept
+    per (row, block) for the same reason; entries of ``details_list``
+    are then per-row *lists* of G per-block dicts.
+    """
+    R, n = leader.shape
+    if isinstance(k, (int, np.integer)):
+        ks_row = np.full(R, int(k), dtype=np.int64)
+    else:
+        ks_row = np.asarray(k, dtype=np.int64)
+    if coverage is None:
+        if blocks != 1:
+            raise GraphError("stacked adoption requires precomputed "
+                             "coverage")
+        coverage = kernels.member_counts_batch(art, indicators=leader,
+                                               convention="closed")
+    deficient = (~leader) & (coverage < ks_row[:, None])
+
+    iterations = np.zeros((R, blocks), dtype=np.int64)
+    adopted = np.zeros((R, blocks), dtype=np.int64)
+    ai, ax = art.closed_csr_arrays()
+    # The three ball walks run in C when available: same CSR segments,
+    # same final planes, no million-pair expansion temporaries.  The
+    # numpy path below is the specification they are pinned against.
+    native = _native_kernels()
+    use_native = (native is not None
+                  and leader.flags.c_contiguous
+                  and coverage.flags.c_contiguous
+                  and coverage.dtype == np.int64)
+    if use_native:
+        # Reusable scratch for the fused phase kernel: counts and the
+        # small-actor plane stay zeroed between calls (the kernel
+        # re-zeroes exactly what it touched), touched/big are append
+        # buffers with worst-case capacity.
+        cnt_buf = np.zeros((R, n), dtype=np.int64)
+        small_buf = np.zeros((R, n), dtype=np.uint8)
+        touched_buf = np.empty(R * n, dtype=np.int64)
+        big_buf = np.empty(R * n, dtype=np.int64)
     live = np.nonzero(deficient.any(axis=1))[0]
     while live.size:
-        iterations[live] += 1
         # A leader acts iff some deficient node sits in its closed ball
         # (= it sits in a frontier ball, by ball symmetry).  Deficient
         # nodes are few, so expanding *their* closed balls over the CSR
@@ -364,46 +423,228 @@ def _part_two_kernel_batch(art, leader: np.ndarray, k: int, streams,
         # mat-mat over every live replica — and each (deficient d,
         # ball member u) pair serves three reads: u's candidate count,
         # u's actor status, and (when u adopts wholesale) d's pick.
-        rj, dd = np.nonzero(deficient[live])
-        deg = (ai[dd + 1] - ai[dd]).astype(np.int64)
-        ends = np.cumsum(deg)
-        ee = np.repeat(ai[dd] - (ends - deg), deg) \
-            + np.arange(int(ends[-1]) if ends.size else 0)
-        rep_pair = np.repeat(rj, deg)
-        flat = rep_pair * n + ax[ee]
-        cnt = np.bincount(flat, minlength=live.size * n) \
-            .reshape(live.size, n)
-        actor = leader[live] & (cnt > 0)
-        # Actors with at most k candidates adopt them all: one boolean
-        # scatter over the expansion pairs replaces the per-actor loop
-        # (the overwhelmingly common case).
-        small = actor & (cnt <= k)
+        # (def_live is read-only until the end-of-iteration coverage
+        # update, so the all-rows-live case can alias the plane.)
+        if live.size == R:
+            def_live = deficient
+        else:
+            def_live = np.ascontiguousarray(deficient[live])
+        alive = def_live.reshape(live.size, blocks, -1).any(axis=2)
+        iterations[live] += alive
+        rj, dd = np.nonzero(def_live)
         picks = np.zeros((live.size, n), dtype=bool)
-        hit = small.reshape(-1)[flat]
-        picks[rep_pair[hit], np.repeat(dd, deg)[hit]] = True
+        if use_native:
+            # nonzero on a 2-D plane yields strided views of argwhere's
+            # (N, 2) buffer; the kernels read flat int64, so repack.
+            # One fused walk: counts, actor classification, wholesale
+            # (small-actor) adoption picks, and the big-actor event
+            # list, with scratch re-zeroed through the touched list.
+            nb = native.ball_phase(
+                n, np.ascontiguousarray(rj), np.ascontiguousarray(dd),
+                ai, ax, live, leader.view(np.uint8), ks_row,
+                cnt_buf[:live.size], small_buf[:live.size],
+                picks.view(np.uint8), touched_buf, big_buf)
+            bf = big_buf[:nb]
+            events = zip((bf // n).tolist(), (bf % n).tolist())
+        else:
+            k_live = ks_row[live][:, None]
+            deg = ai[dd + 1] - ai[dd]
+            ends = np.cumsum(deg)
+            ee = np.repeat(ai[dd] - (ends - deg), deg) \
+                + np.arange(int(ends[-1]) if ends.size else 0)
+            rep_pair = np.repeat(rj, deg)
+            flat = rep_pair * n + ax[ee]
+            cnt = np.bincount(flat, minlength=live.size * n) \
+                .reshape(live.size, n)
+            actor = leader[live] & (cnt > 0)
+            small = actor & (cnt <= k_live)
+            hit = small.reshape(-1)[flat]
+            picks[rep_pair[hit], np.repeat(dd, deg)[hit]] = True
+            events = zip(*(w.tolist()
+                           for w in np.nonzero(actor ^ small)))
         # Actors with more than k candidates sample with their own
         # (replica, node) stream — the only remaining per-actor work.
-        for j, v in zip(*(w.tolist() for w in np.nonzero(actor & (cnt > k)))):
+        # (The events are ``actor & (cnt > k)``; their order differs
+        # between the two paths, which is immaterial: each event draws
+        # from its own lane stream and pick writes are idempotent.)
+        for j, v in events:
             r = int(live[j])
-            cand = closed[v][deficient[r, closed[v]]]
-            picks[j, _pick(streams.generator(streams.flat_lane(r, v)),
-                           cand.tolist(), k, policy)] = True
-        # Degenerate-input livelock guard (see reference).
-        empty = ~picks.any(axis=1)
-        if empty.any():
-            picks[empty] = deficient[live[empty]]
-        nr, nv = np.nonzero(picks & ~leader[live])
+            # The CSR row segment is the sorted closed ball of v (the
+            # concatenation that built it), so candidate order — and
+            # with it every choice() draw — matches the per-graph path.
+            cv = ax[ai[v]:ai[v + 1]]
+            cand = cv[def_live[j, cv]]
+            rng = streams.generator(streams.flat_lane(r, v))
+            if policy == "random":
+                # _pick without the list round-trip: a big actor always
+                # has more than k candidates, the choice() call (and so
+                # the stream) is unchanged, and pick bits are order-free.
+                idx = rng.choice(cand.size, size=int(ks_row[r]),
+                                 replace=False)
+                picks[j, cand[idx]] = True
+            else:
+                picks[j, _pick(rng, cand.tolist(), int(ks_row[r]),
+                               policy)] = True
+        # Degenerate-input livelock guard (see reference), applied per
+        # (row, block) cell: a block whose deficient nodes drew no
+        # picks adopts them wholesale, exactly as its own per-graph
+        # call would, while sibling blocks are untouched.
+        p3 = picks.reshape(live.size, blocks, -1)
+        fire = alive & ~p3.any(axis=2)
+        if fire.any():
+            p3[fire] = def_live.reshape(live.size, blocks, -1)[fire]
+        nr, nv = np.nonzero(
+            picks & ~(leader if live.size == R else leader[live]))
         reps = live[nr]
         leader[reps, nv] = True
-        adopted[live] += np.bincount(nr, minlength=live.size)
-        rr, touched = kernels.scatter_cover_batch(coverage, art, reps, nv)
-        deficient[rr, touched] = (~leader[rr, touched]) \
-            & (coverage[rr, touched] < k)
-        live = live[deficient[live].any(axis=1)]
+        adopted[live] += np.bincount(
+            nr * blocks + nv // (n // blocks),
+            minlength=live.size * blocks).reshape(live.size, blocks)
+        if use_native:
+            native.ball_adopt(n, np.ascontiguousarray(reps),
+                              np.ascontiguousarray(nv), ai, ax, coverage,
+                              leader.view(np.uint8),
+                              deficient.view(np.uint8), ks_row)
+        else:
+            rr, touched = kernels.scatter_cover_batch(coverage, art,
+                                                      reps, nv)
+            deficient[rr, touched] = (~leader[rr, touched]) \
+                & (coverage[rr, touched] < ks_row[rr])
+        live = live[(deficient if live.size == R
+                     else deficient[live]).any(axis=1)]
 
-    for r, details in enumerate(details_list):
-        details["part2_iterations"] = int(iterations[r])
-        details["part2_adopted"] = int(adopted[r])
+    for r, entry in enumerate(details_list):
+        per_block = entry if isinstance(entry, list) else [entry]
+        for g, details in enumerate(per_block):
+            details["part2_iterations"] = int(iterations[r, g])
+            details["part2_adopted"] = int(adopted[r, g])
+
+
+# ======================================================================
+# Direct mode — grid-batched kernel implementation
+#
+# One more axis: a lane is a (replica, graph, node) triple over a
+# stacked (block-diagonal) distance CSR, so Part I of every same-n
+# topology in the grid runs in one kernel dispatch; the k axis is then
+# fused over that single Part I (Part I never reads k), re-running only
+# the adoption phase per k value.  Per-(graph, k, replica) results are
+# bit-identical to the per-point replica-batched path (pinned by
+# tests/test_grid_equivalence.py).
+# ======================================================================
+
+def _part_one_kernel_grid(stack: StackedGraphs, streams: GridReplicaStreams,
+                          details_grid: List[List[dict]]) -> np.ndarray:
+    """Part I over a same-n group of stacked topologies.
+
+    ``stack`` holds G graphs of one common size ``n`` (a shared theta
+    schedule is what makes the rounds stackable); ``streams`` is the
+    matching ``G x R x n`` grid pool.  Returns the ``(R, total)`` active
+    plane.  The stacked CSR is block-diagonal and each lane's stream
+    advancement depends only on its own mask history, so every graph
+    block is bit-identical to :func:`_part_one_kernel_batch` on that
+    graph alone.
+
+    The per-round within-radius compressions depend only on the (static)
+    stacked distances and the (static) schedule, so they are cached on
+    the stack's ``kernel_cache`` — repeated grid dispatches over the
+    same stack skip the O(m) scans entirely.
+    """
+    n = int(stack.counts[0]) if len(stack.graphs) else 0
+    total = stack.total
+    R = len(streams.seeds)
+    schedule = theta_schedule(n)
+    id_hi = min(_id_space(n), _MAX_SAMPLED_ID)
+    for per_graph in details_grid:
+        for details in per_graph:
+            details["theta_per_round"] = list(schedule)
+            details["active_per_round"] = [n]
+
+    indptr, src, nbr, dist = kernels.stacked_distance_csr(stack)
+    active = np.ones((R, total), dtype=bool)
+    ids = np.zeros((R, total), dtype=np.int64)
+    flat_ids = ids.reshape(-1)
+    G = len(stack.graphs)
+    cache = stack.kernel_cache
+    for ri, theta in enumerate(schedule):
+        ent = cache.get(("part1", ri, R))
+        if ent is None:
+            within = dist <= theta
+            within_csr = kernels.compress_within(indptr, nbr, within)
+            prep = kernels.elect_prep(within_csr)
+            need_node = within_csr[0] > 0
+            need_node |= np.bincount(within_csr[2],
+                                     minlength=total).astype(bool)
+            ent = (within, within_csr, prep, np.tile(need_node, R))
+            cache[("part1", ri, R)] = ent
+        within, within_csr, prep, need = ent
+        streams.draw_ints_masked(active.reshape(-1), id_hi,
+                                 need=need, out=flat_ids)
+        active = kernels.elect_round_batch(indptr, src, nbr, within,
+                                           active, ids,
+                                           within_csr=within_csr,
+                                           prep=prep, ids_masked=True)
+        # One (R, G) reduction per round: blocks are contiguous slices
+        # of one common width, so the plane reshapes directly.
+        counts = active.reshape(R, G, n).sum(axis=2)
+        for g, per_graph in enumerate(details_grid):
+            for r, details in enumerate(per_graph):
+                details["active_per_round"].append(int(counts[r, g]))
+    return active
+
+
+class _GridAdoptionStreams:
+    """Per-row generator streams for the k-fused adoption phase.
+
+    Part II consumes randomness *only* by materializing a real
+    ``Generator`` at a lane's post-Part-I stream state (no vector
+    draws).  Under k-axis fusion several rows — one per k value — share
+    replica ``r``'s frozen lane states, so each row starts an
+    independent *snapshot* stream, cached per row.  Each stream starts
+    from the same frozen state the per-point run would materialize at,
+    so every k's adoption consumes a bit-identical stream.
+
+    One pooled ``PCG64`` serves every event: constructing a bit
+    generator per lane costs ~8us while swapping its state dict costs
+    ~1us, and the adoption loop only ever uses one lane's stream at a
+    time.  The previous lane's (possibly advanced) state is saved back
+    before each swap — a full state round-trip, so a lane acting in
+    several iterations continues its stream exactly like a dedicated
+    generator would.  The returned ``Generator`` is therefore only
+    valid until the next :meth:`generator` call.
+    """
+
+    def __init__(self, streams: GridReplicaStreams, graph: int,
+                 replicas: int, *, width: int | None = None):
+        self._streams = streams
+        self._replicas = replicas
+        # ``width``: row width served by this shim.  Defaults to one
+        # graph's n; the cross-graph fused adoption plane passes the
+        # whole stacked width instead, with ``graph=0`` — a stacked
+        # column is already ``offsets[g] + v``, exactly its pool-lane
+        # offset within the replica.
+        self._n = streams.counts[graph] if width is None else int(width)
+        # Grid-lane arithmetic hoisted out of the per-event path.
+        self._offset = int(streams.offsets[graph])
+        self._total = streams.total
+        self._states: Dict[int, dict] = {}
+        self._bg = materialize_bit_generator()
+        self._gen = np.random.Generator(self._bg)
+        self._cur: int | None = None
+
+    def flat_lane(self, row: int, lane: int) -> int:
+        return row * self._n + lane
+
+    def generator(self, flat: int) -> np.random.Generator:
+        if self._cur is not None:
+            self._states[self._cur] = self._bg.state
+        state = self._states.get(flat)
+        if state is None:
+            row, v = divmod(flat, self._n)
+            state = self._streams.snapshot_state(
+                (row % self._replicas) * self._total + self._offset + v)
+        self._bg.state = state
+        self._cur = flat
+        return self._gen
 
 
 # ======================================================================
@@ -618,8 +859,115 @@ class UDGProgram(RoundProgram):
             instr.charge_rounds(2 * len(details["theta_per_round"])
                                 + 2 + 3 * details["part2_iterations"])
             results.append(DominatingSet(
-                members=set(np.nonzero(leader[r])[0].tolist()),
+                members=_members_set(leader[r]),
                 stats=instr.stats, details=details))
+        return results
+
+    def grid_supported(self, graph) -> bool:
+        """Per-graph :meth:`direct_grid` eligibility: a nonempty stock
+        UnitDiskGraph (or sensing subclass the distance CSR models)
+        whose identifier draws take vecrng's vector path.  Everything
+        else runs per-point through :meth:`grid_point`."""
+        try:
+            udg = _as_udg(graph)
+        except GeometryError:
+            return False
+        if udg.n == 0 or not kernels.supports_kernel_election(udg):
+            return False
+        return vector_streams_available(
+            (min(_id_space(udg.n), _MAX_SAMPLED_ID) - 1,))
+
+    def grid_point(self, graph, k) -> "UDGProgram":
+        return UDGProgram(_as_udg(graph), int(k), self.policy, self.seed)
+
+    def direct_grid(self, graphs, ks, seeds) -> List[List[List[DominatingSet]]]:
+        """Grid-batched :meth:`direct`: the full ``graphs x ks x seeds``
+        grid in stacked kernel dispatches, returning
+        ``results[graph][k][seed]``.
+
+        Graphs are grouped by size (a shared theta schedule makes the
+        election rounds stackable); each group runs Part I *once* over
+        the stacked CSR and the grid RNG pool, then the k axis is fused:
+        Part I never reads ``k``, so every k value's adoption phase
+        starts from the same leaders, the same stacked coverage counts,
+        and snapshot clones of the same frozen RNG lane states.
+        Bit-identical per (graph, k, replica) to per-point
+        ``execute_batch(grid_point(g, k), seeds)`` calls.
+        """
+        udgs = [_as_udg(g) for g in graphs]
+        unsupported = [g for g, u in enumerate(udgs)
+                       if not self.grid_supported(u)]
+        if unsupported:
+            raise GraphError(
+                f"direct_grid cannot take graphs {unsupported}; route "
+                "through repro.engine.execute_grid for per-point fallback")
+        k_list = [int(k) for k in ks]
+        if any(k < 1 for k in k_list):
+            raise GraphError(f"k must be at least 1, got {min(k_list)}")
+        policy = self.policy
+        R = len(seeds)
+        K = len(k_list)
+        results: List[List[List[DominatingSet]]] = [None] * len(udgs)
+
+        groups: Dict[int, List[int]] = {}
+        for i, udg in enumerate(udgs):
+            groups.setdefault(udg.n, []).append(i)
+        for n, idxs in groups.items():
+            stack = stacked_graphs([udgs[i] for i in idxs])
+            streams = GridReplicaStreams([n] * len(idxs), seeds)
+            details_grid: List[List[dict]] = \
+                [[{} for _ in range(R)] for _ in idxs]
+            active = _part_one_kernel_grid(stack, streams, details_grid)
+            # Initial closed coverage for every graph block at once.
+            cov0 = kernels.member_counts_stacked(stack, indicators=active,
+                                                 convention="closed")
+            ks_row = np.repeat(np.asarray(k_list, dtype=np.int64), R)
+            G = len(idxs)
+            # Part I leader counts per (replica, graph block).
+            p1_leaders = active.reshape(R, G, n).sum(axis=2)
+            # The (K*R, G*n) fused adoption plane: k value ki's rows
+            # are [ki*R, (ki+1)*R), each starting from the shared
+            # Part I leaders and coverage, and every graph block rides
+            # in one cross-graph Part II call (``blocks=G``) over the
+            # stacked CSR instead of G per-graph loops.
+            leader = np.tile(active, (K, 1))
+            coverage = np.tile(cov0, (K, 1))
+            details_rows: List[List[dict]] = []
+            for k in k_list:
+                for r in range(R):
+                    per_block: List[dict] = []
+                    for j in range(G):
+                        base = details_grid[j][r]
+                        per_block.append({
+                            "mode": "direct", "k": k,
+                            "theta_per_round":
+                                list(base["theta_per_round"]),
+                            "active_per_round":
+                                list(base["active_per_round"]),
+                            "part1_leaders": int(p1_leaders[r, j]),
+                        })
+                    details_rows.append(per_block)
+            shim = _GridAdoptionStreams(streams, 0, R, width=stack.total)
+            _part_two_kernel_batch(stack, leader, ks_row, shim, policy,
+                                   details_rows, coverage=coverage,
+                                   blocks=G)
+            for j, i in enumerate(idxs):
+                off, _ = stack.graph_slice(j)
+                cells: List[List[DominatingSet]] = []
+                for ki in range(K):
+                    per_seed: List[DominatingSet] = []
+                    for r in range(R):
+                        row = ki * R + r
+                        details = details_rows[row][j]
+                        instr = Instrumentation.for_n(n)
+                        instr.charge_rounds(
+                            2 * len(details["theta_per_round"]) + 2
+                            + 3 * details["part2_iterations"])
+                        per_seed.append(DominatingSet(
+                            members=_members_set(leader[row, off:off + n]),
+                            stats=instr.stats, details=details))
+                    cells.append(per_seed)
+                results[i] = cells
         return results
 
     def direct_reference(self, instr: Instrumentation) -> DominatingSet:
@@ -767,3 +1115,68 @@ def solve_kmds_udg_batch(graph, seeds: Sequence, k: int = 1, *,
     for result in results:
         result.details["mode"] = mode
     return results
+
+
+def solve_kmds_udg_grid(graphs, seeds: Sequence, ks: Sequence[int] = (1,),
+                        *, mode: str = "direct",
+                        selection_policy: str = "random",
+                        force_per_point: bool = False,
+                        timing: dict | None = None
+                        ) -> List[List[List[DominatingSet]]]:
+    """Run Algorithm 3 over the full ``graphs x ks x seeds`` grid,
+    returning ``results[graph][k][seed]`` — the grid-batched counterpart
+    of a ``solve_kmds_udg_batch(g, seeds, k=k)`` double loop.
+
+    On the ``direct`` backend eligible graphs execute through
+    :func:`repro.engine.execute_grid`: topologies are stacked into one
+    block-diagonal CSR dispatch per size class, the k axis is fused over
+    one shared Part I, and the RNG pool widens to one lane per
+    (replica, graph, node) — per-(graph, k, seed) results bit-identical
+    to the per-point loop (pinned by ``tests/test_grid_equivalence.py``).
+    Message backends, exotic sensing subclasses, sizes below the vector
+    threshold, and ``force_per_point=True`` take the per-point loop.
+    ``timing`` (optional dict) receives the dispatch breakdown — see
+    :func:`repro.engine.execute_grid`.  The E-series grids (E6/E7)
+    route through here.
+    """
+    for k in ks:
+        if k < 1:
+            raise GraphError(f"k must be at least 1, got {k}")
+    if selection_policy not in SELECTION_POLICIES:
+        raise GraphError(
+            f"unknown selection policy {selection_policy!r}; "
+            f"expected one of {SELECTION_POLICIES}"
+        )
+    from repro.engine.backends import resolve_backend
+
+    resolve_backend(mode)
+    seed_list = [validate_seed(s) for s in seeds]
+    k_list = [int(k) for k in ks]
+    udgs = [_as_udg(g) for g in graphs]
+    out: List[List[List[DominatingSet]]] = [None] * len(udgs)
+    nonempty = []
+    for i, udg in enumerate(udgs):
+        if udg.n == 0:
+            out[i] = [[DominatingSet(members=set(),
+                                     details={"mode": mode, "k": k})
+                       for _ in seed_list] for k in k_list]
+        else:
+            nonempty.append(i)
+    if nonempty:
+        first = seed_list[0] if seed_list else None
+        program = UDGProgram(udgs[nonempty[0]],
+                             k_list[0] if k_list else 1,
+                             selection_policy, first)
+        sub = execute_grid(program, [udgs[i] for i in nonempty],
+                           seed_list, k_list, mode,
+                           force_per_point=force_per_point, timing=timing)
+        for j, i in enumerate(nonempty):
+            out[i] = sub[j]
+            for per_seed in sub[j]:
+                for result in per_seed:
+                    result.details["mode"] = mode
+    elif timing is not None:
+        timing.update({"path": "per-point", "grid_graphs": 0,
+                       "per_point_graphs": 0, "grid_seconds": 0.0,
+                       "per_point_seconds": 0.0})
+    return out

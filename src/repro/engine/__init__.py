@@ -20,15 +20,18 @@ execution comparable :class:`~repro.types.RunStats`.
 
 from repro.engine.artifacts import (
     GraphArtifacts,
+    StackedGraphs,
     cache_stats,
     graph_artifacts,
     invalidate,
+    stacked_graphs,
 )
 from repro.engine.backends import (
     BACKENDS,
     MESSAGE_BACKENDS,
     execute,
     execute_batch,
+    execute_grid,
     resolve_backend,
     validate_seed,
 )
@@ -42,12 +45,15 @@ __all__ = [
     "GraphArtifacts",
     "Instrumentation",
     "RoundProgram",
+    "StackedGraphs",
     "cache_stats",
     "execute",
     "execute_batch",
+    "execute_grid",
     "graph_artifacts",
     "invalidate",
     "kernels",
     "resolve_backend",
+    "stacked_graphs",
     "validate_seed",
 ]

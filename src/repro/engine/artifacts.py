@@ -389,6 +389,111 @@ class ArtifactDelta:
         self._bump()
 
 
+class StackedGraphs:
+    """G graph topologies concatenated into one node index space.
+
+    Graph ``g``'s node ``i`` occupies stacked index ``offsets[g] + i``;
+    the stacked closed-adjacency/distance CSRs are block-diagonal, so
+    any row-local kernel (election rounds, coverage counts) run over the
+    stacked plane produces, per graph block, bit-identical results to
+    running the same kernel on the graph alone — that is what lets an
+    entire experiment grid become one kernel dispatch
+    (:func:`repro.engine.backends.execute_grid`).
+
+    ``kernel_cache`` is per-instance scratch for :mod:`repro.engine.kernels`
+    (stacked distance CSR, per-round compressed within-CSRs): the graphs
+    and their per-round election structures are static for the lifetime
+    of the bundle, so repeated grid dispatches over the same stack reuse
+    them.  Obtain instances via :func:`stacked_graphs` so the cache is
+    shared.
+    """
+
+    def __init__(self, graphs):
+        self.graphs = list(graphs)
+        self.artifacts: List[GraphArtifacts] = [
+            graph_artifacts(g) for g in self.graphs]
+        self.counts = np.asarray([a.n for a in self.artifacts],
+                                 dtype=np.int64)
+        self.offsets = np.zeros(len(self.artifacts) + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.offsets[1:])
+        self.total = int(self.offsets[-1])
+        self._closed_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._closed_adjacency: Optional[sp.csr_matrix] = None
+        self.kernel_cache: Dict = {}
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def graph_slice(self, g: int) -> Tuple[int, int]:
+        """``(offset, n)`` of graph ``g`` in the stacked index space."""
+        return int(self.offsets[g]), int(self.counts[g])
+
+    def closed_csr_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked closed-neighborhood CSR ``(indptr, indices)``: the
+        per-graph :meth:`GraphArtifacts.closed_csr_arrays` concatenated,
+        rows and column indices shifted by each graph's offset."""
+        if self._closed_arrays is None:
+            parts = [a.closed_csr_arrays() for a in self.artifacts]
+            indptr = np.zeros(self.total + 1, dtype=np.int64)
+            edge_off = 0
+            chunks = []
+            for (p, idx), a, off in zip(parts, self.artifacts,
+                                        self.offsets[:-1]):
+                indptr[off + 1:off + a.n + 1] = p[1:] + edge_off
+                chunks.append(idx + off)
+                edge_off += int(p[-1])
+            indices = np.concatenate(chunks) if chunks else \
+                np.zeros(0, dtype=np.int64)
+            self._closed_arrays = (indptr, indices)
+        return self._closed_arrays
+
+    def closed_adjacency(self) -> sp.csr_matrix:
+        """The stacked (block-diagonal) closed-adjacency CSR matrix."""
+        if self._closed_adjacency is None:
+            indptr, indices = self.closed_csr_arrays()
+            data = np.ones(len(indices), dtype=float)
+            self._closed_adjacency = sp.csr_matrix(
+                (data, indices, indptr), shape=(self.total, self.total))
+        return self._closed_adjacency
+
+
+#: first graph -> StackedGraphs; weak anchor so stacks die with graphs.
+_STACK_CACHE: "weakref.WeakKeyDictionary[nx.Graph, StackedGraphs]" \
+    = weakref.WeakKeyDictionary()
+
+
+def stacked_graphs(graphs) -> StackedGraphs:
+    """Return a (cached) :class:`StackedGraphs` over ``graphs``.
+
+    The cache is anchored on the first graph's underlying ``nx`` object
+    and revalidated by identity of every member *and* of its current
+    :func:`graph_artifacts` bundle — a mutated (touched) graph gets a
+    fresh artifacts object, which transparently invalidates any stack
+    containing it.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        return StackedGraphs([])
+    try:
+        anchor = as_nx(graphs[0])
+    except GraphError:
+        anchor = None
+    if anchor is not None:
+        hit = _STACK_CACHE.get(anchor)
+        if (hit is not None and len(hit.graphs) == len(graphs)
+                and all(x is y for x, y in zip(hit.graphs, graphs))
+                and all(graph_artifacts(g) is a
+                        for g, a in zip(graphs, hit.artifacts))):
+            return hit
+    stack = StackedGraphs(graphs)
+    if anchor is not None:
+        try:
+            _STACK_CACHE[anchor] = stack
+        except TypeError:  # pragma: no cover — unweakrefable graph type
+            pass
+    return stack
+
+
 #: graph -> (token, artifacts); weak keys so artifacts die with graphs.
 _CACHE: "weakref.WeakKeyDictionary[nx.Graph, Tuple[int, GraphArtifacts]]" \
     = weakref.WeakKeyDictionary()

@@ -40,13 +40,14 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
-from repro.engine.artifacts import GraphArtifacts
+from repro.engine.artifacts import GraphArtifacts, StackedGraphs
 from repro.simulation.vecrng import _native_kernels
 
 __all__ = [
     "member_indicator",
     "member_counts",
     "member_counts_batch",
+    "member_counts_stacked",
     "deficit_vector",
     "deficit_vector_batch",
     "surplus_vector",
@@ -55,7 +56,9 @@ __all__ = [
     "scatter_cover_batch",
     "demotion_candidates",
     "udg_distance_csr",
+    "stacked_distance_csr",
     "supports_kernel_election",
+    "supports_stacked_election",
     "elect_round",
     "elect_round_batch",
 ]
@@ -193,16 +196,34 @@ def scatter_cover_batch(coverage: np.ndarray, art: GraphArtifacts,
     Returns the ``(reps, touched)`` index pair (duplicated, aligned)
     of every updated entry, so callers can refresh deficiency for
     exactly the touched (replica, node) pairs.
+
+    Balls are gathered from the closed CSR (one vectorized expansion,
+    no per-promotion Python), and the scatter-add runs as a flat
+    ``bincount`` plus one planar add — exact integer sums, so the
+    result matches ``np.add.at`` on the same pairs bit for bit.
     """
     if len(promoted_idx) == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, empty
-    balls = [art.closed_nbrs[i] for i in promoted_idx]
-    sizes = np.fromiter((b.size for b in balls), dtype=np.int64,
-                        count=len(balls))
-    touched = np.concatenate(balls)
+    indptr, indices = art.closed_csr_arrays()
+    pi = np.asarray(promoted_idx, dtype=np.int64)
+    starts = indptr[pi]
+    sizes = indptr[pi + 1] - starts
+    ends = np.cumsum(sizes)
+    ee = np.repeat(starts - (ends - sizes), sizes) \
+        + np.arange(int(ends[-1]))
+    touched = indices[ee]
     reps = np.repeat(np.asarray(rep_idx, dtype=np.int64), sizes)
-    np.add.at(coverage, (reps, touched), sign)
+    if coverage.flags.c_contiguous:
+        n = coverage.shape[1]
+        upd = np.bincount(reps * n + touched, minlength=coverage.size)
+        flat = coverage.reshape(-1)
+        if sign == 1:
+            flat += upd
+        else:
+            flat += sign * upd
+    else:  # pragma: no cover — no caller passes a strided plane today
+        np.add.at(coverage, (reps, touched), sign)
     return reps, touched
 
 
@@ -352,9 +373,24 @@ def compress_within(indptr: np.ndarray, nbr: np.ndarray,
     return deg_w, indptr_w, nbr_w
 
 
+def elect_prep(within_csr):
+    """Precompute the candidate-node view of a compressed within-CSR.
+
+    Returns ``(sub, starts, deg_sub)`` — the within-degree > 0 nodes,
+    their compressed segment starts, and their degrees — ready to hand
+    to :func:`elect_round_batch` via ``prep=``.  Pure function of the
+    (static per round) compression, so round-driving callers cache it
+    alongside ``within_csr`` and skip three O(n) passes per dispatch.
+    """
+    deg_w, indptr_w, _ = within_csr
+    sub = np.nonzero(deg_w > 0)[0]
+    return sub, indptr_w[sub], deg_w[sub]
+
+
 def elect_round_batch(indptr: np.ndarray, src: np.ndarray, nbr: np.ndarray,
                       within: np.ndarray, active: np.ndarray,
-                      ids: np.ndarray, *, within_csr=None) -> np.ndarray:
+                      ids: np.ndarray, *, within_csr=None,
+                      prep=None, ids_masked: bool = False) -> np.ndarray:
     """Replica-batched :func:`elect_round` over ``(R, n)`` lane planes.
 
     Same election, same two-pass lexicographic argmax, same results per
@@ -383,21 +419,30 @@ def elect_round_batch(indptr: np.ndarray, src: np.ndarray, nbr: np.ndarray,
     construction (its node has within-degree > 0), so the reduceat
     needs no empty-segment fixups.  Bit-identical to running
     :func:`elect_round` once per replica row.
+
+    ``ids_masked=True`` asserts the caller's ``ids`` plane *already*
+    holds 0 on every inactive candidate lane — exactly what a masked
+    draw with ``need`` covering the candidate set leaves behind (see
+    ``draw_ints_masked``).  The native scan then skips its
+    per-candidate active gather, halving its random accesses; the
+    NumPy path re-zeroes unconditionally, so the flag never changes
+    results.
     """
     R, n = active.shape
     # --- shared edge compression (precomputed or done here) ----------
     if within_csr is None:
         within_csr = compress_within(indptr, nbr, within)
     deg_w, indptr_w, nbr_w = within_csr
+    if prep is None:
+        prep = elect_prep(within_csr)
+    sub, starts, deg_sub = prep
     has_cand = deg_w > 0
 
     # --- lanes with no candidates: unopposed self-election -----------
     elected = active & ~has_cand[None, :]
 
     # --- lanes with candidates: 2-D segment-reduced argmax -----------
-    sub = np.nonzero(has_cand)[0]
     if sub.size and R:
-        starts = indptr_w[sub]  # strictly increasing: every seg > 0
         native = _native_kernels()
         if native is not None and R * sub.size >= 4096:
             # One C scan per (replica, candidate node): reads active
@@ -406,11 +451,11 @@ def elect_round_batch(indptr: np.ndarray, src: np.ndarray, nbr: np.ndarray,
             act = np.ascontiguousarray(active)
             native.elect_batch(
                 R, n, sub, starts,
-                np.ascontiguousarray(deg_w[sub]),
+                np.ascontiguousarray(deg_sub),
                 np.ascontiguousarray(nbr_w, dtype=np.int64),
                 np.ascontiguousarray(ids),
                 act.view(np.uint8), elected.view(np.uint8),
-                np.empty(n, dtype=np.int64))
+                ids_masked=ids_masked)
             return active & elected
         ids_z = np.where(active, ids, 0)
         ids_w = ids_z[:, nbr_w]                       # (R, m_w)
@@ -429,3 +474,80 @@ def elect_round_batch(indptr: np.ndarray, src: np.ndarray, nbr: np.ndarray,
         rr, cc = np.nonzero(ok)
         elected.reshape(-1)[rr * n + best_node[rr, cc]] = True
     return active & elected
+
+
+# ======================================================================
+# Stacked (grid-batched) variants: one dispatch over G topologies
+# ======================================================================
+
+def supports_stacked_election(graphs) -> bool:
+    """Whether every graph's Part I election can run on the stacked
+    distance CSR (see :func:`supports_kernel_election`)."""
+    return all(supports_kernel_election(g) for g in graphs)
+
+
+def stacked_distance_csr(stack: StackedGraphs):
+    """The per-graph :func:`udg_distance_csr` planes of a
+    :class:`StackedGraphs` concatenated into one flattened
+    ``(indptr, src, nbr, dist)`` over the stacked node index space.
+
+    The result is block-diagonal (graph ``g``'s rows reference only
+    columns in ``[offsets[g], offsets[g+1])``), so every row-local
+    kernel — :func:`compress_within`, :func:`elect_round_batch` — run
+    over the stacked plane reproduces, per graph block, exactly what it
+    computes on the graph alone.  Cached on the stack's per-instance
+    ``kernel_cache``.
+    """
+    cached = stack.kernel_cache.get("dist_csr")
+    if cached is not None:
+        return cached
+    parts = [udg_distance_csr(g) for g in stack.graphs]
+    indptr = np.zeros(stack.total + 1, dtype=np.int64)
+    edge_off = 0
+    src_chunks, nbr_chunks, dist_chunks = [], [], []
+    for (p, s, b, d), off, n_g in zip(parts, stack.offsets[:-1],
+                                      stack.counts):
+        indptr[off + 1:off + n_g + 1] = p[1:] + edge_off
+        src_chunks.append(s + off)
+        nbr_chunks.append(b + off)
+        dist_chunks.append(d)
+        edge_off += int(p[-1])
+    if src_chunks:
+        src = np.concatenate(src_chunks)
+        nbr = np.concatenate(nbr_chunks)
+        dist = np.concatenate(dist_chunks)
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        nbr = np.zeros(0, dtype=np.int64)
+        dist = np.zeros(0, dtype=np.float64)
+    out = (indptr, src, nbr, dist)
+    stack.kernel_cache["dist_csr"] = out
+    return out
+
+
+def member_counts_stacked(stack: StackedGraphs, *,
+                          indicators: np.ndarray,
+                          convention: str = "open") -> np.ndarray:
+    """:func:`member_counts_batch` over the stacked closed adjacency:
+    ``(R, total)`` indicators in, ``(R, total)`` int64 counts out.
+
+    The stacked matrix is block-diagonal, so each graph's column block
+    of the result is bit-identical to :func:`member_counts_batch` on
+    that graph alone: same CSR row accumulation order, and every
+    partial sum is a small integer (bounded by the largest closed
+    degree, far below float32's 2^24 exact-integer range), so running
+    the mat-mat in float32 — half the memory traffic of the per-graph
+    float64 matvecs — produces the same int64 counts.
+    """
+    x = np.asarray(indicators, dtype=np.float32)
+    if x.ndim != 2 or x.shape[1] != stack.total:
+        raise ValueError(
+            f"indicators must be (replicas, {stack.total}), got {x.shape}")
+    adj = stack.kernel_cache.get("adj32")
+    if adj is None:
+        adj = stack.closed_adjacency().astype(np.float32)
+        stack.kernel_cache["adj32"] = adj
+    counts = adj.dot(x.T).T
+    if convention == "open":
+        counts = counts - x
+    return counts.astype(np.int64)

@@ -103,6 +103,35 @@ class RoundProgram:
         """
         raise NotImplementedError
 
+    def supports_direct_grid(self) -> bool:
+        """Whether :meth:`direct_grid` can execute this program family
+        (i.e. the subclass overrides it; per-*graph* eligibility is the
+        finer :meth:`grid_supported` check)."""
+        return type(self).direct_grid is not RoundProgram.direct_grid
+
+    def grid_supported(self, graph) -> bool:
+        """Whether :meth:`direct_grid` can take this particular graph
+        (subclasses refine; ineligible graphs run per-point)."""
+        return self.supports_direct_grid()
+
+    def grid_point(self, graph, k) -> "RoundProgram":
+        """A single-point program for ``(graph, k)`` with this program's
+        policy/seed — the per-point fallback unit of
+        :func:`~repro.engine.backends.execute_grid`."""
+        raise NotImplementedError
+
+    def direct_grid(self, graphs: Sequence, ks: Sequence[int],
+                    seeds: Sequence[int]) -> List[List[List]]:
+        """Grid-batched vectorized execution: the full
+        ``graphs x ks x seeds`` grid in stacked kernel dispatches,
+        returning ``results[graph][k][seed]``.
+
+        Must be bit-identical to per-point
+        ``execute_batch(grid_point(g, k), seeds)`` calls — pinned by
+        ``tests/test_grid_equivalence.py``.
+        """
+        raise NotImplementedError
+
     def processes(self) -> List:
         """Fresh :class:`NodeProcess` instances, one per graph node."""
         raise NotImplementedError

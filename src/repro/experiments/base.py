@@ -57,6 +57,12 @@ class ExperimentReport:
         True on a successful reproduction).
     notes:
         Free-form commentary (e.g. which OPT estimate was used).
+    timing:
+        Optional dispatch breakdown from the grid-batched backend (the
+        dict :func:`repro.engine.execute_grid` fills through its
+        ``timing`` parameter: which path ran, how many graphs took the
+        stacked dispatch vs the per-point fallback, and the seconds
+        spent in each).  Empty for experiments that do not run grids.
     """
 
     experiment_id: str
@@ -66,6 +72,7 @@ class ExperimentReport:
     rows: List[Sequence[Any]]
     checks: Dict[str, bool] = field(default_factory=dict)
     notes: str = ""
+    timing: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -102,6 +109,7 @@ class ExperimentReport:
             "checks": dict(self.checks),
             "passed": self.passed,
             "notes": self.notes,
+            "timing": dict(self.timing),
         }
 
     def render_markdown(self) -> str:

@@ -45,6 +45,15 @@ states are literally the concatenation of the per-seed pools').  One
 vector draw can therefore advance an entire Monte Carlo sweep at once;
 :meth:`ReplicaNodeStreams.replica_pool` exposes any one replica through
 the ordinary :class:`NodeStreamPool` interface for per-node code paths.
+
+Grid batching: :class:`GridReplicaStreams` widens the pool once more,
+from ``R x n`` to ``sum_g(R x n_g)`` over G stacked topologies.
+SeedSequence spawn child ``i`` depends only on (seed entropy, i), so
+graph ``g``'s limbs are a *prefix copy* of one master ``(R, n_max)``
+pool — replica ``r`` of graph ``g`` stays definitionally bit-exact to
+``node_stream_pool(range(n_g), seeds[r])``.
+:meth:`GridReplicaStreams.graph_view` exposes any one graph through the
+:class:`ReplicaNodeStreams` interface for per-graph code paths.
 """
 
 from __future__ import annotations
@@ -56,8 +65,9 @@ import numpy as np
 from repro.simulation.rng import _stable_order, spawn_node_rngs
 from repro.types import NodeId
 
-__all__ = ["NodeStreamPool", "ReplicaNodeStreams", "node_stream_pool",
-           "replica_node_streams"]
+__all__ = ["GridReplicaStreams", "NodeStreamPool", "ReplicaNodeStreams",
+           "node_stream_pool", "replica_node_streams",
+           "vector_streams_available"]
 
 # SeedSequence pool-mixing constants (O'Neill's seed_seq_fe as adopted
 # by numpy; 32-bit arithmetic).
@@ -95,6 +105,14 @@ _CHUNK = 1 << 13
 #: Throwaway entropy for generator materialization — the PCG64 state it
 #: seeds is immediately overwritten with the lane's own state.
 _MATERIALIZE_SS = np.random.SeedSequence(0)
+
+
+def materialize_bit_generator() -> np.random.PCG64:
+    """A throwaway-seeded ``PCG64`` meant to have a lane state assigned
+    (see :meth:`GridReplicaStreams.snapshot_state`).  Avoids the no-arg
+    form's OS-entropy pull for state that is immediately overwritten.
+    """
+    return np.random.PCG64(_MATERIALIZE_SS)
 
 #: Optional compiled kernels (repro._native), resolved lazily on first
 #: masked draw: a single C loop replaces the ~30 full-array passes of
@@ -456,11 +474,16 @@ class _LaneEngine:
 
         ``out`` (optional, C-contiguous int64 of ``mask.size``): write
         the drawn values into this buffer in place and return it.
-        Entries outside ``mask`` keep their previous contents; entries
-        at ``mask & ~need`` are unspecified (a backend may overwrite
-        them with unmaterialized values).  Callers that persist a value
-        plane across rounds (e.g. election identifiers) pass the plane
-        itself and skip an extract/scatter pair per round.
+        Entries at ``need & ~mask`` are set to 0 — an impossible draw
+        (values start at 1), so the persistent plane doubles as an
+        *inactive-masked* value plane consumers can read without
+        re-gathering the mask (``engine.kernels.elect_round_batch``'s
+        ``ids_masked`` fast path).  Entries outside both keep their
+        previous contents; entries at ``mask & ~need`` are unspecified
+        (a backend may overwrite them with unmaterialized values).
+        Callers that persist a value plane across rounds (e.g.
+        election identifiers) pass the plane itself and skip an
+        extract/scatter pair per round.
         """
         mask = np.ascontiguousarray(mask, dtype=bool)
         if out is None:
@@ -485,6 +508,10 @@ class _LaneEngine:
                 np.ascontiguousarray(need, dtype=bool).view(np.uint8),
                 high, out)
             return out
+        if need is not None:
+            # Same plane contract as the native kernel: needed idle
+            # lanes read as the impossible value 0.
+            out[np.asarray(need, dtype=bool) & ~mask] = 0
         rng_excl = np.uint64(high)
         threshold = np.uint64(((1 << 64) - high) % high)
         one = np.uint64(1)
@@ -588,22 +615,34 @@ class _LaneEngine:
     def generator(self, lane: int) -> np.random.Generator:
         gen = self._materialized.get(lane)
         if gen is None:
-            # PCG64(<cached SeedSequence>), not PCG64(): the no-arg form
-            # pulls OS entropy (~80us) and even PCG64(0) rebuilds a
-            # SeedSequence (~4us) — all discarded by the state overwrite.
-            bg = np.random.PCG64(_MATERIALIZE_SS)
-            bg.state = {
-                "bit_generator": "PCG64",
-                "state": {
-                    "state": (int(self._sh[lane]) << 64) | int(self._sl[lane]),
-                    "inc": (int(self._ih[lane]) << 64) | int(self._il[lane]),
-                },
-                "has_uint32": 0,
-                "uinteger": 0,
-            }
-            gen = np.random.Generator(bg)
+            gen = self._lane_generator(lane)
             self._materialized[lane] = gen
         return gen
+
+    def _lane_state(self, lane: int) -> dict:
+        """The lane's current stream state as a PCG64 state dict —
+        assignable to any ``PCG64.state`` (the cheap half of generator
+        materialization, for callers that pool one bit generator and
+        swap states per event instead of constructing per lane)."""
+        return {
+            "bit_generator": "PCG64",
+            "state": {
+                "state": (int(self._sh[lane]) << 64) | int(self._sl[lane]),
+                "inc": (int(self._ih[lane]) << 64) | int(self._il[lane]),
+            },
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+
+    def _lane_generator(self, lane: int) -> np.random.Generator:
+        """A fresh ``Generator`` at this lane's current stream state
+        (no ownership recorded — callers manage divergence)."""
+        # PCG64(<cached SeedSequence>), not PCG64(): the no-arg form
+        # pulls OS entropy (~80us) and even PCG64(0) rebuilds a
+        # SeedSequence (~4us) — all discarded by the state overwrite.
+        bg = np.random.PCG64(_MATERIALIZE_SS)
+        bg.state = self._lane_state(lane)
+        return np.random.Generator(bg)
 
 
 class _VectorPool(_LaneEngine, NodeStreamPool):
@@ -690,10 +729,12 @@ class ReplicaNodeStreams:
         """One bounded draw per flat lane where ``mask`` holds, returned
         as a ``mask.size`` array (entries defined where ``mask`` and
         ``need`` hold).  ``out``: optional int64 buffer written in place
-        — entries outside ``mask`` keep their previous contents, entries
-        at ``mask & ~need`` are unspecified.  The vector engine
-        overrides this with a slice-arithmetic implementation; the
-        generic form routes through :meth:`draw_ints`."""
+        — entries at ``need & ~mask`` are set to 0 (an impossible draw,
+        so the buffer doubles as an inactive-masked value plane),
+        entries outside both keep their previous contents, entries at
+        ``mask & ~need`` are unspecified.  The vector engine overrides
+        this with a slice-arithmetic implementation; the generic form
+        routes through :meth:`draw_ints`."""
         mask = np.asarray(mask, dtype=bool)
         flat = np.nonzero(mask)[0]
         if out is None:
@@ -702,6 +743,8 @@ class ReplicaNodeStreams:
                 or not out.flags.c_contiguous):
             raise ValueError(
                 "out must be a C-contiguous int64 buffer of mask.size")
+        if need is not None:
+            out[np.asarray(need, dtype=bool) & ~mask] = 0
         out[flat] = self.draw_ints(
             flat, high, need=None if need is None else need[flat])
         return out
@@ -797,6 +840,158 @@ class _FallbackReplicaStreams(ReplicaNodeStreams):
 
 
 # ----------------------------------------------------------------------
+# Grid-batched streams: lane = (replica, graph, node)
+# ----------------------------------------------------------------------
+
+class GridReplicaStreams(_LaneEngine):
+    """``sum_g(R x n_g)`` per-(replica, graph, node) RNG streams.
+
+    The lane space is replica-major over the *concatenated* node index
+    space of G stacked graphs: graph ``g``'s node ``i`` in replica ``r``
+    occupies flat lane ``r * total + offsets[g] + i``, where ``total =
+    sum_g n_g``.  SeedSequence spawn child ``i`` depends only on (seed
+    entropy, ``i``), so the limbs of every graph are prefix slices of
+    one master ``(R, n_max)`` pool — replica ``r`` of graph ``g`` is
+    therefore *definitionally* bit-exact to
+    ``node_stream_pool(range(n_g), seeds[r])``, and one vector draw over
+    the flat plane advances an entire (graphs x replicas) grid at once.
+
+    Construct directly only after checking
+    :func:`vector_streams_available` for every bounded range the caller
+    will draw; grid callers fall back to per-graph pools otherwise.
+    """
+
+    def __init__(self, node_counts: Sequence[int], seeds: Sequence):
+        self.counts = [int(c) for c in node_counts]
+        if any(c < 0 for c in self.counts):
+            raise ValueError("node counts must be non-negative")
+        self.seeds = list(seeds)
+        self.offsets = np.zeros(len(self.counts) + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.offsets[1:])
+        self.total = int(self.offsets[-1])
+        R = len(self.seeds)
+        n_max = max(self.counts, default=0)
+        master = _seed_limbs_multi(self.seeds, n_max)
+        limbs = []
+        for src in master:
+            src2 = src.reshape(R, n_max) if R else src.reshape(0, 0)
+            dst = np.empty(R * self.total, dtype=np.uint64)
+            dst2 = dst.reshape(R, self.total) if R else dst.reshape(0, 0)
+            for g, n_g in enumerate(self.counts):
+                off = int(self.offsets[g])
+                dst2[:, off:off + n_g] = src2[:, :n_g]
+            limbs.append(dst)
+        self._ih, self._il, self._sh, self._sl = limbs
+        self._materialized = {}
+
+    @property
+    def replicas(self) -> int:
+        return len(self.seeds)
+
+    def graph_slice(self, graph: int):
+        """``(offset, n)`` of graph ``graph`` in the node index space."""
+        return int(self.offsets[graph]), self.counts[graph]
+
+    def flat_lane(self, replica: int, graph: int, node: int) -> int:
+        """The flat lane of node ``node`` of ``graph`` in ``replica``."""
+        return replica * self.total + int(self.offsets[graph]) + node
+
+    def snapshot_generator(self, flat_lane: int) -> np.random.Generator:
+        """A fresh ``Generator`` positioned at the lane's *current*
+        stream state.  Unlike :meth:`generator`, no ownership is
+        recorded and repeated calls return independent clones that
+        diverge from the shared limbs — the k-axis fusion uses this to
+        run several adoption phases off one frozen post-election state.
+        The caller must not vector-draw the lane afterwards."""
+        return self._lane_generator(flat_lane)
+
+    def snapshot_state(self, flat_lane: int) -> dict:
+        """:meth:`snapshot_generator`'s state dict alone — for callers
+        that keep one pooled ``PCG64`` and swap lane states per event
+        (a full state round-trip, so streams continue bit-identically
+        to a dedicated per-lane generator)."""
+        return self._lane_state(flat_lane)
+
+    def graph_view(self, graph: int) -> ReplicaNodeStreams:
+        """Graph ``graph`` as an ordinary :class:`ReplicaNodeStreams`
+        (draws advance the shared grid stream states)."""
+        return _GridGraphView(self, graph)
+
+
+class _GridGraphView(ReplicaNodeStreams):
+    """One graph of a :class:`GridReplicaStreams`, adapted to the
+    replica-streams interface by remapping local flat lanes
+    ``r * n_g + i`` to grid lanes ``r * total + offset + i``.
+
+    The per-graph limb slices are *strided* views of the grid plane, so
+    draws delegate to the parent engine (whose contiguous arrays keep
+    the native kernels usable) rather than slicing limbs here — handing
+    a strided view to ctypes would silently read the wrong lanes.
+    """
+
+    def __init__(self, streams: GridReplicaStreams, graph: int):
+        self._streams = streams
+        self._offset, n = streams.graph_slice(graph)
+        self.nodes = list(range(n))
+        self.lane = {v: v for v in self.nodes}
+        self.seeds = streams.seeds
+
+    def _grid_lanes(self, flat_lanes) -> np.ndarray:
+        flat = np.asarray(flat_lanes, dtype=np.int64)
+        n = len(self.nodes)
+        r = flat // n
+        return r * self._streams.total + self._offset + (flat - r * n)
+
+    def random(self, flat_lanes: np.ndarray) -> np.ndarray:
+        return self._streams.random(self._grid_lanes(flat_lanes))
+
+    def draw_ints(self, flat_lanes: np.ndarray, high: int,
+                  need: np.ndarray | None = None) -> np.ndarray:
+        return self._streams.draw_ints(self._grid_lanes(flat_lanes), high,
+                                       need=need)
+
+    def draw_ints_masked(self, mask: np.ndarray, high: int,
+                         need: np.ndarray | None = None,
+                         out: np.ndarray | None = None) -> np.ndarray:
+        """Masked draw over this graph's ``R x n_g`` plane, expanded to
+        a full-grid mask so the parent's contiguous (native-capable)
+        masked path does the work, then gathered back."""
+        mask = np.asarray(mask, dtype=bool)
+        n = len(self.nodes)
+        R = len(self.seeds)
+        if mask.size != R * n:
+            raise ValueError("mask must cover the graph's R x n lanes")
+        if out is None:
+            out = np.zeros(mask.size, dtype=np.int64)
+        elif (out.dtype != np.int64 or out.size != mask.size
+                or not out.flags.c_contiguous):
+            raise ValueError(
+                "out must be a C-contiguous int64 buffer of mask.size")
+        total = self._streams.total
+        grid_mask = np.zeros(R * total, dtype=bool)
+        gm2 = grid_mask.reshape(R, total)
+        gm2[:, self._offset:self._offset + n] = mask.reshape(R, n)
+        grid_need = None
+        if need is None:
+            sel = mask
+        else:
+            need = np.asarray(need, dtype=bool)
+            grid_need = np.zeros(R * total, dtype=bool)
+            gn2 = grid_need.reshape(R, total)
+            gn2[:, self._offset:self._offset + n] = need.reshape(R, n)
+            sel = mask & need
+        grid_out = self._streams.draw_ints_masked(grid_mask, high,
+                                                  need=grid_need)
+        local = grid_out.reshape(R, total)[
+            :, self._offset:self._offset + n].reshape(-1)
+        out[sel] = local[sel]
+        return out
+
+    def generator(self, flat_lane: int) -> np.random.Generator:
+        return self._streams.generator(int(self._grid_lanes(flat_lane)))
+
+
+# ----------------------------------------------------------------------
 # Factory + self-test
 # ----------------------------------------------------------------------
 
@@ -831,6 +1026,25 @@ def _self_test() -> bool:
         return False
 
 
+def vector_streams_available(bounded_ranges: Sequence[int] = ()) -> bool:
+    """Whether the vector limb engine would serve these draws.
+
+    The same eligibility rule and one-shot pipeline self-test the pool
+    factories apply: every intended bounded-draw width must select
+    Lemire's 64-bit path (width strictly between 2^32 - 1 and 2^64 - 1),
+    and the vector pipeline must have passed its self-test against
+    numpy's own generators.  Grid callers check this up front —
+    :class:`GridReplicaStreams` has no fallback twin, so ineligible
+    graphs take the per-point path instead.
+    """
+    global _vector_verified
+    if not all(_M32 < r < _M64 for r in bounded_ranges):
+        return False
+    if _vector_verified is None:
+        _vector_verified = _self_test()
+    return _vector_verified
+
+
 def node_stream_pool(nodes: Iterable[NodeId], seed,
                      *, bounded_ranges: Sequence[int] = ()) -> NodeStreamPool:
     """A :class:`NodeStreamPool` over ``nodes``, vectorized when exact.
@@ -840,14 +1054,9 @@ def node_stream_pool(nodes: Iterable[NodeId], seed,
     below 2^32 - 1 selects numpy's buffered 32-bit sampler, which the
     vector engine does not model, so such callers get the fallback.
     """
-    global _vector_verified
     node_list = _stable_order(nodes)
-    eligible = all(_M32 < r < _M64 for r in bounded_ranges)
-    if eligible:
-        if _vector_verified is None:
-            _vector_verified = _self_test()
-        if _vector_verified:
-            return _VectorPool(node_list, seed)
+    if vector_streams_available(bounded_ranges):
+        return _VectorPool(node_list, seed)
     return _FallbackPool(node_list, seed)
 
 
@@ -863,12 +1072,7 @@ def replica_node_streams(nodes: Iterable[NodeId], seeds: Sequence,
     execution therefore consumes each (replica, node) stream identically
     to a sequential per-seed loop.
     """
-    global _vector_verified
     node_list = _stable_order(nodes)
-    eligible = all(_M32 < r < _M64 for r in bounded_ranges)
-    if eligible:
-        if _vector_verified is None:
-            _vector_verified = _self_test()
-        if _vector_verified:
-            return _VectorReplicaStreams(node_list, seeds)
+    if vector_streams_available(bounded_ranges):
+        return _VectorReplicaStreams(node_list, seeds)
     return _FallbackReplicaStreams(node_list, seeds)

@@ -378,3 +378,103 @@ class TestNativeEquality:
         monkeypatch.setattr(vecrng, "_native_checked", True)
         for a, b in zip(native, limbs()):
             assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Native runtime degradation matrix
+# ----------------------------------------------------------------------
+
+class TestNativeDegradation:
+    """Every way the compiled runtime can be absent or reconfigured must
+    degrade to the numpy path (or a different slab partition) without
+    changing a single drawn value.
+    """
+
+    @pytest.fixture
+    def fresh_native(self, monkeypatch):
+        """Reset the module-level compile/load caches so each scenario
+        re-resolves the library, and restore them afterwards."""
+        from repro import _native
+        monkeypatch.setattr(_native, "_lib", None)
+        monkeypatch.setattr(_native, "_tried", False)
+        monkeypatch.setattr(vecrng, "_native_mod", None)
+        monkeypatch.setattr(vecrng, "_native_checked", False)
+        return _native
+
+    @staticmethod
+    def _draw():
+        streams = replica_node_streams(range(N), SEEDS,
+                                       bounded_ranges=RANGES)
+        lanes = np.arange(len(SEEDS) * N)
+        return streams.draw_ints(lanes, HIGH).tolist()
+
+    def test_env_disable_is_clean_and_identical(self, fresh_native,
+                                                monkeypatch):
+        reference = self._draw()
+        monkeypatch.setattr(fresh_native, "_lib", None)
+        monkeypatch.setattr(fresh_native, "_tried", False)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert not fresh_native.available()
+        assert fresh_native.lib() is None
+        assert self._draw() == reference
+
+    def test_compile_failure_degrades(self, fresh_native, monkeypatch):
+        monkeypatch.setattr(fresh_native, "_compile", lambda: None)
+        assert not fresh_native.available()
+        assert self._draw() == self._draw()
+
+    def test_missing_source_compiles_to_none(self, fresh_native,
+                                             monkeypatch, tmp_path):
+        # A deleted/unreadable kernels.c is the "no toolchain shipped"
+        # shape: _compile must answer None, not raise.
+        monkeypatch.setattr(fresh_native, "_SOURCE",
+                            tmp_path / "gone" / "kernels.c")
+        assert fresh_native._compile() is None
+        assert not fresh_native.available()
+
+    def test_missing_compiler_compiles_to_none(self, fresh_native,
+                                               monkeypatch, tmp_path):
+        # Every cc/gcc/clang invocation failing (FileNotFoundError) must
+        # surface as a clean None.  Point the cache dir at tmp so a
+        # previously built .so can't satisfy the digest lookup.
+        monkeypatch.setattr(fresh_native, "_HERE", tmp_path)
+        monkeypatch.setattr(fresh_native, "_SOURCE", tmp_path / "kernels.c")
+        (tmp_path / "kernels.c").write_text("int x;")
+
+        def no_cc(*args, **kwargs):
+            raise FileNotFoundError("cc")
+
+        monkeypatch.setattr(fresh_native.subprocess, "run", no_cc)
+        assert fresh_native._compile() is None
+
+    def test_thread_count_env_parsing(self, monkeypatch):
+        from repro import _native
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "4")
+        assert _native.thread_count() == 4
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "0")
+        assert _native.thread_count() == 1
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "-3")
+        assert _native.thread_count() == 1
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "lots")
+        assert _native.thread_count() == (_native.os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("threads", ["1", "4"])
+    def test_thread_count_bit_identical(self, monkeypatch, threads):
+        # Enough flat lanes (2 * 2^15) that _run_slabs actually splits
+        # the draw across workers when threads > 1.
+        from repro import _native
+        if not _native.available():
+            pytest.skip("compiled kernels unavailable on this host")
+        n, seeds = 1 << 15, (0, 1)
+        mask = np.ones(2 * n, dtype=bool)
+        mask[::3] = False
+
+        def run():
+            streams = replica_node_streams(range(n), seeds,
+                                           bounded_ranges=RANGES)
+            return streams.draw_ints_masked(mask, HIGH)[mask].tolist()
+
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "1")
+        single = run()
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", threads)
+        assert run() == single
