@@ -34,8 +34,9 @@ import hashlib
 import os
 import subprocess
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Iterator, Tuple
+from typing import Callable, Iterator, Optional, Tuple
 
 _HERE = Path(__file__).resolve().parent
 _SOURCE = _HERE / "kernels.c"
@@ -51,45 +52,96 @@ _MIN_SLAB = 1 << 15
 _BUILD_TAG = b"march-native-1"
 
 
-def _compile() -> Path | None:
-    """Compile kernels.c into a content-addressed cached .so, or return
-    the cached artifact if the source has not changed."""
+def build_digest() -> Optional[str]:
+    """The content digest the cached ``.so`` is keyed by (source bytes +
+    build tag), or None when ``kernels.c`` is unreadable.  Pure function
+    of the tree — it identifies the build without triggering one, so
+    the introspection surface (``repro kernels``) can report it even on
+    hosts with no compiler."""
     try:
         source = _SOURCE.read_bytes()
     except OSError:
         return None
-    digest = hashlib.sha256(source + _BUILD_TAG).hexdigest()[:16]
+    return hashlib.sha256(source + _BUILD_TAG).hexdigest()[:16]
+
+
+@contextmanager
+def _build_lock(build: Path):
+    """Exclusive advisory lock over the build+prune sequence.
+
+    The subprocess runtime matrix and parallel pytest runs can race one
+    process's stale-``.so`` prune against another's ``os.replace``;
+    serializing the whole sequence on an ``fcntl`` lock removes the
+    window.  Platforms without ``fcntl`` (or an unopenable lock file)
+    fall back to the old unlocked behavior — the sequence itself is
+    still atomic-rename-based, so the lock only narrows a rare race,
+    never gates correctness.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover — non-POSIX host
+        yield
+        return
+    try:
+        fh = open(build / ".build.lock", "ab")
+    except OSError:  # pragma: no cover — unwritable build dir
+        yield
+        return
+    try:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover
+            pass
+        fh.close()
+
+
+def _compile() -> Path | None:
+    """Compile kernels.c into a content-addressed cached .so, or return
+    the cached artifact if the source has not changed."""
+    digest = build_digest()
+    if digest is None:
+        return None
     build = _HERE / "_build"
     target = build / f"kernels-{digest}.so"
     if target.exists():
         return target
+    try:
+        build.mkdir(exist_ok=True)
+    except OSError:
+        return None
     # -march=native first (worth ~10% on the 128-bit LCG loops); plain
     # -O3 as the fallback for compilers/targets without it.  The kernels
     # are pure integer arithmetic, so codegen never changes results.
     attempts = [(cc, flags)
                 for flags in (["-O3", "-march=native"], ["-O3"])
                 for cc in ("cc", "gcc", "clang")]
-    for cc, flags in attempts:
-        try:
-            build.mkdir(exist_ok=True)
-            tmp = build / f".kernels-{digest}.{os.getpid()}.so"
-            proc = subprocess.run(
-                [cc, *flags, "-shared", "-fPIC", "-o", str(tmp),
-                 str(_SOURCE)],
-                capture_output=True, timeout=120)
-            if proc.returncode == 0 and tmp.exists():
-                os.replace(tmp, target)  # atomic: safe under parallel use
-                # A successful build supersedes every other digest:
-                # prune them so edits don't accumulate stale artifacts.
-                # (Unlinking a dlopen'ed .so is safe on POSIX — the
-                # inode survives until the mapping is dropped.)
-                for stale in build.glob("kernels-*.so"):
-                    if stale.name != target.name:
-                        stale.unlink(missing_ok=True)
-                return target
-            tmp.unlink(missing_ok=True)
-        except (OSError, subprocess.SubprocessError):
-            continue
+    with _build_lock(build):
+        if target.exists():  # built by whoever held the lock first
+            return target
+        for cc, flags in attempts:
+            try:
+                tmp = build / f".kernels-{digest}.{os.getpid()}.so"
+                proc = subprocess.run(
+                    [cc, *flags, "-shared", "-fPIC", "-o", str(tmp),
+                     str(_SOURCE)],
+                    capture_output=True, timeout=120)
+                if proc.returncode == 0 and tmp.exists():
+                    os.replace(tmp, target)  # atomic under parallel use
+                    # A successful build supersedes every other digest:
+                    # prune them so edits don't accumulate stale
+                    # artifacts.  (Unlinking a dlopen'ed .so is safe on
+                    # POSIX — the inode survives until the mapping is
+                    # dropped.)
+                    for stale in build.glob("kernels-*.so"):
+                        if stale.name != target.name:
+                            stale.unlink(missing_ok=True)
+                    return target
+                tmp.unlink(missing_ok=True)
+            except (OSError, subprocess.SubprocessError):
+                continue
     return None
 
 
@@ -131,6 +183,18 @@ def lib() -> ctypes.CDLL | None:
             ctypes.c_int64, ctypes.c_int64, i64p, i64p, i64p, i64p,
             i64p, u8p, u8p, i64p]
         cdll.repro_ball_adopt.restype = None
+        i32p = ctypes.POINTER(ctypes.c_int32)
+        cdll.repro_member_counts.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, i64p, i32p, u8p,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, i64p]
+        cdll.repro_member_counts.restype = None
+        cdll.repro_deficit.argtypes = [
+            i64p, i64p, ctypes.c_int64, u8p,
+            ctypes.c_int64, ctypes.c_int64, i64p]
+        cdll.repro_deficit.restype = None
+        cdll.repro_scatter_cover.argtypes = [
+            ctypes.c_int64, i64p, i64p, i64p, ctypes.c_int64, i64p, i64p]
+        cdll.repro_scatter_cover.restype = None
     except (OSError, AttributeError):
         return None
     _lib = cdll
@@ -333,3 +397,82 @@ def ball_adopt(n: int, rows, nodes, indptr, indices, coverage, leader,
         _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
         _ptr(coverage, ctypes.c_int64), _ptr(leader, ctypes.c_uint8),
         _ptr(deficient, ctypes.c_uint8), _ptr(krow, ctypes.c_int64))
+
+
+# ----------------------------------------------------------------------
+# Coverage-plane shims (see repro.engine.dispatch for the call sites)
+# ----------------------------------------------------------------------
+
+#: Rows per slab for the coverage matvec: each row costs (degree + 1)
+#: gathers (x R lanes), far heavier than an RNG lane, so slabs engage
+#: at a much smaller row count than _MIN_SLAB flat lanes.
+_MIN_ROW_SLAB = 1 << 12
+
+
+def member_counts(n: int, R: int, indptr, idx32, xT, open_conv: int,
+                  out) -> None:
+    """Native closed-adjacency coverage matvec; see repro_member_counts.
+
+    ``xT`` is the (n, R) lane-interleaved uint8 membership plane (a
+    plain (n,) mask when R == 1), ``idx32`` the int32 copy of the
+    closed CSR indices, ``out`` the C-contiguous (R, n) int64 result
+    (flat (n,) when R == 1).  Rows are the slab axis: every (replica,
+    row) cell is written exactly once, so any thread count is
+    bit-identical.
+    """
+    cdll = lib()
+    assert cdll is not None
+    indptrp = _ptr(indptr, ctypes.c_int64)
+    idxp = _ptr(idx32, ctypes.c_int32)
+    xp = _ptr(xT, ctypes.c_uint8)
+    outp = _ptr(out, ctypes.c_int64)
+    oc = ctypes.c_int64(1 if open_conv else 0)
+
+    def call(lo: int, hi: int) -> None:
+        cdll.repro_member_counts(ctypes.c_int64(n), ctypes.c_int64(R),
+                                 indptrp, idxp, xp, oc,
+                                 ctypes.c_int64(lo), ctypes.c_int64(hi),
+                                 outp)
+
+    _run_slabs(call, n, min_slab=max(1, _MIN_ROW_SLAB // max(1, R // 4)))
+
+
+#: Alias: the batch entry point shares the single kernel (R is just a
+#: parameter), but registers separately so dispatch can gate and report
+#: the two shapes independently.
+member_counts_batch = member_counts
+
+
+def deficit_vector(counts, req_vec, req_scalar: int, members, out) -> None:
+    """Native elementwise deficit; see repro_deficit.  ``req_vec`` and
+    ``members`` may be None (uniform requirement / no exemption)."""
+    cdll = lib()
+    assert cdll is not None
+    i64null = ctypes.POINTER(ctypes.c_int64)()
+    u8null = ctypes.POINTER(ctypes.c_uint8)()
+    cp = _ptr(counts, ctypes.c_int64)
+    rp = i64null if req_vec is None else _ptr(req_vec, ctypes.c_int64)
+    mp = u8null if members is None else _ptr(members, ctypes.c_uint8)
+    outp = _ptr(out, ctypes.c_int64)
+    rs = ctypes.c_int64(int(req_scalar))
+
+    def call(lo: int, hi: int) -> None:
+        cdll.repro_deficit(cp, rp, rs, mp, ctypes.c_int64(lo),
+                           ctypes.c_int64(hi), outp)
+
+    _run_slabs(call, counts.size)
+
+
+def scatter_cover(promoted, indptr, indices, sign: int, coverage,
+                  touched) -> None:
+    """Native frontier scatter; see repro_scatter_cover.  ``touched``
+    must have capacity ``sum(indptr[p+1] - indptr[p])`` over the
+    promoted rows; serial (overlapping balls would race)."""
+    cdll = lib()
+    assert cdll is not None
+    cdll.repro_scatter_cover(
+        ctypes.c_int64(promoted.size),
+        _ptr(promoted, ctypes.c_int64),
+        _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
+        ctypes.c_int64(int(sign)),
+        _ptr(coverage, ctypes.c_int64), _ptr(touched, ctypes.c_int64))

@@ -255,6 +255,109 @@ void repro_ball_adopt(int64_t n, int64_t P,
     }
 }
 
+/* Coverage-plane kernels: the closed-adjacency CSR matvec that serves
+ * verification, the service snapshot, demotion prefilters and the
+ * Part II adoption plane.  The membership operand arrives as a
+ * lane-interleaved uint8 plane xT of shape (n, R): element (i, r) at
+ * xT[i * R + r].  That transpose is what makes the batch shape fast --
+ * one gathered index serves R replica lanes of contiguous bytes, so
+ * the per-edge cost (the gather, the dominant cost of any sparse
+ * matvec) is amortized R ways and the 16-lane inner loop vectorizes.
+ *
+ * Accumulation is exact integer arithmetic (0/1 indicators), so any
+ * evaluation order equals scipy's float64 row sums bit for bit once
+ * widened to int64.  The 16-lane blocks accumulate in uint16: a row
+ * sum is bounded by the closed degree, and the Python shim falls back
+ * to the reference path when Delta + 1 could reach 2^16 (never in
+ * practice).  Rows are the slab axis: each (replica, row) output is
+ * written exactly once, so any thread count is bit-identical.
+ */
+void repro_member_counts(int64_t n, int64_t R,
+                         const int64_t *indptr, const int32_t *indices,
+                         const uint8_t *xT, int64_t open_conv,
+                         int64_t lo, int64_t hi, int64_t *out)
+{
+    if (R == 1) {
+        /* Single-vector shape: plain gather matvec, int64 accumulator
+         * (no degree bound needed). */
+        for (int64_t i = lo; i < hi; ++i) {
+            int64_t acc = 0;
+            for (int64_t e = indptr[i]; e < indptr[i + 1]; ++e)
+                acc += xT[indices[e]];
+            out[i] = acc - (open_conv ? (int64_t)xT[i] : 0);
+        }
+        return;
+    }
+    for (int64_t rb = 0; rb < R; rb += 16) {
+        const int64_t bl = (R - rb < 16) ? (R - rb) : 16;
+        if (bl == 16) {
+            for (int64_t i = lo; i < hi; ++i) {
+                uint16_t acc[16] = {0};
+                for (int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+                    const uint8_t *row = xT + (int64_t)indices[e] * R + rb;
+                    for (int b = 0; b < 16; ++b)
+                        acc[b] += row[b];
+                }
+                const uint8_t *self = xT + i * R + rb;
+                for (int b = 0; b < 16; ++b)
+                    out[(rb + b) * n + i] = (int64_t)acc[b]
+                        - (open_conv ? (int64_t)self[b] : 0);
+            }
+        } else {
+            for (int64_t i = lo; i < hi; ++i) {
+                uint16_t acc[16] = {0};
+                for (int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+                    const uint8_t *row = xT + (int64_t)indices[e] * R + rb;
+                    for (int64_t b = 0; b < bl; ++b)
+                        acc[b] += row[b];
+                }
+                const uint8_t *self = xT + i * R + rb;
+                for (int64_t b = 0; b < bl; ++b)
+                    out[(rb + b) * n + i] = (int64_t)acc[b]
+                        - (open_conv ? (int64_t)self[b] : 0);
+            }
+        }
+    }
+}
+
+/* Elementwise deficit: out[i] = max(0, req - counts[i]), zeroed at
+ * members (open convention: a dominator is never deficient).  `req`
+ * may be NULL (uniform req_scalar) and `members` may be NULL (no
+ * exemption).  Pure elementwise -- any slab partition is identical. */
+void repro_deficit(const int64_t *counts, const int64_t *req,
+                   int64_t req_scalar, const uint8_t *members,
+                   int64_t lo, int64_t hi, int64_t *out)
+{
+    for (int64_t i = lo; i < hi; ++i) {
+        int64_t d = (req != NULL ? req[i] : req_scalar) - counts[i];
+        if (d < 0 || (members != NULL && members[i]))
+            d = 0;
+        out[i] = d;
+    }
+}
+
+/* Incremental frontier update: bump coverage by `sign` over the closed
+ * ball of every promoted row, appending each touched index (with
+ * duplicates, in CSR segment order -- exactly numpy's concatenate
+ * order) to `touched`, whose capacity the caller precomputes from the
+ * indptr diffs.  Serial on purpose: promoted balls overlap, so
+ * threading would race the increments; calls are small by design
+ * (they replace O(n) rescans with O(ball) work). */
+void repro_scatter_cover(int64_t P, const int64_t *promoted,
+                         const int64_t *indptr, const int64_t *indices,
+                         int64_t sign, int64_t *coverage, int64_t *touched)
+{
+    int64_t t = 0;
+    for (int64_t p = 0; p < P; ++p) {
+        const int64_t v = promoted[p];
+        for (int64_t e = indptr[v]; e < indptr[v + 1]; ++e) {
+            const int64_t u = indices[e];
+            coverage[u] += sign;
+            touched[t++] = u;
+        }
+    }
+}
+
 /* One election round over replicas [r_lo, r_hi).
  *
  * For each within-degree>0 node sub[s] and each replica r where that

@@ -18,6 +18,10 @@ Commands
     Run the coverage service: resident maintenance loop + query daemon
     (repro.service), with a built-in load generator and a metrics
     report on shutdown (SIGINT/SIGTERM drain gracefully).
+``repro kernels``
+    Show the kernel provider registry: which provider (native C /
+    numba / numpy) serves each hot entry point under the current
+    ``REPRO_KERNEL_BACKEND`` selection.
 ``repro experiment e1 [--scale full] [--seed 0] [--json out.json]``
     Run one of the E1-E23 experiments and print its report.
 ``repro report --out EXPERIMENTS.md --scale full``
@@ -141,6 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--json", dest="json_path", default=None,
                      help="also write the service metrics report as JSON "
                           "to this path")
+
+    ker = sub.add_parser("kernels",
+                         help="kernel provider registry status")
+    ker.add_argument("--json", dest="json_path", default=None,
+                     help="also write the provider status as JSON to "
+                          "this path")
 
     rep = sub.add_parser("report",
                          help="regenerate EXPERIMENTS.md from scratch")
@@ -409,6 +419,8 @@ def _cmd_serve(args) -> int:
         import json
         import pathlib
 
+        from repro.engine.dispatch import provider_status
+
         payload = {
             "config": {
                 "n": args.n, "k": args.k, "epochs": args.epochs,
@@ -419,9 +431,55 @@ def _cmd_serve(args) -> int:
             },
             "snapshot": final.describe(),
             "metrics": report,
+            "kernels": provider_status(),
         }
         pathlib.Path(args.json_path).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    """``repro kernels``: which provider serves each hot entry point.
+
+    The ops-facing face of :func:`repro.engine.dispatch.provider_status`
+    (the same dict lands in ``repro serve --json`` and
+    ``ExperimentReport.timing``): backend selection, native build
+    digest and thread count, numba availability, and per-entry provider
+    resolution.  A misconfigured ``REPRO_KERNEL_BACKEND`` exits 2 with
+    the registry's error instead of a traceback.
+    """
+    from repro.engine.dispatch import provider_status
+    from repro.errors import KernelBackendError
+
+    try:
+        status = provider_status()
+    except KernelBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    native = status["native"]
+    print(f"backend: {status['backend']}"
+          + (" (forced)" if status["forced"] else ""))
+    print(f"native: available={native['available']} "
+          f"digest={native['digest'] or '-'} threads={native['threads']}")
+    print(f"numba: available={status['numba']['available']}")
+    print()
+    rows = []
+    for entry, info in status["entry_points"].items():
+        rows.append((entry, info["provider"],
+                     "yes" if info["compiled"] else "no",
+                     "yes" if info["threaded"] else "no",
+                     info["min_size"],
+                     info.get("error", "")))
+    print(format_table(
+        ["entry point", "provider", "compiled", "threaded", "min size",
+         "error"], rows))
+    if args.json_path:
+        import json
+        import pathlib
+
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(status, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.json_path}")
     return 0
 
@@ -487,6 +545,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "visualize": _cmd_visualize,
         "dynamics": _cmd_dynamics,
         "serve": _cmd_serve,
+        "kernels": _cmd_kernels,
         "report": _cmd_report,
         "experiment": _cmd_experiment,
     }

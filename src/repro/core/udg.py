@@ -45,7 +45,8 @@ from repro.graphs.udg import UnitDiskGraph
 from repro.simulation.messages import Message
 from repro.simulation.node import NodeProcess
 from repro.simulation.rng import spawn_node_rngs
-from repro.simulation.vecrng import (GridReplicaStreams, _native_kernels,
+from repro.engine import dispatch
+from repro.simulation.vecrng import (GridReplicaStreams,
                                      materialize_bit_generator,
                                      node_stream_pool,
                                      replica_node_streams,
@@ -400,8 +401,9 @@ def _part_two_kernel_batch(art, leader: np.ndarray, k, streams,
     # The three ball walks run in C when available: same CSR segments,
     # same final planes, no million-pair expansion temporaries.  The
     # numpy path below is the specification they are pinned against.
-    native = _native_kernels()
-    use_native = (native is not None
+    ball_phase = dispatch.kernel("ball_phase")
+    ball_adopt = dispatch.kernel("ball_adopt")
+    use_native = (ball_phase is not None and ball_adopt is not None
                   and leader.flags.c_contiguous
                   and coverage.flags.c_contiguous
                   and coverage.dtype == np.int64)
@@ -439,7 +441,7 @@ def _part_two_kernel_batch(art, leader: np.ndarray, k, streams,
             # One fused walk: counts, actor classification, wholesale
             # (small-actor) adoption picks, and the big-actor event
             # list, with scratch re-zeroed through the touched list.
-            nb = native.ball_phase(
+            nb = ball_phase(
                 n, np.ascontiguousarray(rj), np.ascontiguousarray(dd),
                 ai, ax, live, leader.view(np.uint8), ks_row,
                 cnt_buf[:live.size], small_buf[:live.size],
@@ -501,10 +503,10 @@ def _part_two_kernel_batch(art, leader: np.ndarray, k, streams,
             nr * blocks + nv // (n // blocks),
             minlength=live.size * blocks).reshape(live.size, blocks)
         if use_native:
-            native.ball_adopt(n, np.ascontiguousarray(reps),
-                              np.ascontiguousarray(nv), ai, ax, coverage,
-                              leader.view(np.uint8),
-                              deficient.view(np.uint8), ks_row)
+            ball_adopt(n, np.ascontiguousarray(reps),
+                       np.ascontiguousarray(nv), ai, ax, coverage,
+                       leader.view(np.uint8),
+                       deficient.view(np.uint8), ks_row)
         else:
             rr, touched = kernels.scatter_cover_batch(coverage, art,
                                                       reps, nv)

@@ -125,8 +125,12 @@ def coverage_deficit_vector(art: GraphArtifacts, members: Iterable[NodeId],
     required = (np.full(art.n, k, dtype=np.int64) if isinstance(k, int)
                 else np.asarray([k_map[v] for v in art.nodes],
                                 dtype=np.int64))
-    member_idx = ([art.index[v] for v in member_set]
-                  if convention == "open" and member_set else None)
+    member_idx = None
+    if convention == "open" and member_set:
+        # As a boolean mask rather than an index list: the deficit
+        # kernel's compiled provider reads the mask plane directly.
+        member_idx = np.zeros(art.n, dtype=bool)
+        member_idx[[art.index[v] for v in member_set]] = True
     deficit = kernels.deficit_vector(art, counts, required,
                                      member_idx=member_idx)
     return deficit, art.nodes

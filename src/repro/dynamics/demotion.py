@@ -89,7 +89,7 @@ class SurplusDemotion:
             sorted(art.index[v] for v in state.members), dtype=np.int64)
         member_mask = np.zeros(n, dtype=bool)
         member_mask[member_idx] = True
-        counts = kernels.member_counts(art, state.members,
+        counts = kernels.member_counts(art, indicator=member_mask,
                                        convention="open")
         candidates = kernels.demotion_candidates(art, member_mask,
                                                  counts, k)

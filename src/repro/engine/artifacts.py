@@ -118,6 +118,7 @@ class GraphArtifacts:
         self._closed_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._open_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._closed_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._closed_idx32: Optional[np.ndarray] = None
         self._nodes_array: Optional[np.ndarray] = None
         _STATS["full_rebuilds"] += 1
 
@@ -175,6 +176,25 @@ class GraphArtifacts:
                 indices = np.zeros(0, dtype=np.int64)
             self._closed_arrays = (indptr, indices)
         return self._closed_arrays
+
+    def closed_csr_indices32(self) -> Optional[np.ndarray]:
+        """The :meth:`closed_csr_arrays` indices as a contiguous int32
+        copy, or ``None`` when the graph exceeds int32 indexing.
+
+        The compiled coverage matvec (:mod:`repro._native`) gathers
+        int32 column indices — half the index bandwidth of int64 on the
+        memory-bound inner loop.  Every node index fits int32 whenever
+        ``n < 2^31``, so the narrowing is lossless; cached here (and
+        dropped by every :class:`ArtifactDelta` patch) so the copy is
+        paid once per topology, not per matvec.
+        """
+        if self._closed_idx32 is None:
+            _, indices = self.closed_csr_arrays()
+            if self.n >= 2 ** 31 or indices.size >= 2 ** 31:
+                return None
+            self._closed_idx32 = np.ascontiguousarray(indices,
+                                                      dtype=np.int32)
+        return self._closed_idx32
 
     def nodes_array(self) -> np.ndarray:
         """Index-aligned int64 array of node ids (``nodes_array()[i]`` is
@@ -274,6 +294,7 @@ class ArtifactDelta:
         art._closed_pairs = None
         art._open_csr = None
         art._closed_arrays = None
+        art._closed_idx32 = None
         art._nodes_array = None
         self.patches += 1
         _STATS["delta_patches"] += 1
@@ -446,6 +467,21 @@ class StackedGraphs:
                 np.zeros(0, dtype=np.int64)
             self._closed_arrays = (indptr, indices)
         return self._closed_arrays
+
+    def closed_csr_indices32(self) -> Optional[np.ndarray]:
+        """The stacked CSR indices as a contiguous int32 copy (for the
+        compiled coverage matvec), or ``None`` past int32 indexing.
+        Cached in ``kernel_cache`` — stacks are immutable for their
+        lifetime, so no invalidation hook is needed."""
+        idx32 = self.kernel_cache.get("closed_idx32", False)
+        if idx32 is False:
+            _, indices = self.closed_csr_arrays()
+            if self.total >= 2 ** 31 or indices.size >= 2 ** 31:
+                idx32 = None
+            else:
+                idx32 = np.ascontiguousarray(indices, dtype=np.int32)
+            self.kernel_cache["closed_idx32"] = idx32
+        return idx32
 
     def closed_adjacency(self) -> sp.csr_matrix:
         """The stacked (block-diagonal) closed-adjacency CSR matrix."""

@@ -1,0 +1,224 @@
+"""Kernel provider registry: one dispatch surface for every hot kernel.
+
+Every hot entry point of the library — the RNG limb kernels
+(``seed_lanes`` / ``draw_masked``), the election scan (``elect_batch``),
+the Part II ball walks (``ball_phase`` / ``ball_adopt``) and the
+coverage plane (``member_counts`` / ``member_counts_batch`` /
+``deficit_vector`` / ``scatter_cover``) — resolves its implementation
+here instead of probing ``repro._native`` directly.  Three providers:
+
+- ``native`` — the compiled C kernels of :mod:`repro._native`
+  (slab-threaded, ``REPRO_NATIVE_THREADS``); serves every entry point.
+- ``numba`` — :mod:`repro.engine.numba_backend`, auto-registered when
+  numba is importable; serves the coverage plane (the RNG kernels need
+  128-bit limb arithmetic numba does not express).
+- ``numpy`` — the reference implementations living at the call sites.
+  Represented by ``impl = None``: a ``None`` from :func:`kernel` means
+  "run your own numpy path", which keeps the reference code exactly
+  where it documents the contract.
+
+``REPRO_KERNEL_BACKEND`` selects globally: ``auto`` (default) walks
+native → numba → numpy with per-entry minimum sizes (below which the
+compiled call costs more than the loop); ``numpy`` / ``native`` /
+``numba`` force one provider for every entry point it serves.  Forcing
+an *unavailable* provider raises :class:`~repro.errors.KernelBackendError`
+— never a silent fallback — while call-site applicability guards
+(contiguity, dtype, degree bounds) still apply, since they are
+correctness conditions, not preferences.  Every provider is bit-exact
+with the numpy reference (pinned by ``tests/test_dispatch.py``), so
+selection only ever changes speed.
+
+This registry is the architectural half of the numba/GPU roadmap item:
+a device backend is now an additive provider module — implement the
+entry-point shims, register here, and no call site changes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import KernelBackendError
+
+__all__ = [
+    "BACKENDS",
+    "ENTRY_POINTS",
+    "MIN_SIZE",
+    "backend",
+    "kernel",
+    "provider",
+    "provider_status",
+    "reset",
+]
+
+BACKENDS = ("auto", "native", "numba", "numpy")
+
+#: entry point -> auto-mode engagement threshold, in flat work items
+#: (lanes for the RNG kernels, replicas x candidates for the election,
+#: rows x replicas for the coverage matvec, touched entries for the
+#: scatter).  Below the threshold the numpy path wins on call overhead;
+#: forced backends bypass the thresholds (tests pin tiny shapes).
+MIN_SIZE: Dict[str, int] = {
+    "seed_lanes": 4096,
+    "draw_masked": 2048,
+    "elect_batch": 4096,
+    "ball_phase": 1,
+    "ball_adopt": 1,
+    "member_counts": 2048,
+    "member_counts_batch": 4096,
+    "deficit_vector": 4096,
+    "scatter_cover": 1,
+}
+
+ENTRY_POINTS = tuple(MIN_SIZE)
+
+#: Entries served by the numba provider (the coverage plane).
+_NUMBA_ENTRIES = frozenset({"member_counts", "member_counts_batch",
+                            "deficit_vector", "scatter_cover"})
+
+#: Entries whose native shim slab-threads (REPRO_NATIVE_THREADS); the
+#: ball walks and the frontier scatter are serial by design (their
+#: scatter targets overlap across work items).
+_THREADED_ENTRIES = frozenset({"seed_lanes", "draw_masked", "elect_batch",
+                               "member_counts", "member_counts_batch",
+                               "deficit_vector"})
+
+_numba_mod = None
+_numba_checked = False
+
+
+def _native_module():
+    """The native provider module, or None when unavailable.  The
+    compile/load probe is cached by :mod:`repro._native` itself (and
+    reset by its test fixtures), so no second cache here."""
+    from repro import _native
+    return _native if _native.available() else None
+
+
+def _numba_module():
+    global _numba_mod, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            from repro.engine import numba_backend
+            _numba_mod = numba_backend if numba_backend.available() else None
+        except Exception:
+            _numba_mod = None
+    return _numba_mod
+
+
+def reset() -> None:
+    """Forget the cached numba probe (test hook)."""
+    global _numba_mod, _numba_checked
+    _numba_mod, _numba_checked = None, False
+
+
+def backend() -> str:
+    """The selected backend name (``REPRO_KERNEL_BACKEND``, default
+    ``auto``).  Read per call, so tests and benchmarks flip providers
+    with one env var and no cache to invalidate."""
+    raw = os.environ.get("REPRO_KERNEL_BACKEND", "auto").strip().lower()
+    if raw not in BACKENDS:
+        raise KernelBackendError(
+            f"unknown kernel backend {raw!r} (from REPRO_KERNEL_BACKEND); "
+            f"expected one of {BACKENDS}")
+    return raw
+
+
+def provider(entry: str, size: Optional[int] = None
+             ) -> Tuple[str, Optional[Callable]]:
+    """Resolve ``(provider_name, impl)`` for one entry-point call.
+
+    ``impl is None`` means "use the numpy reference at the call site".
+    ``size`` is the call's flat work volume, compared against
+    ``MIN_SIZE`` in ``auto`` mode only (``None`` skips the gate — used
+    by introspection and forced call sites).  Forcing ``native`` or
+    ``numba`` while unavailable raises
+    :class:`~repro.errors.KernelBackendError`; a forced backend that
+    simply does not serve ``entry`` (numba outside the coverage plane)
+    yields the numpy reference, which is the only other bit-exact
+    implementation of that entry.
+    """
+    if entry not in MIN_SIZE:
+        raise KernelBackendError(
+            f"unknown kernel entry point {entry!r}; "
+            f"expected one of {ENTRY_POINTS}")
+    which = backend()
+    if which == "numpy":
+        return "numpy", None
+    if which == "native":
+        mod = _native_module()
+        if mod is None:
+            raise KernelBackendError(
+                "REPRO_KERNEL_BACKEND=native, but the compiled kernels are "
+                "unavailable on this host (no C compiler, failed build, or "
+                "REPRO_NATIVE=0); use 'auto' to fall back explicitly")
+        return "native", getattr(mod, entry)
+    if which == "numba":
+        mod = _numba_module()
+        if mod is None:
+            raise KernelBackendError(
+                "REPRO_KERNEL_BACKEND=numba, but numba is not importable "
+                "in this environment; install it or use 'auto'")
+        if entry not in _NUMBA_ENTRIES:
+            return "numpy", None
+        return "numba", getattr(mod, entry)
+    # auto: thresholded native -> numba -> numpy
+    if size is not None and size < MIN_SIZE[entry]:
+        return "numpy", None
+    mod = _native_module()
+    if mod is not None:
+        return "native", getattr(mod, entry)
+    if entry in _NUMBA_ENTRIES:
+        mod = _numba_module()
+        if mod is not None:
+            return "numba", getattr(mod, entry)
+    return "numpy", None
+
+
+def kernel(entry: str, size: Optional[int] = None) -> Optional[Callable]:
+    """The resolved implementation for ``entry`` (None = numpy path)."""
+    return provider(entry, size)[1]
+
+
+def provider_status() -> Dict[str, Any]:
+    """Runtime introspection of the registry, JSON-ready.
+
+    The dict behind ``repro kernels``, the ``kernels`` key of
+    ``repro serve --json`` and ``ExperimentReport.timing``: backend
+    selection, native build digest / thread count, numba availability,
+    and the provider each entry point resolves to for a large call.  A
+    forced-but-unavailable backend is reported per entry (provider
+    ``"unavailable"`` plus the error text) instead of raising, so the
+    status surface works exactly where the failure needs diagnosing.
+    """
+    from repro import _native
+
+    which = backend()
+    status: Dict[str, Any] = {
+        "backend": which,
+        "forced": which != "auto",
+        "native": {
+            "available": _native.available(),
+            "digest": _native.build_digest(),
+            "threads": _native.thread_count(),
+        },
+        "numba": {"available": _numba_module() is not None},
+        "entry_points": {},
+    }
+    for entry in ENTRY_POINTS:
+        try:
+            name, impl = provider(entry)
+            error = None
+        except KernelBackendError as exc:
+            name, impl, error = "unavailable", None, str(exc)
+        info: Dict[str, Any] = {
+            "provider": name,
+            "compiled": impl is not None,
+            "threaded": name == "native" and entry in _THREADED_ENTRIES,
+            "min_size": MIN_SIZE[entry],
+        }
+        if error is not None:
+            info["error"] = error
+        status["entry_points"][entry] = info
+    return status

@@ -40,11 +40,12 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from repro.engine import dispatch
 from repro.engine.artifacts import GraphArtifacts, StackedGraphs
-from repro.simulation.vecrng import _native_kernels
 
 __all__ = [
     "member_indicator",
+    "member_mask",
     "member_counts",
     "member_counts_batch",
     "member_counts_stacked",
@@ -68,13 +69,38 @@ __all__ = [
 # The coverage plane
 # ======================================================================
 
-def member_indicator(art: GraphArtifacts, members: Iterable) -> np.ndarray:
-    """Index-aligned 0/1 float vector of ``members`` (matvec-ready)."""
-    x = np.zeros(art.n, dtype=float)
+def member_mask(art: GraphArtifacts, members: Iterable) -> np.ndarray:
+    """Index-aligned boolean membership mask of ``members`` (the native
+    coverage kernels' operand; ``.astype(float)`` of it is exactly
+    :func:`member_indicator`)."""
+    mask = np.zeros(art.n, dtype=bool)
     idx = [art.index[v] for v in members]
     if idx:
-        x[idx] = 1.0
-    return x
+        mask[idx] = True
+    return mask
+
+
+def member_indicator(art: GraphArtifacts, members: Iterable) -> np.ndarray:
+    """Index-aligned 0/1 float vector of ``members`` (matvec-ready)."""
+    return member_mask(art, members).astype(float)
+
+
+def _counts_native(impl, indptr, idx32, mask: np.ndarray, n: int, R: int,
+                   convention: str) -> np.ndarray:
+    """Run a dispatched coverage-matvec provider over a boolean mask
+    plane.  ``mask`` is (n,) when R == 1, else (R, n); the batch shape
+    is handed to the kernel lane-interleaved ((n, R) uint8 — one
+    gathered row index serves all R lanes), which is where the batch
+    speedup comes from."""
+    open_conv = 1 if convention == "open" else 0
+    if R == 1:
+        xT = np.ascontiguousarray(mask).view(np.uint8)
+        out = np.empty(n, dtype=np.int64)
+    else:
+        xT = np.ascontiguousarray(mask.T).view(np.uint8)
+        out = np.empty((R, n), dtype=np.int64)
+    impl(n, R, indptr, idx32, xT, open_conv, out)
+    return out
 
 
 def member_counts(art: GraphArtifacts, members=None, *,
@@ -85,11 +111,28 @@ def member_counts(art: GraphArtifacts, members=None, *,
     ``A_closed @ x`` counts members in each closed neighborhood; the
     open convention subtracts the node's own membership indicator.
     Pass either a ``members`` iterable of node ids or a prebuilt
-    ``indicator`` vector (both is an error).  Returns int64.
+    ``indicator`` vector (both is an error); a *boolean* indicator (or
+    any ``members`` iterable) is eligible for the registry's compiled
+    providers (:mod:`repro.engine.dispatch`), which are bit-identical
+    to the scipy path — 0/1 row sums are exact small integers in any
+    accumulation order.  Returns int64.
     """
     if (members is None) == (indicator is None):
         raise ValueError("pass exactly one of members / indicator")
-    x = member_indicator(art, members) if indicator is None \
+    if indicator is None:
+        mask = member_mask(art, members)
+    else:
+        ind = np.asarray(indicator)
+        mask = ind if ind.dtype == np.bool_ else None
+    if mask is not None and mask.ndim == 1 and mask.size == art.n and art.n:
+        impl = dispatch.kernel("member_counts", art.n)
+        if impl is not None:
+            idx32 = art.closed_csr_indices32()
+            if idx32 is not None:
+                indptr, _ = art.closed_csr_arrays()
+                return _counts_native(impl, indptr, idx32, mask, art.n, 1,
+                                      convention)
+    x = mask.astype(float) if mask is not None \
         else np.asarray(indicator, dtype=float)
     counts = art.closed_adjacency().dot(x)
     if convention == "open":
@@ -109,17 +152,40 @@ def member_counts_batch(art: GraphArtifacts, members=None, *,
     row order as its matvec, and 0/1 float sums are exact), so row ``r``
     is bit-identical to the single-replica call.  Pass either a
     ``members`` sequence of per-replica member iterables or a prebuilt
-    ``indicators`` array (both is an error).
+    ``indicators`` array (both is an error).  Boolean indicators route
+    through the registry's compiled providers, whose 16-lane integer
+    accumulation computes the same exact counts (uint16 partial sums
+    are bounded by the closed degree; the kernel engages only while
+    ``Delta + 1 < 2^16``).
     """
     if (members is None) == (indicators is None):
         raise ValueError("pass exactly one of members / indicators")
     if indicators is None:
-        stacks = [member_indicator(art, ms) for ms in members]
-        x = np.stack(stacks) if stacks else np.zeros((0, art.n))
+        masks = [member_mask(art, ms) for ms in members]
+        mask = np.stack(masks) if masks \
+            else np.zeros((0, art.n), dtype=bool)
+    else:
+        arr = np.asarray(indicators)
+        mask = arr if arr.dtype == np.bool_ else None
+    if mask is not None:
+        if mask.ndim != 2:
+            raise ValueError(
+                f"indicators must be (replicas, n), got {mask.shape}")
+        R = mask.shape[0]
+        if R and art.n and art.delta_max + 1 < (1 << 16):
+            impl = dispatch.kernel("member_counts_batch", R * art.n)
+            if impl is not None:
+                idx32 = art.closed_csr_indices32()
+                if idx32 is not None:
+                    indptr, _ = art.closed_csr_arrays()
+                    return _counts_native(impl, indptr, idx32, mask,
+                                          art.n, R, convention)
+        x = mask.astype(float)
     else:
         x = np.asarray(indicators, dtype=float)
-    if x.ndim != 2:
-        raise ValueError(f"indicators must be (replicas, n), got {x.shape}")
+        if x.ndim != 2:
+            raise ValueError(
+                f"indicators must be (replicas, n), got {x.shape}")
     counts = art.closed_adjacency().dot(x.T).T
     if convention == "open":
         counts = counts - x
@@ -133,8 +199,33 @@ def deficit_vector(art: GraphArtifacts, counts: np.ndarray,
 
     ``member_idx`` (index array or boolean mask) zeroes the members'
     entries — under the open convention a dominator is never deficient.
+    A boolean-mask ``member_idx`` (or none) with int64 ``counts`` is
+    eligible for the registry's compiled providers — one fused pass
+    instead of three full-array ones, same exact integers.
     """
-    deficit = np.maximum(np.asarray(required, dtype=np.int64) - counts, 0)
+    req = np.asarray(required, dtype=np.int64)
+    mask = None
+    native_ok = (counts.ndim == 1 and counts.dtype == np.int64
+                 and counts.flags.c_contiguous and counts.size == art.n
+                 and art.n > 0)
+    if member_idx is not None:
+        mi = np.asarray(member_idx)
+        if mi.dtype == np.bool_ and mi.ndim == 1 and mi.size == art.n:
+            mask = mi
+        else:
+            native_ok = False
+    if native_ok and (req.ndim == 0
+                      or (req.ndim == 1 and req.size == art.n)):
+        impl = dispatch.kernel("deficit_vector", art.n)
+        if impl is not None:
+            out = np.empty(art.n, dtype=np.int64)
+            req_vec = None if req.ndim == 0 else np.ascontiguousarray(req)
+            members = None if mask is None \
+                else np.ascontiguousarray(mask).view(np.uint8)
+            impl(counts, req_vec, 0 if req.ndim else int(req), members,
+                 out)
+            return out
+    deficit = np.maximum(req - counts, 0)
     if member_idx is not None:
         deficit[member_idx] = 0
     return deficit
@@ -177,10 +268,23 @@ def scatter_cover(coverage: np.ndarray, art: GraphArtifacts,
 
     The incremental-frontier primitive: after a batch of promotions only
     the returned ball can change deficiency, so callers refresh exactly
-    those entries instead of rescanning all ``n`` nodes.
+    those entries instead of rescanning all ``n`` nodes.  An int64
+    C-contiguous coverage plane routes through the registry's compiled
+    providers — the same CSR segments in the same order, so the touched
+    list and every increment are identical to the numpy path.
     """
     if len(promoted_idx) == 0:
         return np.zeros(0, dtype=np.int64)
+    if (coverage.ndim == 1 and coverage.dtype == np.int64
+            and coverage.flags.c_contiguous):
+        impl = dispatch.kernel("scatter_cover", len(promoted_idx))
+        if impl is not None:
+            indptr, indices = art.closed_csr_arrays()
+            pi = np.ascontiguousarray(promoted_idx, dtype=np.int64)
+            total = int((indptr[pi + 1] - indptr[pi]).sum())
+            touched = np.empty(total, dtype=np.int64)
+            impl(pi, indptr, indices, int(sign), coverage, touched)
+            return touched
     touched = np.concatenate([art.closed_nbrs[i] for i in promoted_idx])
     np.add.at(coverage, touched, sign)
     return touched
@@ -443,13 +547,13 @@ def elect_round_batch(indptr: np.ndarray, src: np.ndarray, nbr: np.ndarray,
 
     # --- lanes with candidates: 2-D segment-reduced argmax -----------
     if sub.size and R:
-        native = _native_kernels()
-        if native is not None and R * sub.size >= 4096:
+        impl = dispatch.kernel("elect_batch", R * sub.size)
+        if impl is not None:
             # One C scan per (replica, candidate node): reads active
             # lanes' ids directly, so inactive candidates are skipped
             # rather than zeroed — same election, no (R, m_w) planes.
             act = np.ascontiguousarray(active)
-            native.elect_batch(
+            impl(
                 R, n, sub, starts,
                 np.ascontiguousarray(deg_sub),
                 np.ascontiguousarray(nbr_w, dtype=np.int64),
@@ -537,12 +641,27 @@ def member_counts_stacked(stack: StackedGraphs, *,
     partial sum is a small integer (bounded by the largest closed
     degree, far below float32's 2^24 exact-integer range), so running
     the mat-mat in float32 — half the memory traffic of the per-graph
-    float64 matvecs — produces the same int64 counts.
+    float64 matvecs — produces the same int64 counts.  Boolean
+    indicators route through the registry's compiled providers over the
+    stacked CSR (a block-diagonal CSR is just a CSR), same exact
+    integers again.
     """
-    x = np.asarray(indicators, dtype=np.float32)
-    if x.ndim != 2 or x.shape[1] != stack.total:
+    arr = np.asarray(indicators)
+    if arr.ndim != 2 or arr.shape[1] != stack.total:
         raise ValueError(
-            f"indicators must be (replicas, {stack.total}), got {x.shape}")
+            f"indicators must be (replicas, {stack.total}), got {arr.shape}")
+    R = arr.shape[0]
+    if (arr.dtype == np.bool_ and R and stack.total
+            and max((a.delta_max for a in stack.artifacts), default=0) + 1
+            < (1 << 16)):
+        impl = dispatch.kernel("member_counts_batch", R * stack.total)
+        if impl is not None:
+            idx32 = stack.closed_csr_indices32()
+            if idx32 is not None:
+                indptr, _ = stack.closed_csr_arrays()
+                return _counts_native(impl, indptr, idx32, arr,
+                                      stack.total, R, convention)
+    x = arr.astype(np.float32)
     adj = stack.kernel_cache.get("adj32")
     if adj is None:
         adj = stack.closed_adjacency().astype(np.float32)

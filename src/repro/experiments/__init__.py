@@ -98,7 +98,13 @@ def run_experiment(experiment_id: str, *, scale: str = "quick",
 
         if "replicas" in inspect.signature(fn).parameters:
             kwargs["replicas"] = replicas
-    return fn(**kwargs)
+    report = fn(**kwargs)
+    # Stamp which kernel providers served the run — timings are not
+    # comparable across providers, so reports carry their provenance.
+    from repro.engine.dispatch import provider_status
+
+    report.timing.setdefault("kernels", provider_status())
+    return report
 
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment"]

@@ -105,8 +105,7 @@ class EpochSnapshot:
         idx = [art.index[v] for v in state.members if v in art.index]
         if idx:
             mask[idx] = True
-        counts = member_counts(art, indicator=mask.astype(float),
-                               convention="open")
+        counts = member_counts(art, indicator=mask, convention="open")
         deficit = deficit_vector(art, counts, k, member_idx=mask)
         return cls(epoch=epoch, k=k, nodes=nodes, indptr=indptr,
                    indices=indices, member_mask=mask, coverage=counts,

@@ -114,25 +114,18 @@ def materialize_bit_generator() -> np.random.PCG64:
     """
     return np.random.PCG64(_MATERIALIZE_SS)
 
-#: Optional compiled kernels (repro._native), resolved lazily on first
-#: masked draw: a single C loop replaces the ~30 full-array passes of
-#: the limb pipeline for the batched hot path.  Bit-exact with the
-#: NumPy path (pinned by tests) and absent without a C compiler.
-_native_mod = None
-_native_checked = False
+def _dispatch():
+    """The kernel provider registry (:mod:`repro.engine.dispatch`).
 
-
-def _native_kernels():
-    global _native_mod, _native_checked
-    if not _native_checked:
-        _native_checked = True
-        try:
-            from repro import _native
-            if _native.available():
-                _native_mod = _native
-        except Exception:
-            _native_mod = None
-    return _native_mod
+    Imported lazily inside the function: this module sits below the
+    engine package in the import graph (``engine.kernels`` and the
+    backends import it), so a top-level import would be circular.  One
+    compiled C loop replaces the ~30 full-array passes of the limb
+    pipeline on the batched hot paths; bit-exact with the NumPy paths
+    (pinned by tests) and absent without a C compiler.
+    """
+    from repro.engine import dispatch
+    return dispatch
 
 
 # ----------------------------------------------------------------------
@@ -312,8 +305,8 @@ def _seed_limbs_multi(seeds: Sequence, n: int):
     if not len(seeds):
         z = np.zeros(0, dtype=np.uint64)
         return z, z.copy(), z.copy(), z.copy()
-    native = _native_kernels()
-    if native is not None and len(seeds) * n >= 4096:
+    seed_lanes = _dispatch().kernel("seed_lanes", len(seeds) * n)
+    if seed_lanes is not None:
         R = len(seeds)
         pool4 = np.empty((R, 4), dtype=np.uint32)
         hcs = np.empty(R, dtype=np.uint32)
@@ -326,7 +319,7 @@ def _seed_limbs_multi(seeds: Sequence, n: int):
         il = np.empty(total, dtype=np.uint64)
         sh = np.empty(total, dtype=np.uint64)
         sl = np.empty(total, dtype=np.uint64)
-        native.seed_lanes(pool4, hcs, R, n, ih, il, sh, sl)
+        seed_lanes(pool4, hcs, R, n, ih, il, sh, sl)
         return ih, il, sh, sl
     pools = [_spawn_pools(int(np.random.SeedSequence(s).entropy), n)
              for s in seeds]
@@ -492,8 +485,8 @@ class _LaneEngine:
                 or not out.flags.c_contiguous):
             raise ValueError(
                 "out must be a C-contiguous int64 buffer of mask.size")
-        native = _native_kernels()
-        if native is not None and mask.size >= 2048:
+        draw_masked = _dispatch().kernel("draw_masked", mask.size)
+        if draw_masked is not None:
             if self._materialized:
                 owned = [i for i in self._materialized if mask[i]]
                 if owned:
@@ -501,7 +494,7 @@ class _LaneEngine:
                         f"lanes {owned[:5]} are owned by materialized "
                         "generators; vector draws would desynchronize "
                         "them")
-            native.draw_masked(
+            draw_masked(
                 self._sh, self._sl, self._ih, self._il,
                 mask.view(np.uint8),
                 None if need is None else

@@ -339,8 +339,7 @@ class TestMaskedDraws:
 class TestNativeEquality:
     @pytest.fixture
     def numpy_only(self, monkeypatch):
-        monkeypatch.setattr(vecrng, "_native_mod", None)
-        monkeypatch.setattr(vecrng, "_native_checked", True)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
 
     def test_masked_draw_bit_equal(self, monkeypatch):
         # 2048+ lanes engages the compiled kernel when present.  Run the
@@ -362,8 +361,7 @@ class TestNativeEquality:
             return first[mask & need].tolist(), second.tolist()
 
         native = run()
-        monkeypatch.setattr(vecrng, "_native_mod", None)
-        monkeypatch.setattr(vecrng, "_native_checked", True)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
         assert run() == native
 
     def test_seeding_bit_equal(self, monkeypatch):
@@ -374,8 +372,7 @@ class TestNativeEquality:
             return vecrng._seed_limbs_multi(seeds, n)
 
         native = limbs()
-        monkeypatch.setattr(vecrng, "_native_mod", None)
-        monkeypatch.setattr(vecrng, "_native_checked", True)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
         for a, b in zip(native, limbs()):
             assert np.array_equal(a, b)
 
@@ -397,8 +394,6 @@ class TestNativeDegradation:
         from repro import _native
         monkeypatch.setattr(_native, "_lib", None)
         monkeypatch.setattr(_native, "_tried", False)
-        monkeypatch.setattr(vecrng, "_native_mod", None)
-        monkeypatch.setattr(vecrng, "_native_checked", False)
         return _native
 
     @staticmethod
