@@ -195,6 +195,16 @@ def lib() -> ctypes.CDLL | None:
         cdll.repro_scatter_cover.argtypes = [
             ctypes.c_int64, i64p, i64p, i64p, ctypes.c_int64, i64p, i64p]
         cdll.repro_scatter_cover.restype = None
+        f64p = ctypes.POINTER(ctypes.c_double)
+        cdll.repro_inbox_reduce.argtypes = [
+            i64p, f64p, u8p, f64p, ctypes.c_int64, ctypes.c_int64, f64p]
+        cdll.repro_inbox_reduce.restype = None
+        cdll.repro_state_scatter_f64.argtypes = [
+            i64p, f64p, ctypes.c_int64, ctypes.c_int64, f64p]
+        cdll.repro_state_scatter_f64.restype = None
+        cdll.repro_state_scatter_u8.argtypes = [
+            i64p, u8p, ctypes.c_int64, ctypes.c_int64, u8p]
+        cdll.repro_state_scatter_u8.restype = None
     except (OSError, AttributeError):
         return None
     _lib = cdll
@@ -461,6 +471,58 @@ def deficit_vector(counts, req_vec, req_scalar: int, members, out) -> None:
                            ctypes.c_int64(hi), outp)
 
     _run_slabs(call, counts.size)
+
+
+def inbox_reduce(indptr, values, mask, init, out) -> None:
+    """Native columnar inbox reduction; see repro_inbox_reduce.
+
+    ``indptr`` is the receiver-major CSR row pointer (``out.size + 1``
+    entries), ``values``/``mask`` per-edge columns, ``init`` the
+    per-row starting term (the node's own contribution).  Rows are the
+    slab axis; each row is written exactly once, so any thread count is
+    bit-identical to the single pass."""
+    cdll = lib()
+    assert cdll is not None
+    n = out.size
+    indptrp = _ptr(indptr, ctypes.c_int64)
+    vp = _ptr(values, ctypes.c_double)
+    mp = _ptr(mask, ctypes.c_uint8)
+    ip = _ptr(init, ctypes.c_double)
+    outp = _ptr(out, ctypes.c_double)
+
+    def call(lo: int, hi: int) -> None:
+        cdll.repro_inbox_reduce(indptrp, vp, mp, ip, ctypes.c_int64(lo),
+                                ctypes.c_int64(hi), outp)
+
+    avg_deg = max(1, values.size // max(1, n))
+    _run_slabs(call, n, min_slab=max(1, _MIN_ROW_SLAB // avg_deg))
+
+
+def state_scatter(idx, values, out) -> None:
+    """Native permutation gather ``out[i] = values[idx[i]]``; see
+    repro_state_scatter_{f64,u8}.  Dispatches on the value dtype
+    (float64 payload columns, uint8 delivery masks); the edge axis is
+    the slab axis and every slot is written once, so any thread count
+    is bit-identical."""
+    cdll = lib()
+    assert cdll is not None
+    idxp = _ptr(idx, ctypes.c_int64)
+    if values.dtype.itemsize == 1:
+        vp = _ptr(values, ctypes.c_uint8)
+        outp = _ptr(out, ctypes.c_uint8)
+
+        def call(lo: int, hi: int) -> None:
+            cdll.repro_state_scatter_u8(idxp, vp, ctypes.c_int64(lo),
+                                        ctypes.c_int64(hi), outp)
+    else:
+        vp = _ptr(values, ctypes.c_double)
+        outp = _ptr(out, ctypes.c_double)
+
+        def call(lo: int, hi: int) -> None:
+            cdll.repro_state_scatter_f64(idxp, vp, ctypes.c_int64(lo),
+                                         ctypes.c_int64(hi), outp)
+
+    _run_slabs(call, idx.size)
 
 
 def scatter_cover(promoted, indptr, indices, sign: int, coverage,

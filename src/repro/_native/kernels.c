@@ -417,3 +417,44 @@ void repro_elect_batch(int64_t n, int64_t S,
         }
     }
 }
+
+/* Columnar inbox reduction over one receiver-major CSR slab.
+ *
+ * Row i accumulates out[i] = init[i] + sum over its incoming edges e of
+ * (mask[e] ? values[e] : 0.0), strictly left to right.  The masked-out
+ * term is added as +0.0 rather than skipped so this loop performs the
+ * exact same float-add sequence as the column-wise NumPy reference
+ * (which adds a zeroed vector term per inbox position): the two are
+ * bit-identical on every input, not just on the protocol's value
+ * domains.  Each row is written exactly once, so any slab partition
+ * over rows is bit-identical to the single-threaded pass.
+ */
+void repro_inbox_reduce(const int64_t *indptr, const double *values,
+                        const uint8_t *mask, const double *init,
+                        int64_t lo, int64_t hi, double *out)
+{
+    for (int64_t i = lo; i < hi; ++i) {
+        double acc = init[i];
+        for (int64_t e = indptr[i]; e < indptr[i + 1]; ++e)
+            acc += mask[e] ? values[e] : 0.0;
+        out[i] = acc;
+    }
+}
+
+/* Permutation gather: out[i] = values[idx[i]] over the slab [lo, hi).
+ * Pure gather (each out slot written once), so any slab partition is
+ * bit-identical; used to flip per-edge columns between sender-major
+ * and receiver-major order in the columnar protocol plane. */
+void repro_state_scatter_f64(const int64_t *idx, const double *values,
+                             int64_t lo, int64_t hi, double *out)
+{
+    for (int64_t i = lo; i < hi; ++i)
+        out[i] = values[idx[i]];
+}
+
+void repro_state_scatter_u8(const int64_t *idx, const uint8_t *values,
+                            int64_t lo, int64_t hi, uint8_t *out)
+{
+    for (int64_t i = lo; i < hi; ++i)
+        out[i] = values[idx[i]];
+}

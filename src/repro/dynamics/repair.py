@@ -163,7 +163,8 @@ class LocalPatchRepair(RepairPolicy):
 
     def __init__(self, selection_policy: str = "random", *,
                  transport: str = "analytic", loss_rate: float = 0.0,
-                 patience: int = 3, max_iterations: int | None = None):
+                 patience: int = 3, max_iterations: int | None = None,
+                 reference_protocols: bool = False):
         if selection_policy not in SELECTION_POLICIES:
             raise GraphError(
                 f"unknown selection policy {selection_policy!r}; "
@@ -184,6 +185,10 @@ class LocalPatchRepair(RepairPolicy):
         self.loss_rate = float(loss_rate)
         self.patience = int(patience)
         self.max_iterations = max_iterations
+        #: Drive the patch protocol through the per-node generator loop
+        #: instead of the columnar stepping plane (the bit-identity
+        #: oracle; see ``run_protocol(..., reference_protocols=True)``).
+        self.reference_protocols = bool(reference_protocols)
         # The sharded loop runs one repair call per damage unit; the
         # message transport spins up a simulator instance per call, so
         # only the analytic transport participates in sharding.
@@ -324,7 +329,8 @@ class LocalPatchRepair(RepairPolicy):
         run_instr = Instrumentation(instr.size_model)
         stats = run_protocol(net, max_rounds=3 * max_iterations + 6,
                              injectors=injectors,
-                             instrumentation=run_instr)
+                             instrumentation=run_instr,
+                             reference_protocols=self.reference_protocols)
         instr.absorb(stats)
 
         outcome.promoted = {p.node_id for p in processes if p.promoted}

@@ -74,7 +74,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
             delay_seed: int | None = None,
             injectors: Iterable = (),
             legacy_transport: bool = False,
-            reference_direct: bool = False):
+            reference_direct: bool = False,
+            reference_protocols: bool = False):
     """Run ``program`` on the backend selected by ``mode``.
 
     Parameters
@@ -112,6 +113,12 @@ def execute(program: RoundProgram, mode: str = "direct", *,
         its vectorized kernels.  Ignored by the message-passing backends.
         The kernel default is pinned bit-for-bit against it by the
         kernel-vs-reference suite in ``tests/test_mode_equivalence.py``.
+    reference_protocols:
+        Run the ``message`` backend on the per-node generator loop even
+        for stock protocols, skipping the columnar protocol stepping
+        plane (:mod:`repro.simulation.columnar`).  Ignored by the other
+        backends.  The batched plane is pinned bit-for-bit against this
+        oracle by ``tests/test_transport_equivalence.py``.
     """
     backend = resolve_backend(mode)
     seed = validate_seed(seed)
@@ -146,7 +153,8 @@ def execute(program: RoundProgram, mode: str = "direct", *,
 
         stats = run_protocol(net, max_rounds=program.max_rounds(),
                              injectors=injectors,
-                             legacy_transport=legacy_transport)
+                             legacy_transport=legacy_transport,
+                             reference_protocols=reference_protocols)
     else:
         if backend == "async":
             from repro.simulation.asynchrony import run_protocol_async as runner

@@ -4,8 +4,10 @@ Every hot entry point of the library — the RNG limb kernels
 (``seed_lanes`` / ``draw_masked``), the election scan (``elect_batch``),
 the Part II ball walks (``ball_phase`` / ``ball_adopt``) and the
 coverage plane (``member_counts`` / ``member_counts_batch`` /
-``deficit_vector`` / ``scatter_cover``) — resolves its implementation
-here instead of probing ``repro._native`` directly.  Three providers:
+``deficit_vector`` / ``scatter_cover``) and the columnar protocol
+plane's round reductions (``inbox_reduce`` / ``state_scatter``) —
+resolves its implementation here instead of probing ``repro._native``
+directly.  Three providers:
 
 - ``native`` — the compiled C kernels of :mod:`repro._native`
   (slab-threaded, ``REPRO_NATIVE_THREADS``); serves every entry point.
@@ -68,6 +70,8 @@ MIN_SIZE: Dict[str, int] = {
     "member_counts_batch": 4096,
     "deficit_vector": 4096,
     "scatter_cover": 1,
+    "inbox_reduce": 2048,
+    "state_scatter": 4096,
 }
 
 ENTRY_POINTS = tuple(MIN_SIZE)
@@ -81,7 +85,8 @@ _NUMBA_ENTRIES = frozenset({"member_counts", "member_counts_batch",
 #: scatter targets overlap across work items).
 _THREADED_ENTRIES = frozenset({"seed_lanes", "draw_masked", "elect_batch",
                                "member_counts", "member_counts_batch",
-                               "deficit_vector"})
+                               "deficit_vector", "inbox_reduce",
+                               "state_scatter"})
 
 _numba_mod = None
 _numba_checked = False

@@ -21,13 +21,18 @@ from repro.simulation.network import SynchronousNetwork
 from repro.simulation.runner import run_protocol
 
 
-def _run_with_loss(udg, k: int, loss: float, seed: int):
+def _run_with_loss(udg, k: int, loss: float, seed: int, *,
+                   reference_protocols: bool = False):
+    """One lossy Algorithm 3 run; ``reference_protocols=True`` drives the
+    per-node generator loop instead of the columnar stepping plane (the
+    bit-identity oracle the experiment tests compare against)."""
     n = udg.n
     procs = [UDGNode(v, k, n, "random", n + 1) for v in range(n)]
     net = SynchronousNetwork(udg, procs, seed=seed)
     injector = MessageLossInjector(loss, seed=seed + 1)
     run_protocol(net, injectors=[injector],
-                 max_rounds=2 * len(theta_schedule(n)) + 3 * (n + 1) + 8)
+                 max_rounds=2 * len(theta_schedule(n)) + 3 * (n + 1) + 8,
+                 reference_protocols=reference_protocols)
     return {p.node_id for p in procs if p.leader}
 
 

@@ -1,0 +1,436 @@
+"""Columnar protocol stepping plane: whole-round batched execution.
+
+:func:`repro.simulation.runner.run_protocol` steps every node's
+generator in Python each round; for the stock protocols that loop is
+pure data-parallel work wearing a coroutine costume.  This module runs
+the *same* rounds as array programs: one stepper per protocol class
+(registered in :data:`_STEPPER_FACTORIES` by
+:mod:`repro.simulation.steppers`) advances all lanes at once, inbox
+loops become CSR segment-reductions dispatched through
+:mod:`repro.engine.dispatch` (``inbox_reduce`` / ``state_scatter``),
+and the fault injectors are emulated on flat edge arrays.
+
+The contract is **bit-identity** with the per-node path (pinned by
+``tests/test_transport_equivalence.py``): same protocol state, same
+:class:`~repro.types.RunStats`, same loss-injector RNG consumption.
+The invariants that make that possible:
+
+- **lane order** — lanes are the id-sorted node order
+  (:func:`_stable_sorted`), the runner's advance order, so enqueue
+  order and per-inbox sender order match the per-node path exactly;
+- **edge-array traffic** — a round's sends are ``(esrc, edst)`` lane
+  arrays in enqueue order.  Record boundaries never matter to the
+  built-in injectors: the crash filter is edge-wise, and the loss
+  injector's single ``rng.random(total)`` draw covers exactly the
+  edges surviving earlier filters, in enqueue order — the same
+  sequence the per-node path's ``filter_batch`` sees;
+- **per-round single class** — every stock protocol sends one message
+  class per round, so bit accounting is one
+  ``Instrumentation.payload_class(sample, delivered)`` call, exactly
+  what :meth:`RoundBatch.deliver`'s per-class tally produces.
+
+Eligibility is decided *before* any injector state is touched
+(:func:`resolve_stepper`): homogeneous processes of a registered exact
+type, only built-in injector types, no trace, no strict bit budget.
+Anything else — exotic protocol subclasses, third-party
+``filter_messages`` injectors — returns ``None`` and the runner falls
+back to the per-node loop automatically.  The per-node path also
+remains directly reachable via ``run_protocol(...,
+reference_protocols=True)`` / ``execute(..., reference_protocols=True)``
+as the reference oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.engine import dispatch
+from repro.engine.artifacts import _stable_sorted
+from repro.engine.instrumentation import Instrumentation
+from repro.errors import SimulationError
+from repro.simulation.faults import (CrashFaultInjector, FaultInjector,
+                                     MessageLossInjector)
+
+__all__ = [
+    "ColumnarStepper",
+    "MessagePlan",
+    "RoundTraffic",
+    "inbox_reduce",
+    "plan_for",
+    "register_stepper",
+    "resolve_stepper",
+    "run_columnar",
+    "take",
+    "try_columnar",
+]
+
+
+# ----------------------------------------------------------------------
+# Dispatched reductions (numpy references live here, at the call site)
+# ----------------------------------------------------------------------
+
+def inbox_reduce(indptr: np.ndarray, values: np.ndarray, mask: np.ndarray,
+                 init: np.ndarray) -> np.ndarray:
+    """Per-row masked inbox sum: ``out[i] = init[i] + sum of
+    (mask[e] ? values[e] : 0.0) over row i``, strictly left to right.
+
+    ``indptr`` is a receiver-major CSR row pointer; each row is one
+    lane's inbox in sender order.  The masked-out term is *added as
+    +0.0* rather than skipped, so the native kernel and this numpy
+    reference perform the identical float-add sequence — bit-equal on
+    every input.  (The protocols' own skip-the-absent-sender semantics
+    coincide with the +0.0 add because no accumulated value is ever
+    ``-0.0``; each stepper documents that argument where it applies.)
+    """
+    out = np.empty(indptr.size - 1, dtype=np.float64)
+    impl = dispatch.kernel("inbox_reduce", int(values.size))
+    if impl is not None:
+        impl(indptr, values, np.ascontiguousarray(mask, dtype=np.uint8),
+             np.ascontiguousarray(init, dtype=np.float64), out)
+        return out
+    # numpy reference: column-wise jagged accumulation — inbox position
+    # j of every row is added at step j, i.e. the same left-to-right
+    # per-row order as the C kernel's inner loop.
+    out[:] = init
+    if values.size:
+        vals = np.where(mask != 0, values, 0.0)
+        deg = np.diff(indptr)
+        starts = indptr[:-1]
+        rows = np.arange(indptr.size - 1)
+        for j in range(int(deg.max())):
+            sel = deg > j
+            out[rows[sel]] += vals[starts[sel] + j]
+    return out
+
+
+def take(values: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Permutation gather ``values[idx]`` through the ``state_scatter``
+    dispatch entry (float64 payload columns and uint8 masks go native;
+    anything else uses ``np.take``, which is the same pure gather)."""
+    out = np.empty(idx.size, dtype=values.dtype)
+    impl = dispatch.kernel("state_scatter", int(idx.size))
+    if impl is not None and values.dtype.itemsize in (1, 8) and \
+            values.dtype.kind in "fu" and values.flags.c_contiguous:
+        impl(idx, values, out)
+    else:
+        np.take(values, idx, out=out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Lane-space topology
+# ----------------------------------------------------------------------
+
+class MessagePlan:
+    """Static lane-space topology for one columnar run.
+
+    Lanes are the id-sorted node order.  The open adjacency is held
+    twice: sender-major (``esrc`` / ``edst`` / ``indptr``, row = one
+    lane's broadcast fan-out in stable neighbor order — the enqueue
+    order of a full-broadcast round) and receiver-major (``rperm``
+    gathers a sender-major per-edge column into inbox order;
+    ``rindptr`` rows are per-lane inboxes with senders ascending,
+    because the stable argsort preserves the sender-major order among
+    equal destinations).
+    """
+
+    def __init__(self, network):
+        self.nodes: List = _stable_sorted(network.processes)
+        self.lane_of: Dict = {v: i for i, v in enumerate(self.nodes)}
+        n = self.n = len(self.nodes)
+        deg = np.empty(n, dtype=np.int64)
+        chunks = []
+        lane_of = self.lane_of
+        for i, v in enumerate(self.nodes):
+            nbrs = network.sorted_neighbors(v)
+            deg[i] = len(nbrs)
+            chunks.append(np.fromiter((lane_of[w] for w in nbrs),
+                                      dtype=np.int64, count=len(nbrs)))
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=self.indptr[1:])
+        self.deg = deg
+        self.edst = (np.concatenate(chunks) if chunks
+                     else np.zeros(0, dtype=np.int64))
+        self.esrc = np.repeat(np.arange(n, dtype=np.int64), deg)
+        self.E = int(self.indptr[-1])
+        # Receiver-major view of the same edge set.
+        self.rperm = np.argsort(self.edst, kind="stable")
+        self.rsrc = self.esrc[self.rperm]
+        self.rindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self.edst, minlength=n), out=self.rindptr[1:])
+        self.rdst = np.repeat(np.arange(n, dtype=np.int64),
+                              np.diff(self.rindptr))
+
+    def to_receiver(self, column: np.ndarray) -> np.ndarray:
+        """Reorder a sender-major per-edge column into inbox order."""
+        return take(column, self.rperm)
+
+
+def plan_for(network) -> MessagePlan:
+    """The network's :class:`MessagePlan`, cached on its graph artifacts.
+
+    The plan is pure topology (the network carries exactly one process
+    per graph node, so the lane set and order are determined by the
+    graph alone) and every stepper treats it as read-only, so repeated
+    runs on the same graph — sweeps, benchmarks, the repair loop —
+    share one build.  The artifact version token invalidates the cache
+    whenever the graph is patched or mutated in place.
+    """
+    artifacts = getattr(network, "_artifacts", None)
+    if artifacts is None:
+        return MessagePlan(network)
+    cached = getattr(artifacts, "_message_plan", None)
+    if cached is not None and cached[0] == artifacts.version:
+        return cached[1]
+    plan = MessagePlan(network)
+    artifacts._message_plan = (artifacts.version, plan)
+    return plan
+
+
+class RoundTraffic:
+    """One round's emitted traffic in edge-array form.
+
+    ``esrc`` / ``edst`` are lane indices in enqueue order; ``alive0``
+    optionally masks edges whose record was never emitted (non-sending
+    lanes on a shared full-broadcast edge set) — those edges are
+    invisible to the injectors, as opposed to *dropped* by them.
+    ``sample`` is one message instance of the round's (single) class,
+    used for per-class bit accounting.
+    """
+
+    __slots__ = ("sample", "esrc", "edst", "alive0")
+
+    def __init__(self, sample, esrc: np.ndarray, edst: np.ndarray,
+                 alive0: Optional[np.ndarray] = None):
+        self.sample = sample
+        self.esrc = esrc
+        self.edst = edst
+        self.alive0 = alive0
+
+
+class ColumnarStepper:
+    """Base class for per-protocol batched steppers.
+
+    A stepper owns all protocol state as lane-indexed arrays and
+    replays one runner *advance* per :meth:`advance` call: consume the
+    previous round's delivery mask, mutate state, emit this round's
+    traffic, and report the lanes whose generators would have raised
+    ``StopIteration``.  Crashed lanes are frozen via :meth:`crash` and
+    must never advance again.
+    """
+
+    def __init__(self, network, plan: MessagePlan):
+        self.network = network
+        self.plan = plan
+        self.procs = [network.processes[v] for v in plan.nodes]
+        self._rngs: Optional[List[np.random.Generator]] = None
+
+    @property
+    def rngs(self) -> List[np.random.Generator]:
+        """Per-lane node RNG streams, materialized on first draw (so
+        deterministic protocols never pay the O(n) spawn)."""
+        if self._rngs is None:
+            rngs = self.network.rngs
+            self._rngs = [rngs[v] for v in self.plan.nodes]
+        return self._rngs
+
+    def crash(self, lane: int) -> None:
+        raise NotImplementedError
+
+    def advance(self, round_index: int, alive_prev: Optional[np.ndarray]
+                ) -> Tuple[Optional[RoundTraffic], Sequence[int]]:
+        """Advance every live lane one round.
+
+        ``alive_prev`` is the surviving-edge mask over the traffic this
+        stepper emitted *last* round (None on round 0 / empty rounds).
+        Returns ``(traffic, finished_lanes)``.
+        """
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Write final lane state back onto the process objects."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Stepper registry and eligibility
+# ----------------------------------------------------------------------
+
+#: Exact process type -> factory(network, injectors) -> stepper | None.
+_STEPPER_FACTORIES: Dict[Type, Callable] = {}
+
+#: Injector types whose effect the columnar loop emulates exactly.
+#: Anything else (third-party ``filter_messages`` subclasses included)
+#: makes the run ineligible — checked by *exact* type, so subclasses
+#: of the built-ins also fall back.
+_BUILTIN_INJECTORS = (CrashFaultInjector, MessageLossInjector)
+
+
+def register_stepper(proc_type: Type):
+    """Class/function decorator registering a stepper factory for one
+    exact protocol-node type."""
+    def deco(factory):
+        _STEPPER_FACTORIES[proc_type] = factory
+        return factory
+    return deco
+
+
+def resolve_stepper(network, injectors: Sequence[FaultInjector]
+                    ) -> Optional[ColumnarStepper]:
+    """Build a stepper for this run, or None to use the per-node loop.
+
+    Every check here reads types and static configuration only — no
+    injector RNG or crash state is touched, so a None (fallback) is
+    side-effect free.
+    """
+    from repro.simulation import steppers  # noqa: F401  (registers)
+
+    procs = network.processes
+    if not procs:
+        return None
+    ptype = type(next(iter(procs.values())))
+    factory = _STEPPER_FACTORIES.get(ptype)
+    if factory is None:
+        return None
+    if any(type(p) is not ptype for p in procs.values()):
+        return None
+    if any(type(inj) not in _BUILTIN_INJECTORS for inj in injectors):
+        return None
+    if network.strict_message_bits is not None:
+        return None
+    return factory(network, injectors)
+
+
+# ----------------------------------------------------------------------
+# The batched round loop
+# ----------------------------------------------------------------------
+
+def run_columnar(network, stepper: ColumnarStepper, *,
+                 max_rounds: int,
+                 injectors: Sequence[FaultInjector],
+                 keep_round_stats: bool = False,
+                 instrumentation: Optional[Instrumentation] = None):
+    """Run one protocol to completion on the columnar plane.
+
+    Mirrors :func:`repro.simulation.runner.run_protocol` step for step
+    — crash boundaries, advance, injector filtering, per-class
+    accounting, termination conditions, the round counter — with the
+    per-node generator pass replaced by ``stepper.advance``.
+    """
+    plan = stepper.plan
+    instr = instrumentation if instrumentation is not None else \
+        Instrumentation(network.size_model, keep_round_stats=keep_round_stats)
+
+    for proc in network.processes.values():
+        proc.finished = False
+        proc.crashed = False
+        # No contexts: lanes never run generator code, and nothing
+        # reads ``proc.ctx`` after a synchronous run.
+        proc.ctx = None
+
+    live = set(plan.nodes)
+    lane_of = plan.lane_of
+    # Per crash injector: the lane mask mirroring its ``crashed`` set
+    # (seeded from any pre-existing state, since ``filter_batch``
+    # consults the full set, not just this run's victims).
+    crash_masks: List[Optional[np.ndarray]] = []
+    for inj in injectors:
+        if type(inj) is CrashFaultInjector:
+            mask = np.zeros(plan.n, dtype=bool)
+            for v in inj.crashed:
+                lane = lane_of.get(v)
+                if lane is not None:
+                    mask[lane] = True
+            crash_masks.append(mask)
+        else:
+            crash_masks.append(None)
+
+    traffic: Optional[RoundTraffic] = None
+    alive: Optional[np.ndarray] = None
+
+    for round_index in range(max_rounds + 1):
+        # --- crash boundaries (mirrors the runner exactly) --------------
+        for inj, cmask in zip(injectors, crash_masks):
+            for victim in inj.crashes_at(round_index):
+                lane = lane_of.get(victim)
+                if lane is not None and cmask is not None:
+                    cmask[lane] = True
+                if victim in live:
+                    live.discard(victim)
+                    network.processes[victim].crashed = True
+                    stepper.crash(lane)
+
+        if not live:
+            break
+
+        # --- advance all live lanes one round ---------------------------
+        traffic, finished = stepper.advance(round_index, alive)
+        for lane in finished:
+            node_id = plan.nodes[lane]
+            network.processes[node_id].finished = True
+            live.discard(node_id)
+
+        # --- injector filtering on the flat edge set --------------------
+        if traffic is None or traffic.esrc.size == 0:
+            # No records emitted: crash filtering is vacuous and the
+            # loss injector skips empty batches without drawing.
+            traffic, alive, delivered = None, None, 0
+        else:
+            alive = (np.ones(traffic.esrc.size, dtype=bool)
+                     if traffic.alive0 is None else traffic.alive0)
+            for inj, cmask in zip(injectors, crash_masks):
+                if cmask is not None:
+                    # CrashFaultInjector.filter_batch: drop records from
+                    # crashed senders, block crashed destinations.
+                    if cmask.any():
+                        alive &= ~cmask[traffic.esrc]
+                        alive &= ~cmask[traffic.edst]
+                else:
+                    # MessageLossInjector.filter_batch: one Bernoulli
+                    # vector over the edges surviving earlier filters,
+                    # in enqueue order; zero surviving edges draw
+                    # nothing (the reference's total == 0 early-out).
+                    if inj.loss_rate == 0.0:
+                        continue
+                    idx = np.flatnonzero(alive)
+                    if idx.size == 0:
+                        continue
+                    keep = inj.rng.random(idx.size) >= inj.loss_rate
+                    kept = int(keep.sum())
+                    inj.dropped += idx.size - kept
+                    if kept != idx.size:
+                        alive[idx[~keep]] = False
+            delivered = int(alive.sum())
+
+        if not live and delivered == 0:
+            break
+
+        instr.begin_round()
+        if delivered:
+            instr.payload_class(traffic.sample, delivered)
+        instr.end_round(round_index, len(live))
+    else:
+        raise SimulationError(
+            f"protocol did not terminate within {max_rounds} rounds "
+            f"({len(live)} node(s) still live)"
+        )
+
+    stepper.finalize()
+    return instr.stats
+
+
+def try_columnar(network, *, max_rounds: int,
+                 injectors: Sequence[FaultInjector],
+                 keep_round_stats: bool = False,
+                 instrumentation: Optional[Instrumentation] = None):
+    """Batched execution if this run is eligible, else None (fall back
+    to the per-node loop; no injector state has been consumed)."""
+    stepper = resolve_stepper(network, injectors)
+    if stepper is None:
+        return None
+    return run_columnar(network, stepper, max_rounds=max_rounds,
+                        injectors=injectors,
+                        keep_round_stats=keep_round_stats,
+                        instrumentation=instrumentation)

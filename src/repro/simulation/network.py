@@ -21,7 +21,7 @@ from repro.engine.artifacts import graph_artifacts
 from repro.errors import GeometryError, ProtocolViolationError, SimulationError
 from repro.simulation.messages import Message, MessageSizeModel
 from repro.simulation.node import NodeContext, NodeProcess
-from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.rng import LazyNodeRngs
 from repro.simulation.transport import (
     BROADCAST,
     MULTICAST,
@@ -83,7 +83,10 @@ class SynchronousNetwork:
         self.n = self.graph.number_of_nodes()
         self.size_model = MessageSizeModel(max(1, self.n), value_bits=value_bits)
         self.strict_message_bits = strict_message_bits
-        self.rngs = spawn_node_rngs(self.graph.nodes, seed)
+        # Lazy: streams are derived per node on first use, so runs that
+        # draw no node randomness (e.g. the columnar stepping plane on
+        # deterministic protocols) skip the O(n) spawn entirely.
+        self.rngs = LazyNodeRngs(self.graph.nodes, seed)
 
         # Columnar outbox: one record per send *call* (a broadcast is a
         # single record regardless of degree), expanded lazily at

@@ -34,7 +34,8 @@ def run_protocol(network: SynchronousNetwork, *,
                  trace: Optional[TraceRecorder] = None,
                  keep_round_stats: bool = False,
                  instrumentation: Optional[Instrumentation] = None,
-                 legacy_transport: bool = False) -> RunStats:
+                 legacy_transport: bool = False,
+                 reference_protocols: bool = False) -> RunStats:
     """Execute all node processes on ``network`` to completion.
 
     Parameters
@@ -62,6 +63,14 @@ def run_protocol(network: SynchronousNetwork, *,
         account each delivered copy individually.  Kept as the reference
         implementation — ``tests/test_transport_equivalence.py`` pins the
         columnar path to it bit-for-bit.
+    reference_protocols:
+        When true, skip the columnar protocol stepping plane and drive
+        the per-node generators even for stock protocols.  The per-node
+        path is the reference oracle; the batched plane
+        (:mod:`repro.simulation.columnar`) is pinned bit-identical to
+        it.  Ineligible runs (exotic process subclasses, third-party
+        injectors, tracing, strict bit budgets) fall back to the
+        per-node loop automatically regardless of this flag.
 
     Returns
     -------
@@ -69,6 +78,16 @@ def run_protocol(network: SynchronousNetwork, *,
         Aggregate round/message/bit accounting for the execution.
     """
     injectors = list(injectors)
+
+    if not reference_protocols and not legacy_transport and trace is None:
+        from repro.simulation.columnar import try_columnar
+        stats = try_columnar(network, max_rounds=max_rounds,
+                             injectors=injectors,
+                             keep_round_stats=keep_round_stats,
+                             instrumentation=instrumentation)
+        if stats is not None:
+            return stats
+
     instr = instrumentation if instrumentation is not None else Instrumentation(
         network.size_model, keep_round_stats=keep_round_stats)
 

@@ -209,3 +209,115 @@ def test_third_party_injector_fallback_matches_columnar():
                                  injector_factory=DropEveryThird)
     assert columnar.x == legacy.x
     _assert_stats_equal(columnar, legacy)
+
+
+# ----------------------------------------------------------------------
+# Protocol stepping plane: eligibility + fallback matrix
+# ----------------------------------------------------------------------
+#
+# The columnar *protocol* plane (repro.simulation.columnar /
+# .steppers) batches whole rounds for stock protocols; anything it
+# cannot replay bit-exactly must fall back to the per-node generator
+# loop, and deciding that must not consume injector state.  The
+# bit-identity matrix itself lives in tests/test_protocol_steppers.py.
+
+def _network_for(program, seed):
+    from repro.simulation.network import SynchronousNetwork
+
+    return SynchronousNetwork(program.network_graph, program.processes(),
+                              seed=seed, **program.network_kwargs)
+
+
+def _fractional_network(seed=9):
+    g = _graph(seed)
+    lp = _resolve_instance(g, None, feasible_coverage(g, 1))
+    return _network_for(FractionalProgram(lp, t=2, compute_duals=False),
+                        seed)
+
+
+def test_stepper_resolves_for_stock_run():
+    from repro.simulation.columnar import resolve_stepper
+    from repro.simulation.steppers import FractionalStepper
+
+    net = _fractional_network()
+    stepper = resolve_stepper(net, [MessageLossInjector(0.2, seed=1),
+                                    CrashFaultInjector({1: [0]})])
+    assert isinstance(stepper, FractionalStepper)
+
+
+def test_stepper_declines_third_party_injector_without_side_effects():
+    from repro.simulation.columnar import resolve_stepper
+    from repro.simulation.faults import FaultInjector
+
+    class Bespoke(FaultInjector):
+        def filter_messages(self, round_index, messages):
+            return messages
+
+    loss = MessageLossInjector(0.2, seed=1)
+    state_before = repr(loss.rng.bit_generator.state)
+    assert resolve_stepper(_fractional_network(), [loss, Bespoke()]) is None
+    assert repr(loss.rng.bit_generator.state) == state_before
+
+
+def test_stepper_declines_subclassed_builtin_injector():
+    from repro.simulation.columnar import resolve_stepper
+
+    class LossWithLogging(MessageLossInjector):
+        pass
+
+    assert resolve_stepper(_fractional_network(),
+                           [LossWithLogging(0.2, seed=1)]) is None
+
+
+def test_stepper_declines_exotic_protocol_subclass():
+    from repro.core.fractional import FractionalNode
+    from repro.simulation.columnar import resolve_stepper
+
+    class TweakedNode(FractionalNode):
+        pass
+
+    net = _fractional_network()
+    for proc in net.processes.values():
+        proc.__class__ = TweakedNode
+    assert resolve_stepper(net, []) is None
+
+
+def test_stepper_declines_heterogeneous_lane_parameters():
+    from repro.simulation.columnar import resolve_stepper
+
+    net = _fractional_network()
+    next(iter(net.processes.values())).t += 1
+    assert resolve_stepper(net, []) is None
+
+
+def test_stepper_declines_strict_bit_budget():
+    from repro.simulation.columnar import resolve_stepper
+
+    net = _fractional_network()
+    net.strict_message_bits = 10 ** 6
+    assert resolve_stepper(net, []) is None
+
+
+def test_jrs_stepper_declines_any_injector():
+    from repro.baselines.jrs import JRSProgram
+    from repro.simulation.columnar import resolve_stepper
+    from repro.simulation.steppers import JRSStepper
+
+    g = _graph(8)
+    program = JRSProgram(graph_artifacts(g), {v: 1 for v in g.nodes},
+                         "closed", 8, 10_000)
+    assert isinstance(resolve_stepper(_network_for(program, 8), []),
+                      JRSStepper)
+    assert resolve_stepper(_network_for(program, 8),
+                           [MessageLossInjector(0.1, seed=2)]) is None
+
+
+def test_reference_protocols_flag_matches_default():
+    g = _graph(4)
+    lp = _resolve_instance(g, None, feasible_coverage(g, 1))
+    program = FractionalProgram(lp, t=2, compute_duals=True)
+    batched = execute(program, "message", seed=4)
+    oracle = execute(program, "message", seed=4, reference_protocols=True)
+    assert batched.x == oracle.x
+    assert batched.z == oracle.z
+    _assert_stats_equal(batched, oracle)
